@@ -1,0 +1,90 @@
+// Ablation: instantaneous vs windowed (PL1-style) cap enforcement.
+//
+// The paper's platform clamps reactively on instantaneous power; real RAPL
+// PL1 enforces a moving average, letting short bursts ride above the cap.
+// This sweep quantifies what the window buys (throughput from burst
+// tolerance) and costs (time spent above the nominal cap) for the 8-program
+// study across enforcement windows.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "corun/core/sched/registry.hpp"
+#include "corun/sim/engine.hpp"
+#include "corun/workload/batch.hpp"
+
+namespace {
+
+using namespace corun;
+
+struct Outcome {
+  Seconds makespan = 0.0;
+  double over_fraction = 0.0;
+  Watts avg_power = 0.0;
+};
+
+/// Executes the Default-style plan (max ceilings, governor-managed) under a
+/// given enforcement window. Uses a fixed two-sequence placement so only
+/// the governor behaviour varies across rows.
+Outcome run_with_window(Seconds window, Watts cap) {
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const workload::Batch batch = workload::make_batch_8(42);
+
+  sim::EngineOptions eo;
+  eo.power_cap = cap;
+  eo.policy = sim::GovernorPolicy::kGpuBiased;
+  eo.cap_window = window;
+  eo.record_samples = false;
+  sim::Engine engine(config, eo);
+  engine.set_ceilings(15, 9);
+
+  // Fixed placement: dwt2d + lud on the CPU, the rest queued on the GPU.
+  std::vector<std::size_t> cpu_jobs{2, 5};
+  std::vector<std::size_t> gpu_jobs{0, 1, 3, 4, 6, 7};
+  std::size_t cpu_next = 0;
+  std::size_t gpu_next = 0;
+  auto feed = [&](sim::DeviceKind d) {
+    auto& queue = d == sim::DeviceKind::kCpu ? cpu_jobs : gpu_jobs;
+    auto& next = d == sim::DeviceKind::kCpu ? cpu_next : gpu_next;
+    if (next < queue.size()) {
+      engine.launch(batch.job(queue[next]).spec, d);
+      ++next;
+    }
+  };
+  feed(sim::DeviceKind::kCpu);
+  feed(sim::DeviceKind::kGpu);
+  while (!engine.idle()) {
+    for (const sim::JobEvent& ev : engine.run_until_event()) {
+      feed(ev.device);
+    }
+  }
+  Outcome out;
+  out.makespan = engine.now();
+  out.over_fraction = engine.telemetry().cap_stats().time_over_cap /
+                      engine.telemetry().elapsed();
+  out.avg_power = engine.telemetry().avg_power();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: cap enforcement window",
+                "Instantaneous clamping vs PL1-style windowed averages "
+                "(fixed placement, 15 W cap, GPU-biased governor).");
+
+  Table table({"window", "makespan (s)", "time above cap", "avg power (W)"});
+  for (const Seconds window : {0.0, 1.0, 4.0, 10.0}) {
+    const Outcome o = run_with_window(window, 15.0);
+    table.add_row({window == 0.0 ? "instantaneous"
+                                 : Table::num(window, 0) + " s",
+                   Table::num(o.makespan), bench::pct(o.over_fraction),
+                   Table::num(o.avg_power)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: a window converts headroom during memory-bound "
+              "stretches into burst tolerance — some throughput for some "
+              "time above the nominal cap, with the average still pinned "
+              "near it. The paper's sub-2 W overshoots correspond to the "
+              "instantaneous row.\n");
+  return 0;
+}

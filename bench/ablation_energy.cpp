@@ -1,0 +1,53 @@
+// Ablation: energy accounting. Power caps exist "for energy efficiency and
+// reliability" (Sec. I); this bench reports what each scheduling method
+// costs in energy terms — total joules, energy per job, and energy-delay
+// product — alongside the makespans the paper optimizes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "corun/core/runtime/experiment.hpp"
+#include "corun/core/sched/default_scheduler.hpp"
+#include "corun/core/sched/hcs.hpp"
+#include "corun/core/sched/random_scheduler.hpp"
+#include "corun/core/sched/refiner.hpp"
+
+int main() {
+  using namespace corun;
+  bench::banner("Ablation: energy accounting",
+                "Energy, energy/job and EDP per scheduling method "
+                "(8-instance batch, 15 W cap).");
+
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const workload::Batch batch = workload::make_batch_8(42);
+  const auto artifacts = bench::quick_artifacts(config, batch);
+  const model::CoRunPredictor predictor(artifacts.db, artifacts.grid, config);
+
+  runtime::RuntimeOptions rt;
+  rt.cap = 15.0;
+
+  Table table({"method", "makespan (s)", "energy (kJ)", "energy/job (J)",
+               "EDP (kJ*s)", "avg power (W)"});
+  auto add = [&](sched::Scheduler& s) {
+    const runtime::MethodResult r =
+        runtime::run_method(config, batch, predictor, s, rt, 15.0);
+    table.add_row({r.name, Table::num(r.makespan),
+                   Table::num(r.report.energy / 1e3),
+                   Table::num(r.report.energy_per_job(), 0),
+                   Table::num(r.report.energy_delay_product() / 1e3, 0),
+                   Table::num(r.report.avg_power)});
+  };
+  sched::RandomScheduler random(7);
+  add(random);
+  sched::DefaultScheduler def;
+  add(def);
+  sched::HcsScheduler hcs;
+  add(hcs);
+  sched::HcsPlusScheduler hcs_plus;
+  add(hcs_plus);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: under a fixed cap, average power is pinned near the "
+              "cap for every method, so energy tracks makespan — the faster "
+              "schedule is also the greener one, and EDP amplifies the gap "
+              "quadratically.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation: the LLC contention channel. The bandwidth-only model is blind
+// to cache-reuse interference by construction (Sec. V-A models memory
+// access contention only); this sweep scales every program's LLC
+// sensitivity and tracks (a) how the performance-model error grows with
+// the hidden channel and (b) how robust HCS+'s ground-truth advantage stays
+// while its model gets progressively blinder.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "corun/common/stats.hpp"
+#include "corun/core/runtime/experiment.hpp"
+#include "corun/core/sched/random_scheduler.hpp"
+#include "corun/core/sched/refiner.hpp"
+#include "corun/sim/engine.hpp"
+#include "corun/workload/rodinia.hpp"
+
+namespace {
+
+using namespace corun;
+
+workload::Batch scaled_batch(double llc_scale, std::uint64_t seed) {
+  workload::Batch batch;
+  for (workload::KernelDescriptor desc : workload::rodinia_suite()) {
+    desc.cpu.llc_sensitivity *= llc_scale;
+    desc.gpu.llc_sensitivity *= llc_scale;
+    batch.add(desc, seed + hash64(desc.name));
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: LLC channel strength",
+                "Model error and HCS+ robustness as the hidden cache channel "
+                "scales from off (0x) to double strength (2x).");
+
+  const sim::MachineConfig config = sim::ivy_bridge();
+  Table table({"LLC scale", "mean model error", "HCS+ (s)", "Random mean (s)",
+               "HCS+ advantage"});
+
+  for (const double scale : {0.0, 0.5, 1.0, 2.0}) {
+    const workload::Batch batch = scaled_batch(scale, 42);
+    const auto artifacts = bench::quick_artifacts(config, batch);
+    const model::CoRunPredictor predictor(artifacts.db, artifacts.grid, config);
+
+    // Model error over a pair sample: predicted vs fully-contended truth.
+    std::vector<double> errors;
+    const std::size_t pairs[][2] = {{2, 0}, {0, 3}, {4, 1}, {7, 4},
+                                    {5, 6}, {1, 7}, {6, 2}, {3, 5}};
+    for (const auto& pr : pairs) {
+      const model::PairPrediction p = predictor.predict(
+          batch.job(pr[0]).instance_name, 15, batch.job(pr[1]).instance_name,
+          9);
+      sim::EngineOptions eo;
+      eo.record_samples = false;
+      sim::Engine engine(config, eo);
+      engine.set_ceilings(15, 9);
+      const sim::JobId id =
+          engine.launch(batch.job(pr[0]).spec, sim::DeviceKind::kCpu);
+      engine.launch(batch.job(pr[1]).spec, sim::DeviceKind::kGpu);
+      while (!engine.stats(id).finished) (void)engine.run_until_event();
+      // Compare the CPU side against the overlap-corrected prediction.
+      const Seconds limit = p.cpu_solo_time * (1.0 + p.cpu_degradation);
+      errors.push_back(
+          relative_error(std::min(p.cpu_time, limit),
+                         engine.stats(id).runtime()));
+    }
+
+    // Ground-truth schedules.
+    runtime::RuntimeOptions rt;
+    rt.cap = 15.0;
+    rt.predictor = &predictor;
+    rt.record_power_trace = false;
+    const runtime::CoRunRuntime runner(config, rt);
+    sched::SchedulerContext ctx;
+    ctx.batch = &batch;
+    ctx.predictor = &predictor;
+    ctx.cap = 15.0;
+
+    sched::HcsPlusScheduler hcs_plus;
+    const Seconds hcs = runner.execute(batch, hcs_plus.plan(ctx)).makespan;
+    Seconds random_sum = 0.0;
+    for (int s = 0; s < 5; ++s) {
+      sched::RandomScheduler random(7 + s);
+      random_sum += runner.execute(batch, random.plan(ctx)).makespan;
+    }
+    const Seconds random_mean = random_sum / 5.0;
+
+    table.add_row({Table::num(scale, 1) + "x", bench::pct(mean(errors)),
+                   Table::num(hcs), Table::num(random_mean),
+                   bench::pct(random_mean / hcs - 1.0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: model error is near zero with the channel off and "
+              "grows with its strength, while the scheduling advantage "
+              "persists — the decisions (placement, pairing, frequency) "
+              "remain right even when absolute predictions drift, which is "
+              "why the paper's 15%%-error model still schedules well.\n");
+  return 0;
+}

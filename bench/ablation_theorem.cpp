@@ -1,0 +1,56 @@
+// Ablation: the Co-Run Theorem partition (step 1) and the frequency-pair
+// selection criterion. Compares full HCS against (a) forcing every job into
+// the co-run set, and (b) the literal minimum-degradation frequency rule.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "corun/core/runtime/experiment.hpp"
+#include "corun/core/sched/hcs.hpp"
+
+int main() {
+  using namespace corun;
+  bench::banner("Ablation: theorem partition & frequency criterion",
+                "HCS variants on the 8- and 16-instance batches, 15 W cap.");
+
+  const sim::MachineConfig config = sim::ivy_bridge();
+
+  for (const std::size_t n : {std::size_t{8}, std::size_t{16}}) {
+    const workload::Batch batch =
+        n == 8 ? workload::make_batch_8(42) : workload::make_batch_16(42);
+    const auto artifacts = bench::quick_artifacts(config, batch);
+    const model::CoRunPredictor predictor(artifacts.db, artifacts.grid, config);
+
+    runtime::RuntimeOptions rt;
+    rt.cap = 15.0;
+
+    struct Variant {
+      const char* name;
+      sched::HcsOptions options;
+    };
+    const Variant variants[] = {
+        {"HCS (full)", {}},
+        {"no theorem partition", {.use_theorem_partition = false}},
+        {"min-degradation freq", {.min_degradation_freq = true}},
+        {"both ablated",
+         {.use_theorem_partition = false, .min_degradation_freq = true}},
+    };
+
+    std::printf("--- %zu instances ---\n", n);
+    Table table({"variant", "makespan (s)", "solo jobs"});
+    for (const Variant& v : variants) {
+      sched::HcsScheduler hcs(v.options);
+      const runtime::MethodResult r =
+          runtime::run_method(config, batch, predictor, hcs, rt, 15.0);
+      sched::SchedulerContext ctx;
+      ctx.batch = &batch;
+      ctx.predictor = &predictor;
+      ctx.cap = 15.0;
+      sched::HcsScheduler planner(v.options);
+      const sched::Schedule s = planner.plan(ctx);
+      table.add_row({v.name, Table::num(r.makespan),
+                     std::to_string(s.solo.size())});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figures 5 and 6: the co-run degradation spectra of the micro-benchmark.
+// Prints both 11x11 surfaces (CPU-side degradation and GPU-side
+// degradation) as text heat tables, plus the summary statistics the paper
+// calls out.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "corun/core/model/degradation_space.hpp"
+#include "corun/workload/microbench.hpp"
+
+int main() {
+  using namespace corun;
+  bench::banner("Figures 5-6",
+                "Micro-benchmark co-run degradation spectra: CPU-side "
+                "(Fig. 5) and GPU-side (Fig. 6) degradation over the "
+                "11x11 grid of standalone-throughput settings.");
+
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const model::DegradationSpaceBuilder builder(config);
+  const model::DegradationGrid grid =
+      bench::quick_mode()
+          ? builder.characterize({0.0, 5.5, 11.0}, {0.0, 5.5, 11.0})
+          : builder.characterize();
+
+  auto print_surface = [&](const char* title,
+                           const std::vector<std::vector<double>>& surface) {
+    std::printf("%s (rows: CPU micro GB/s, cols: GPU micro GB/s)\n", title);
+    std::printf("%8s", "");
+    for (const double g : grid.gpu_axis) std::printf("%7.1f", g);
+    std::printf("\n");
+    for (std::size_t i = 0; i < grid.cpu_axis.size(); ++i) {
+      std::printf("%7.1f ", grid.cpu_axis[i]);
+      for (std::size_t j = 0; j < grid.gpu_axis.size(); ++j) {
+        std::printf("%6.1f%%", surface[i][j] * 100.0);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  };
+  print_surface("Fig. 5 — CPU program degradation", grid.cpu_deg);
+  print_surface("Fig. 6 — GPU program degradation", grid.gpu_deg);
+
+  // The paper's summary observations.
+  int gpu_in_band = 0;
+  int cpu_mild = 0;
+  int cells = 0;
+  for (std::size_t i = 0; i < grid.cpu_axis.size(); ++i) {
+    for (std::size_t j = 0; j < grid.gpu_axis.size(); ++j) {
+      ++cells;
+      if (grid.gpu_deg[i][j] >= 0.20 && grid.gpu_deg[i][j] <= 0.40) {
+        ++gpu_in_band;
+      }
+      if (grid.cpu_deg[i][j] <= 0.20) ++cpu_mild;
+    }
+  }
+  std::printf("Max CPU degradation: %.1f%%  (paper: ~65%%)\n",
+              grid.max_cpu_degradation() * 100.0);
+  std::printf("Max GPU degradation: %.1f%%  (paper: ~45%%)\n",
+              grid.max_gpu_degradation() * 100.0);
+  std::printf("CPU cells <= 20%% degradation: %d/%d (paper: about half)\n",
+              cpu_mild, cells);
+  std::printf("GPU cells in the 20-40%% band: %d/%d\n", gpu_in_band, cells);
+  return 0;
+}

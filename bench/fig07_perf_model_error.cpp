@@ -1,0 +1,114 @@
+// Figure 7: error distribution of the co-run performance (degradation)
+// model over all 64 ordered pairs of the eight programs, at two frequency
+// settings — both-max, and medium (CPU 2.2 GHz + GPU 0.85 GHz).
+//
+// For each pair we predict each side's degradation via staged interpolation
+// and compare with the ground-truth degradation measured on the simulator
+// with a long-running partner. The error metric follows the paper: the
+// relative error of the predicted co-run *performance* (degraded time)
+// against the measured one.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "corun/common/histogram.hpp"
+#include "corun/common/stats.hpp"
+#include "corun/core/model/corun_predictor.hpp"
+#include "corun/sim/engine.hpp"
+#include "corun/workload/batch.hpp"
+
+namespace {
+
+using namespace corun;
+
+// Ground-truth fully-contended co-run time of `subject` on `device` with
+// `partner` opposite, at pinned levels.
+Seconds measure_corun_time(const sim::MachineConfig& config,
+                           const sim::JobSpec& subject, sim::DeviceKind device,
+                           sim::JobSpec partner, sim::FreqLevel cpu_level,
+                           sim::FreqLevel gpu_level) {
+  // Stretch the partner so the subject is contended throughout.
+  std::vector<sim::Phase> phases;
+  const auto& partner_profile = partner.profile(sim::other_device(device));
+  const auto& pp = partner_profile.phases();
+  for (int rep = 0; rep < 6; ++rep) {
+    phases.insert(phases.end(), pp.begin(), pp.end());
+  }
+  if (sim::other_device(device) == sim::DeviceKind::kCpu) {
+    partner.cpu = sim::DeviceProfile(phases, partner_profile.llc());
+  } else {
+    partner.gpu = sim::DeviceProfile(phases, partner_profile.llc());
+  }
+  sim::EngineOptions eo;
+  eo.record_samples = false;
+  sim::Engine engine(config, eo);
+  engine.set_ceilings(cpu_level, gpu_level);
+  engine.launch(partner, sim::other_device(device));
+  const sim::JobId id = engine.launch(subject, device);
+  while (!engine.stats(id).finished) (void)engine.run_until_event();
+  return engine.stats(id).runtime();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 7",
+                "Error distribution of the co-run performance model over the "
+                "64 ordered program pairs, at max and medium frequencies.");
+
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const workload::Batch batch = workload::make_batch_8(42);
+  const auto artifacts = bench::quick_mode()
+                             ? bench::quick_artifacts(config, batch)
+                             : bench::full_artifacts(config, batch);
+  const model::CoRunPredictor predictor(artifacts.db, artifacts.grid, config);
+
+  struct Setting {
+    const char* name;
+    sim::FreqLevel cpu;
+    sim::FreqLevel gpu;
+  };
+  // Medium setting: 2.2 GHz CPU (level 6 of 1.2+0.16k), 0.85 GHz GPU
+  // (level 5 of 0.35+0.1k) — the paper's Sec. VI-B configuration.
+  const Setting settings[] = {{"max frequency", 15, 9},
+                              {"medium frequency (2.2 GHz / 0.85 GHz)", 6, 5}};
+
+  for (const Setting& setting : settings) {
+    std::vector<double> errors;
+    for (std::size_t ci = 0; ci < batch.size(); ++ci) {
+      for (std::size_t gi = 0; gi < batch.size(); ++gi) {
+        const std::string cpu_job = batch.job(ci).instance_name;
+        const std::string gpu_job = batch.job(gi).instance_name;
+        const model::PairPrediction p =
+            predictor.predict(cpu_job, setting.cpu, gpu_job, setting.gpu);
+        const Seconds actual_cpu =
+            measure_corun_time(config, batch.job(ci).spec,
+                               sim::DeviceKind::kCpu, batch.job(gi).spec,
+                               setting.cpu, setting.gpu);
+        errors.push_back(relative_error(p.cpu_time, actual_cpu));
+        const Seconds actual_gpu =
+            measure_corun_time(config, batch.job(gi).spec,
+                               sim::DeviceKind::kGpu, batch.job(ci).spec,
+                               setting.cpu, setting.gpu);
+        errors.push_back(relative_error(p.gpu_time, actual_gpu));
+      }
+    }
+
+    Histogram hist(0.0, 0.5, 5);  // 10% error bands + overflow
+    hist.add_all(errors);
+    std::printf("Setting: %s (%zu measurements over 64 pairs)\n", setting.name,
+                errors.size());
+    Table table({"error band", "fraction of pairs"});
+    for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+      table.add_row({hist.label(b), bench::pct(hist.fraction(b))});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("average error: %s   median: %s   <10%%: %s   <20%%: %s\n\n",
+                bench::pct(mean(errors)).c_str(),
+                bench::pct(percentile(errors, 0.5)).c_str(),
+                bench::pct(hist.fraction(0)).c_str(),
+                bench::pct(hist.fraction(0) + hist.fraction(1)).c_str());
+  }
+  std::printf("Paper reference: ~50%% of pairs under 10%% error, >70%% under "
+              "20%%; average 15%% (max frequency) and 11%% (medium).\n");
+  return 0;
+}

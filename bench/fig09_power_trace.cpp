@@ -1,0 +1,76 @@
+// Figure 9: package power over time (1 Hz samples) for four randomly
+// selected co-run pairs under a 16 W cap, with GPU-biased governor
+// enforcement. The paper's observation: power stays below the cap most of
+// the time and transient overshoots are below ~2 W.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "corun/core/runtime/runtime.hpp"
+#include "corun/core/runtime/trace_analysis.hpp"
+#include "corun/workload/batch.hpp"
+
+int main() {
+  using namespace corun;
+  bench::banner("Figure 9",
+                "Power samples (1 Hz) of four random co-run pairs under a "
+                "16 W cap, GPU-biased governor.");
+
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const workload::Batch batch = workload::make_batch_8(42);
+  const Watts cap = 16.0;
+
+  // The paper picks four random pairs; we use a fixed seed for
+  // reproducibility. Pair A-B means A on CPU and B on GPU.
+  const std::size_t pairs[][2] = {{4, 0}, {2, 3}, {5, 7}, {6, 1}};
+
+  for (const auto& pr : pairs) {
+    sched::Schedule schedule;
+    schedule.cpu = {{pr[0], 15}};
+    schedule.gpu = {{pr[1], 9}};
+    runtime::RuntimeOptions options;
+    options.cap = cap;
+    options.policy = sim::GovernorPolicy::kGpuBiased;
+    options.sample_interval = 1.0;
+    const runtime::CoRunRuntime runtime(config, options);
+
+    // Restrict the batch view to the two jobs of this pair.
+    workload::Batch pair_batch;
+    pair_batch.add(batch.job(pr[0]).descriptor, 42 + pr[0],
+                   batch.job(pr[0]).instance_name);
+    pair_batch.add(batch.job(pr[1]).descriptor, 42 + pr[1],
+                   batch.job(pr[1]).instance_name);
+    sched::Schedule pair_schedule;
+    pair_schedule.cpu = {{0, 15}};
+    pair_schedule.gpu = {{1, 9}};
+    const runtime::ExecutionReport report =
+        runtime.execute(pair_batch, pair_schedule);
+
+    std::printf("pair %s-%s: %zu samples, cap %g W\n",
+                batch.job(pr[0]).instance_name.c_str(),
+                batch.job(pr[1]).instance_name.c_str(),
+                report.power_trace.size(), cap);
+    // Sparkline-style text series: one char per sample.
+    std::printf("  ");
+    for (const sim::PowerSample& s : report.power_trace) {
+      std::printf("%c", s.measured > cap ? '^' : (s.measured > cap - 1.5 ? '~' : '.'));
+    }
+    std::printf("\n");
+    // First 12 samples numerically.
+    std::printf("  t(s) power(W):");
+    for (std::size_t i = 0; i < report.power_trace.size() && i < 12; ++i) {
+      std::printf(" %.0f:%.1f", report.power_trace[i].t,
+                  report.power_trace[i].measured);
+    }
+    const runtime::TraceAnalysis analysis =
+        runtime::analyze_trace(report.power_trace, cap);
+    std::printf("\n  under cap: %s of samples | mean %.1f W | p95 %.1f W | "
+                "violation episodes: %zu (longest %.0f s, worst +%.2f W)\n\n",
+                bench::pct(analysis.under_cap_fraction).c_str(),
+                analysis.mean_power, analysis.p95_power,
+                analysis.episode_count(), analysis.longest_episode(),
+                analysis.worst_overshoot);
+  }
+  std::printf("Paper reference: power below the cap in most samples; "
+              "overshoots typically < 2 W.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Scheduling-overhead micro-benchmarks (Sec. VI-D): wall-clock cost of the
+// planning algorithms themselves, via google-benchmark. The paper reports
+// the scheduler costs < 0.1% of the makespan; with makespans of hundreds of
+// seconds that allows up to ~100 ms — these benches show the real numbers
+// are far below that.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "corun/core/sched/default_scheduler.hpp"
+#include "corun/core/sched/hcs.hpp"
+#include "corun/core/sched/lower_bound.hpp"
+#include "corun/core/sched/makespan_evaluator.hpp"
+#include "corun/core/sched/random_scheduler.hpp"
+#include "corun/core/sched/refiner.hpp"
+
+namespace {
+
+using namespace corun;
+
+struct BenchContext {
+  sim::MachineConfig config = sim::ivy_bridge();
+  workload::Batch batch;
+  runtime::ModelArtifacts artifacts;
+  std::unique_ptr<model::CoRunPredictor> predictor;
+  sched::SchedulerContext ctx;
+
+  explicit BenchContext(std::size_t n) {
+    batch = n == 8 ? workload::make_batch_8(42) : workload::make_batch_16(42);
+    artifacts = bench::quick_artifacts(config, batch);
+    predictor = std::make_unique<model::CoRunPredictor>(artifacts.db,
+                                                        artifacts.grid, config);
+    ctx.batch = &batch;
+    ctx.predictor = predictor.get();
+    ctx.cap = 15.0;
+  }
+};
+
+BenchContext& context_for(std::size_t n) {
+  static BenchContext eight(8);
+  static BenchContext sixteen(16);
+  return n == 8 ? eight : sixteen;
+}
+
+void BM_HcsPlan(benchmark::State& state) {
+  BenchContext& bc = context_for(static_cast<std::size_t>(state.range(0)));
+  sched::HcsScheduler hcs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcs.plan(bc.ctx));
+  }
+}
+BENCHMARK(BM_HcsPlan)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_HcsPlusPlan(benchmark::State& state) {
+  BenchContext& bc = context_for(static_cast<std::size_t>(state.range(0)));
+  sched::HcsPlusScheduler plus;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plus.plan(bc.ctx));
+  }
+}
+BENCHMARK(BM_HcsPlusPlan)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_RefinementOnly(benchmark::State& state) {
+  BenchContext& bc = context_for(static_cast<std::size_t>(state.range(0)));
+  sched::HcsScheduler hcs;
+  const sched::Schedule base = hcs.plan(bc.ctx);
+  const sched::Refiner refiner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(refiner.refine(bc.ctx, base));
+  }
+}
+BENCHMARK(BM_RefinementOnly)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_LowerBound(benchmark::State& state) {
+  BenchContext& bc = context_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::compute_lower_bound(bc.ctx));
+  }
+}
+BENCHMARK(BM_LowerBound)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_MakespanEvaluation(benchmark::State& state) {
+  BenchContext& bc = context_for(static_cast<std::size_t>(state.range(0)));
+  sched::HcsScheduler hcs;
+  const sched::Schedule schedule = hcs.plan(bc.ctx);
+  const sched::MakespanEvaluator evaluator(bc.ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.makespan(schedule));
+  }
+}
+BENCHMARK(BM_MakespanEvaluation)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PairPrediction(benchmark::State& state) {
+  BenchContext& bc = context_for(8);
+  const std::string a = bc.batch.job(0).instance_name;
+  const std::string b = bc.batch.job(2).instance_name;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bc.predictor->predict(b, 15, a, 9));
+  }
+}
+BENCHMARK(BM_PairPrediction)->Unit(benchmark::kNanosecond);
+
+void BM_BestFeasiblePair(benchmark::State& state) {
+  BenchContext& bc = context_for(8);
+  const std::string a = bc.batch.job(0).instance_name;
+  const std::string b = bc.batch.job(2).instance_name;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bc.predictor->best_pair_min_makespan(b, a, 15.0));
+  }
+}
+BENCHMARK(BM_BestFeasiblePair)->Unit(benchmark::kMicrosecond);
+
+void BM_BaselinePlans(benchmark::State& state) {
+  BenchContext& bc = context_for(static_cast<std::size_t>(state.range(0)));
+  sched::DefaultScheduler def;
+  sched::RandomScheduler random(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(def.plan(bc.ctx));
+    benchmark::DoNotOptimize(random.plan(bc.ctx));
+  }
+}
+BENCHMARK(BM_BaselinePlans)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// pipeline_split: the fine-grained scheduling extension in action.
+//
+// An image-processing-style pipeline alternates between a branchy
+// CPU-friendly stage (entropy coding) and wide GPU-friendly stages
+// (filtering). The planner decides per stage where to run under the power
+// cap, and the Gantt view shows the chain hopping across devices.
+#include <cstdio>
+
+#include "corun/core/runtime/runtime.hpp"
+#include "corun/core/runtime/timeline.hpp"
+#include "corun/ext/kernel_split.hpp"
+
+int main() {
+  using namespace corun;
+  const sim::MachineConfig machine = sim::ivy_bridge();
+  const Watts cap = 15.0;
+
+  // A 5-stage pipeline: filter (GPU) -> transform (CPU) -> filter (GPU)
+  // -> entropy-code (CPU) -> pack (GPU-ish).
+  ext::MultiKernelJob pipeline;
+  pipeline.name = "image_pipeline";
+  auto stage = [&](const char* name, Seconds cpu_t, Seconds gpu_t, double cf,
+                   GBps bw) {
+    workload::KernelDescriptor k;
+    k.name = name;
+    k.phase_count = 4;
+    k.phase_variability = 0.15;
+    k.cpu = {.base_time = cpu_t, .compute_frac = cf, .mem_bw = bw,
+             .llc_footprint_mb = 1.5, .llc_sensitivity = 0.3};
+    k.gpu = {.base_time = gpu_t, .compute_frac = cf - 0.05, .mem_bw = bw + 1.0,
+             .llc_footprint_mb = 1.5, .llc_sensitivity = 0.1};
+    pipeline.stages.push_back(k);
+  };
+  stage("blur", 19.0, 8.0, 0.45, 8.0);        // data-parallel: GPU
+  stage("transform", 7.0, 16.0, 0.65, 6.0);   // branchy: CPU
+  stage("sharpen", 21.0, 9.0, 0.45, 8.0);     // GPU
+  stage("entropy", 6.0, 15.0, 0.7, 5.0);      // CPU
+  stage("pack", 10.0, 7.0, 0.5, 7.0);         // mildly GPU
+
+  const ext::KernelSplitPlanner planner(machine);
+  const ext::SplitPlan plan = planner.plan(pipeline, cap);
+
+  std::printf("pipeline '%s' under a %.0f W cap\n", pipeline.name.c_str(), cap);
+  std::printf("  whole-CPU: %.1f s   whole-GPU: %.1f s\n", plan.whole_cpu_time,
+              plan.whole_gpu_time);
+  std::printf("  best split (");
+  for (std::size_t i = 0; i < plan.placement.device.size(); ++i) {
+    std::printf("%s%s", i ? "," : "",
+                sim::device_name(plan.placement.device[i]));
+  }
+  std::printf("): %.1f s  -> %.1f%% faster than the best whole-job run\n",
+              plan.predicted_time, plan.split_gain() * 100.0);
+
+  const Seconds truth = ext::execute_split(machine, pipeline, plan.placement,
+                                           planner.options(), cap);
+  std::printf("  ground truth: %.1f s\n\n", truth);
+
+  // Visualize the chain as a Gantt: each stage is a single-kernel chain of
+  // its own, so the planner's predict() gives its duration at the chosen
+  // placement.
+  runtime::ExecutionReport report;
+  Seconds t = 0.0;
+  for (std::size_t i = 0; i < pipeline.stage_count(); ++i) {
+    const sim::DeviceKind d = plan.placement.device[i];
+    const ext::MultiKernelJob single{pipeline.name, {pipeline.stages[i]}};
+    const Seconds dur = planner.predict(single, ext::StagePlacement{{d}}, cap);
+    report.jobs.push_back({i, pipeline.stages[i].name, d, t, t + dur});
+    t += dur;
+  }
+  report.makespan = t;
+  std::printf("%s", runtime::render_gantt(report, 64).c_str());
+  std::printf("\nThe chain hops to whichever device suits each stage — the "
+              "zero-copy integration makes the handoffs nearly free, which "
+              "is why the paper flags this direction as promising future "
+              "work.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// power_explorer: sweep the package power cap and chart the
+// throughput/power trade-off of HCS+ against the baselines.
+//
+// Useful for answering the deployment question the paper motivates: how
+// much throughput does each watt of cap buy, and where does co-scheduling
+// matter most? (Answer: the tighter the cap, the more the frequency-aware
+// planner wins.)
+#include <cstdio>
+
+#include "corun/core/runtime/experiment.hpp"
+
+int main() {
+  using namespace corun;
+  const sim::MachineConfig machine = sim::ivy_bridge();
+  const workload::Batch batch = workload::make_batch_8(42);
+
+  runtime::ArtifactOptions ao;
+  ao.cpu_levels = {0, 5, 10};
+  ao.gpu_levels = {0, 3, 6};
+  ao.grid_axis = {0.0, 4.0, 8.0, 11.0};
+  const runtime::ModelArtifacts artifacts =
+      runtime::build_artifacts(machine, batch, ao);
+
+  std::printf("power-cap sweep, 8-job batch (makespans in seconds)\n\n");
+  std::printf("%8s %10s %12s %10s %10s %12s\n", "cap(W)", "Random",
+              "Default_G", "HCS", "HCS+", "HCS+ vs Rnd");
+  for (const double cap : {12.0, 14.0, 16.0, 18.0, 22.0, 26.0}) {
+    runtime::ComparisonOptions options;
+    options.cap = cap;
+    options.random_seeds = 5;
+    options.include_cpu_biased_default = false;
+    const runtime::ComparisonResult r =
+        run_comparison(machine, batch, artifacts, options);
+    std::printf("%8.0f %10.1f %12.1f %10.1f %10.1f %11.1f%%\n", cap,
+                r.random_mean_makespan, r.method("Default_G").makespan,
+                r.method("HCS").makespan, r.method("HCS+").makespan,
+                (r.method("HCS+").speedup_vs_random - 1.0) * 100.0);
+  }
+  std::printf("\nReading: tight caps amplify the gap because naive schedules "
+              "waste scarce watts on contended co-runs; with abundant power "
+              "the machines converge toward placement-only differences.\n");
+  return 0;
+}

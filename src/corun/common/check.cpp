@@ -1,0 +1,19 @@
+#include "corun/common/check.hpp"
+
+#include <sstream>
+
+namespace corun::detail {
+
+void raise_contract_violation(std::string_view expr, std::string_view msg,
+                              std::source_location loc) {
+  std::ostringstream oss;
+  oss << "contract violation: (" << expr << ")";
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  oss << " at " << loc.file_name() << ":" << loc.line() << " in "
+      << loc.function_name();
+  throw ContractViolation(oss.str());
+}
+
+}  // namespace corun::detail

@@ -1,0 +1,47 @@
+// Runtime contract checking.
+//
+// CORUN_CHECK / CORUN_CHECK_MSG validate preconditions and invariants that
+// must hold in release builds as well as debug builds; a failed check throws
+// corun::ContractViolation so tests can assert on misuse and applications can
+// fail loudly rather than compute garbage schedules.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace corun {
+
+/// Thrown when a CORUN_CHECK contract fails. Carries the failing expression
+/// and source location in what().
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_contract_violation(std::string_view expr,
+                                           std::string_view msg,
+                                           std::source_location loc);
+}  // namespace detail
+
+}  // namespace corun
+
+/// Validate `expr`; throws corun::ContractViolation when false.
+#define CORUN_CHECK(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::corun::detail::raise_contract_violation(                              \
+          #expr, "", std::source_location::current());                        \
+    }                                                                         \
+  } while (false)
+
+/// Validate `expr` with an explanatory message.
+#define CORUN_CHECK_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::corun::detail::raise_contract_violation(                              \
+          #expr, (msg), std::source_location::current());                     \
+    }                                                                         \
+  } while (false)

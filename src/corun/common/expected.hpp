@@ -1,0 +1,65 @@
+// Minimal Expected<T> for recoverable errors on API boundaries where throwing
+// is inappropriate (e.g. parsing profile CSVs, solving for micro-benchmark
+// parameters that may be out of range).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "corun/common/check.hpp"
+
+namespace corun {
+
+/// Lightweight error payload: a category tag plus a human-readable message.
+struct Error {
+  std::string message;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// A value-or-error holder. `has_value()` selects which accessor is legal;
+/// calling the wrong one violates the contract.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    CORUN_CHECK_MSG(has_value(), error_unchecked().message);
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    CORUN_CHECK_MSG(has_value(), error_unchecked().message);
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    CORUN_CHECK_MSG(!has_value(), "Expected holds a value, not an error");
+    return std::get<Error>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  [[nodiscard]] const Error& error_unchecked() const {
+    static const Error kNone{"(value present)"};
+    return has_value() ? kNone : std::get<Error>(storage_);
+  }
+
+  std::variant<T, Error> storage_;
+};
+
+/// Convenience maker so call sites read `return fail("...");`
+inline Error fail(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace corun

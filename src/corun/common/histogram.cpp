@@ -1,0 +1,61 @@
+#include "corun/common/histogram.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "corun/common/check.hpp"
+
+namespace corun {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins + 1, 0) {
+  CORUN_CHECK(hi > lo);
+  CORUN_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  CORUN_CHECK_MSG(x >= lo_, "histogram sample below range");
+  const auto regular = counts_.size() - 1;
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= regular) idx = regular;  // overflow bin
+  ++counts_[idx];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t i) const {
+  CORUN_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  CORUN_CHECK(i < counts_.size());
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  CORUN_CHECK(i < counts_.size());
+  return lo_ + static_cast<double>(i + 1) * width_;
+}
+
+std::string Histogram::label(std::size_t i) const {
+  CORUN_CHECK(i < counts_.size());
+  std::ostringstream oss;
+  oss.precision(3);
+  if (i == counts_.size() - 1) {
+    oss << ">=" << bin_lo(i);
+  } else {
+    oss << "[" << bin_lo(i) << "," << bin_hi(i) << ")";
+  }
+  return oss.str();
+}
+
+}  // namespace corun

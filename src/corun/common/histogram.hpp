@@ -1,0 +1,43 @@
+// Fixed-bin histogram used to reproduce the paper's error-distribution
+// figures (Fig. 7: performance-model error ranges; Fig. 8: power-model error
+// ranges), which plot the fraction of co-run pairs per error band.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace corun {
+
+/// Histogram over [lo, hi) with uniform bins plus an overflow bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Raw count in bin `i`; the last bin collects values >= hi.
+  [[nodiscard]] std::size_t count(std::size_t i) const;
+
+  /// Fraction of all samples in bin `i` (0 when empty).
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+  /// Human-readable label like "[0.1,0.2)" or ">=0.5" for the overflow bin.
+  [[nodiscard]] std::string label(std::size_t i) const;
+
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;  // size = bins + 1 (overflow)
+  std::size_t total_ = 0;
+};
+
+}  // namespace corun

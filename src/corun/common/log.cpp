@@ -1,0 +1,37 @@
+#include "corun/common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace corun {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (level == LogLevel::kOff) return;
+  std::scoped_lock lock(g_mutex);
+  std::cerr << "[corun:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace corun

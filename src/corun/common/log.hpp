@@ -1,0 +1,36 @@
+// Leveled logging with a process-global threshold. The schedulers log their
+// decisions at Debug so experiment output stays clean by default while the
+// decision trail remains recoverable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace corun {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level() noexcept;
+
+/// Emits `message` to stderr when `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream oss;
+  explicit LogLine(LogLevel l) : level(l) {}
+  ~LogLine() { log_message(level, oss.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    oss << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace corun
+
+#define CORUN_LOG(level) ::corun::detail::LogLine(::corun::LogLevel::level)

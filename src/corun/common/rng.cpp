@@ -1,0 +1,50 @@
+#include "corun/common/rng.hpp"
+
+#include "corun/common/check.hpp"
+
+namespace corun {
+
+double Rng::uniform(double lo, double hi) {
+  CORUN_CHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CORUN_CHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::gaussian(double stddev) {
+  CORUN_CHECK(stddev >= 0.0);
+  std::normal_distribution<double> dist(0.0, stddev);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  CORUN_CHECK(p >= 0.0 && p <= 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Rng Rng::fork(std::string_view tag) const {
+  // Mix the parent seed with the tag hash through a splitmix-style step so
+  // fork("a") of seed 1 differs from fork("a") of seed 2 and from fork("b").
+  std::uint64_t z = seed_ ^ (hash64(tag) + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+std::uint64_t hash64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace corun

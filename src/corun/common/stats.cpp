@@ -1,0 +1,80 @@
+#include "corun/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corun/common/check.hpp"
+
+namespace corun {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::min() const noexcept { return min_; }
+double Accumulator::max() const noexcept { return max_; }
+
+double percentile(std::span<const double> xs, double q) {
+  CORUN_CHECK(!xs.empty());
+  CORUN_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  CORUN_CHECK(!xs.empty());
+  double log_sum = 0.0;
+  for (double x : xs) {
+    CORUN_CHECK_MSG(x > 0.0, "geomean requires positive inputs");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double relative_error(double predicted, double actual) {
+  CORUN_CHECK_MSG(actual != 0.0, "relative_error with zero actual");
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+std::vector<double> relative_errors(std::span<const double> predicted,
+                                    std::span<const double> actual) {
+  CORUN_CHECK(predicted.size() == actual.size());
+  std::vector<double> out;
+  out.reserve(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    out.push_back(relative_error(predicted[i], actual[i]));
+  }
+  return out;
+}
+
+}  // namespace corun

@@ -1,0 +1,50 @@
+// Small statistics toolkit used by the experiment harnesses: running
+// accumulators, percentiles, and relative-error helpers for the model
+// accuracy figures (Figs. 7 and 8 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace corun {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation; q in [0,1]. Copies + sorts.
+double percentile(std::span<const double> xs, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be positive.
+double geomean(std::span<const double> xs);
+
+/// |predicted - actual| / |actual|. `actual` must be non-zero.
+double relative_error(double predicted, double actual);
+
+/// Relative errors between parallel spans.
+std::vector<double> relative_errors(std::span<const double> predicted,
+                                    std::span<const double> actual);
+
+}  // namespace corun

@@ -1,0 +1,59 @@
+#include "corun/common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "corun/common/check.hpp"
+
+namespace corun {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CORUN_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  CORUN_CHECK_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v * 100.0 << "%";
+  return oss.str();
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    oss << '\n';
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    oss << std::string(widths[c], '-') << "  ";
+  }
+  oss << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+}  // namespace corun

@@ -1,0 +1,35 @@
+// Console table rendering for the benchmark harnesses, which reprint the
+// paper's tables and figure series as aligned text.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace corun {
+
+/// Column-aligned text table. Add a header then rows; `render()` produces a
+/// box-drawing-free, diff-friendly ASCII layout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision for use in cells.
+  static std::string num(double v, int precision = 2);
+
+  /// Formats a ratio as a percent string, e.g. 0.173 -> "17.3%".
+  static std::string pct(double v, int precision = 1);
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace corun

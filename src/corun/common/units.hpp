@@ -1,0 +1,29 @@
+// Strongly-suggestive unit aliases and conversion helpers.
+//
+// The whole library works in SI base combinations: seconds, watts, joules,
+// GHz for frequencies (because the paper's frequency ladders are expressed in
+// GHz), and GB/s for memory bandwidth (matching the paper's 0-11 GB/s
+// micro-benchmark axes). Using aliases rather than wrapper types keeps the
+// numeric kernels simple; the naming convention (suffix _s, _w, _ghz, _gbps)
+// is enforced in reviews instead.
+#pragma once
+
+namespace corun {
+
+using Seconds = double;
+using Watts = double;
+using Joules = double;
+using GHz = double;
+using GBps = double;  // gigabytes per second
+
+namespace units {
+
+constexpr double kMilli = 1e-3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+constexpr Seconds ms(double v) { return v * kMilli; }
+constexpr GHz mhz_to_ghz(double v) { return v / 1e3; }
+
+}  // namespace units
+}  // namespace corun

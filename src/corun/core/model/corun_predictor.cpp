@@ -1,0 +1,248 @@
+#include "corun/core/model/corun_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "corun/common/check.hpp"
+
+namespace corun::model {
+
+CoRunPredictor::CoRunPredictor(const profile::ProfileDB& db,
+                               DegradationGrid grid, sim::MachineConfig config)
+    : db_(db), interp_(std::move(grid)), config_(std::move(config)) {
+  CORUN_CHECK_MSG(db_.idle_power() > 0.0,
+                  "profile DB lacks the idle-power measurement");
+}
+
+profile::ProfileEntry CoRunPredictor::entry_at(const std::string& job,
+                                               sim::DeviceKind device,
+                                               sim::FreqLevel level) const {
+  if (db_.contains(job, device, level)) {
+    return db_.at(job, device, level);
+  }
+  // Sub-sampled DB: interpolate between the nearest recorded levels by
+  // frequency. Extrapolation is clamped to the recorded range.
+  const auto levels = db_.levels(job, device);
+  CORUN_CHECK_MSG(!levels.empty(), "no profiles for " + job);
+  const sim::FrequencyLadder& ladder = config_.ladder(device);
+  const GHz f = ladder.at(ladder.clamp(level));
+
+  const profile::ProfileEntry* lo = nullptr;
+  const profile::ProfileEntry* hi = nullptr;
+  GHz f_lo = 0.0;
+  GHz f_hi = 0.0;
+  for (const sim::FreqLevel l : levels) {
+    const GHz fl = ladder.at(l);
+    const profile::ProfileEntry& e = db_.at(job, device, l);
+    if (fl <= f && (lo == nullptr || fl > f_lo)) {
+      lo = &e;
+      f_lo = fl;
+    }
+    if (fl >= f && (hi == nullptr || fl < f_hi)) {
+      hi = &e;
+      f_hi = fl;
+    }
+  }
+  if (lo == nullptr) return *hi;
+  if (hi == nullptr) return *lo;
+  if (f_hi <= f_lo) return *lo;
+  const double t = (f - f_lo) / (f_hi - f_lo);
+  auto lerp = [t](double a, double b) { return a * (1.0 - t) + b * t; };
+  return profile::ProfileEntry{.time = lerp(lo->time, hi->time),
+                               .avg_bw = lerp(lo->avg_bw, hi->avg_bw),
+                               .avg_power = lerp(lo->avg_power, hi->avg_power),
+                               .energy = lerp(lo->energy, hi->energy)};
+}
+
+Seconds CoRunPredictor::standalone_time(const std::string& job,
+                                        sim::DeviceKind device,
+                                        sim::FreqLevel level) const {
+  return entry_at(job, device, level).time;
+}
+
+GBps CoRunPredictor::standalone_bw(const std::string& job,
+                                   sim::DeviceKind device,
+                                   sim::FreqLevel level) const {
+  return entry_at(job, device, level).avg_bw;
+}
+
+Watts CoRunPredictor::standalone_power(const std::string& job,
+                                       sim::DeviceKind device,
+                                       sim::FreqLevel level) const {
+  return entry_at(job, device, level).avg_power;
+}
+
+PairPrediction CoRunPredictor::predict(const std::string& cpu_job,
+                                       sim::FreqLevel cpu_level,
+                                       const std::string& gpu_job,
+                                       sim::FreqLevel gpu_level) const {
+  const profile::ProfileEntry cpu_entry =
+      entry_at(cpu_job, sim::DeviceKind::kCpu, cpu_level);
+  const profile::ProfileEntry gpu_entry =
+      entry_at(gpu_job, sim::DeviceKind::kGpu, gpu_level);
+
+  PairPrediction out;
+  out.cpu_degradation =
+      interp_.cpu_degradation(cpu_entry.avg_bw, gpu_entry.avg_bw);
+  out.gpu_degradation =
+      interp_.gpu_degradation(cpu_entry.avg_bw, gpu_entry.avg_bw);
+  out.cpu_solo_time = cpu_entry.time;
+  out.gpu_solo_time = gpu_entry.time;
+  out.cpu_time = cpu_entry.time * (1.0 + out.cpu_degradation);
+  out.gpu_time = gpu_entry.time * (1.0 + out.gpu_degradation);
+  out.power = cpu_entry.avg_power + gpu_entry.avg_power - db_.idle_power();
+  return out;
+}
+
+Watts CoRunPredictor::predict_power(const std::string& cpu_job,
+                                    sim::FreqLevel cpu_level,
+                                    const std::string& gpu_job,
+                                    sim::FreqLevel gpu_level) const {
+  return standalone_power(cpu_job, sim::DeviceKind::kCpu, cpu_level) +
+         standalone_power(gpu_job, sim::DeviceKind::kGpu, gpu_level) -
+         db_.idle_power();
+}
+
+bool CoRunPredictor::corun_feasible(const std::string& cpu_job,
+                                    sim::FreqLevel cpu_level,
+                                    const std::string& gpu_job,
+                                    sim::FreqLevel gpu_level,
+                                    std::optional<Watts> cap) const {
+  if (!cap) return true;
+  return predict_power(cpu_job, cpu_level, gpu_job, gpu_level) <= *cap;
+}
+
+bool CoRunPredictor::solo_feasible(const std::string& job,
+                                   sim::DeviceKind device, sim::FreqLevel level,
+                                   std::optional<Watts> cap) const {
+  if (!cap) return true;
+  return standalone_power(job, device, level) <= *cap;
+}
+
+std::optional<sim::FreqLevel> CoRunPredictor::best_solo_level(
+    const std::string& job, sim::DeviceKind device,
+    std::optional<Watts> cap) const {
+  const sim::FrequencyLadder& ladder = config_.ladder(device);
+  std::optional<sim::FreqLevel> best;
+  Seconds best_time = std::numeric_limits<Seconds>::infinity();
+  for (sim::FreqLevel l = 0; l <= ladder.max_level(); ++l) {
+    if (!solo_feasible(job, device, l, cap)) continue;
+    const Seconds t = standalone_time(job, device, l);
+    if (t < best_time) {
+      best_time = t;
+      best = l;
+    }
+  }
+  return best;
+}
+
+Seconds CoRunPredictor::best_solo_time(const std::string& job,
+                                       sim::DeviceKind device,
+                                       std::optional<Watts> cap) const {
+  const auto level = best_solo_level(job, device, cap);
+  CORUN_CHECK_MSG(level.has_value(),
+                  "no cap-feasible standalone level for " + job);
+  return standalone_time(job, device, *level);
+}
+
+std::optional<FreqPair> CoRunPredictor::best_pair_min_makespan(
+    const std::string& cpu_job, const std::string& gpu_job,
+    std::optional<Watts> cap) const {
+  return best_pair_weighted(cpu_job, gpu_job, cap, 1.0, 1.0);
+}
+
+std::optional<FreqPair> CoRunPredictor::best_pair_weighted(
+    const std::string& cpu_job, const std::string& gpu_job,
+    std::optional<Watts> cap, double cpu_weight, double gpu_weight) const {
+  CORUN_CHECK(cpu_weight > 0.0 && gpu_weight > 0.0);
+
+  // Only the weight ratio matters; quantize it to quarter-octaves (clamped
+  // to +-6 octaves) so repeated near-identical queries hit the memo cache.
+  const double log_ratio =
+      std::clamp(std::log2(gpu_weight / cpu_weight), -6.0, 6.0);
+  const int bucket = static_cast<int>(std::lround(log_ratio * 4.0));
+  const double wc = 1.0;
+  const double wg = std::exp2(static_cast<double>(bucket) / 4.0);
+  std::string key = cpu_job;
+  key += '|';
+  key += gpu_job;
+  key += '|';
+  key += std::to_string(
+      cap ? static_cast<long long>(std::llround(*cap * 100.0)) : -1LL);
+  key += '|';
+  key += std::to_string(bucket);
+  if (const auto it = pair_cache_.find(key); it != pair_cache_.end()) {
+    return it->second;
+  }
+  const double cpu_weight_q = wc;
+  const double gpu_weight_q = wg;
+
+  std::optional<FreqPair> best;
+  double best_metric = std::numeric_limits<double>::infinity();
+  for (sim::FreqLevel fc = 0; fc <= config_.cpu_ladder.max_level(); ++fc) {
+    for (sim::FreqLevel fg = 0; fg <= config_.gpu_ladder.max_level(); ++fg) {
+      if (!corun_feasible(cpu_job, fc, gpu_job, fg, cap)) continue;
+      const PairPrediction p = predict(cpu_job, fc, gpu_job, fg);
+      // Tiny secondary objective: among near-equal maxima prefer the pair
+      // that also finishes the lighter side sooner.
+      const double metric =
+          std::max(cpu_weight_q * p.cpu_time, gpu_weight_q * p.gpu_time) +
+          1e-4 * (cpu_weight_q * p.cpu_time + gpu_weight_q * p.gpu_time);
+      if (metric < best_metric) {
+        best_metric = metric;
+        best = FreqPair{fc, fg};
+      }
+    }
+  }
+  pair_cache_.emplace(std::move(key), best);
+  return best;
+}
+
+std::optional<FreqPair> CoRunPredictor::best_pair_min_degradation(
+    const std::string& cpu_job, const std::string& gpu_job,
+    std::optional<Watts> cap) const {
+  std::optional<FreqPair> best;
+  double best_metric = std::numeric_limits<double>::infinity();
+  for (sim::FreqLevel fc = 0; fc <= config_.cpu_ladder.max_level(); ++fc) {
+    for (sim::FreqLevel fg = 0; fg <= config_.gpu_ladder.max_level(); ++fg) {
+      if (!corun_feasible(cpu_job, fc, gpu_job, fg, cap)) continue;
+      const PairPrediction p = predict(cpu_job, fc, gpu_job, fg);
+      // Among equal degradations prefer the higher-frequency (faster) pair;
+      // folding a small negative frequency bonus into the metric does that
+      // without a separate tie-break pass.
+      const double freq_bonus =
+          1e-3 * (config_.cpu_ladder.fraction(fc) + config_.gpu_ladder.fraction(fg));
+      const double metric = p.cpu_degradation + p.gpu_degradation - freq_bonus;
+      if (metric < best_metric) {
+        best_metric = metric;
+        best = FreqPair{fc, fg};
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<sim::FreqLevel> CoRunPredictor::best_level_against(
+    const std::string& job, sim::DeviceKind device, const std::string& partner,
+    sim::FreqLevel partner_level, std::optional<Watts> cap) const {
+  const sim::FrequencyLadder& ladder = config_.ladder(device);
+  std::optional<sim::FreqLevel> best;
+  double best_time = std::numeric_limits<double>::infinity();
+  for (sim::FreqLevel l = 0; l <= ladder.max_level(); ++l) {
+    const std::string& cpu_job = device == sim::DeviceKind::kCpu ? job : partner;
+    const std::string& gpu_job = device == sim::DeviceKind::kCpu ? partner : job;
+    const sim::FreqLevel fc = device == sim::DeviceKind::kCpu ? l : partner_level;
+    const sim::FreqLevel fg = device == sim::DeviceKind::kCpu ? partner_level : l;
+    if (!corun_feasible(cpu_job, fc, gpu_job, fg, cap)) continue;
+    const PairPrediction p = predict(cpu_job, fc, gpu_job, fg);
+    const double t = device == sim::DeviceKind::kCpu ? p.cpu_time : p.gpu_time;
+    if (t < best_time) {
+      best_time = t;
+      best = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace corun::model

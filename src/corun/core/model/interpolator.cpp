@@ -1,0 +1,60 @@
+#include "corun/core/model/interpolator.hpp"
+
+#include <algorithm>
+
+#include "corun/common/check.hpp"
+
+namespace corun::model {
+namespace {
+
+/// Finds the cell [k, k+1] containing v (clamped) and the fractional
+/// position within it.
+struct AxisPos {
+  std::size_t lo;
+  std::size_t hi;
+  double frac;
+};
+
+AxisPos locate(const std::vector<double>& axis, double v) {
+  CORUN_CHECK(axis.size() >= 1);
+  if (axis.size() == 1 || v <= axis.front()) return {0, 0, 0.0};
+  if (v >= axis.back()) return {axis.size() - 1, axis.size() - 1, 0.0};
+  std::size_t hi = 1;
+  while (axis[hi] < v) ++hi;
+  const std::size_t lo = hi - 1;
+  const double span = axis[hi] - axis[lo];
+  return {lo, hi, span > 0.0 ? (v - axis[lo]) / span : 0.0};
+}
+
+}  // namespace
+
+StagedInterpolator::StagedInterpolator(DegradationGrid grid)
+    : grid_(std::move(grid)) {
+  CORUN_CHECK_MSG(grid_.valid(), "degradation grid is malformed");
+  CORUN_CHECK(std::is_sorted(grid_.cpu_axis.begin(), grid_.cpu_axis.end()));
+  CORUN_CHECK(std::is_sorted(grid_.gpu_axis.begin(), grid_.gpu_axis.end()));
+}
+
+double StagedInterpolator::interpolate(
+    const std::vector<std::vector<double>>& surface, GBps cpu_bw,
+    GBps gpu_bw) const {
+  const AxisPos ci = locate(grid_.cpu_axis, cpu_bw);
+  const AxisPos gj = locate(grid_.gpu_axis, gpu_bw);
+  const double d00 = surface[ci.lo][gj.lo];
+  const double d01 = surface[ci.lo][gj.hi];
+  const double d10 = surface[ci.hi][gj.lo];
+  const double d11 = surface[ci.hi][gj.hi];
+  const double lo = d00 * (1.0 - gj.frac) + d01 * gj.frac;
+  const double hi = d10 * (1.0 - gj.frac) + d11 * gj.frac;
+  return lo * (1.0 - ci.frac) + hi * ci.frac;
+}
+
+double StagedInterpolator::cpu_degradation(GBps cpu_bw, GBps gpu_bw) const {
+  return interpolate(grid_.cpu_deg, cpu_bw, gpu_bw);
+}
+
+double StagedInterpolator::gpu_degradation(GBps cpu_bw, GBps gpu_bw) const {
+  return interpolate(grid_.gpu_deg, cpu_bw, gpu_bw);
+}
+
+}  // namespace corun::model

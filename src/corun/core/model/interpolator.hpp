@@ -1,0 +1,39 @@
+// Staged interpolation over the degradation space (Sec. V-C).
+//
+// Stage 1 (offline, once per machine): the micro-benchmark characterizes the
+// degradation surfaces — see DegradationSpaceBuilder.
+// Stage 2 (per prediction): a real program pair is located inside the space
+// by the standalone average bandwidths of its two sides at their current
+// frequencies, and each side's degradation is read off by bilinear
+// interpolation. This replaces O(N^2 K^2) pairwise profiling with O(N K)
+// standalone profiles plus one grid.
+#pragma once
+
+#include "corun/common/units.hpp"
+#include "corun/core/model/degradation_space.hpp"
+
+namespace corun::model {
+
+class StagedInterpolator {
+ public:
+  explicit StagedInterpolator(DegradationGrid grid);
+
+  /// Degradation of the CPU-side program whose standalone bandwidth is
+  /// `cpu_bw` when the GPU side offers `gpu_bw`. Inputs are clamped to the
+  /// characterized range.
+  [[nodiscard]] double cpu_degradation(GBps cpu_bw, GBps gpu_bw) const;
+
+  /// Degradation of the GPU-side program, same coordinates.
+  [[nodiscard]] double gpu_degradation(GBps cpu_bw, GBps gpu_bw) const;
+
+  [[nodiscard]] const DegradationGrid& grid() const noexcept { return grid_; }
+
+ private:
+  [[nodiscard]] double interpolate(
+      const std::vector<std::vector<double>>& surface, GBps cpu_bw,
+      GBps gpu_bw) const;
+
+  DegradationGrid grid_;
+};
+
+}  // namespace corun::model

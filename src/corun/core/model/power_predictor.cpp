@@ -1,0 +1,39 @@
+#include "corun/core/model/power_predictor.hpp"
+
+#include "corun/common/check.hpp"
+
+namespace corun::model {
+
+PowerPredictor::PowerPredictor(const profile::ProfileDB& db) : db_(db) {
+  CORUN_CHECK_MSG(db.idle_power() > 0.0,
+                  "profile DB lacks the idle-power measurement");
+}
+
+Watts PowerPredictor::standalone(const std::string& job, sim::DeviceKind device,
+                                 sim::FreqLevel level) const {
+  return db_.at(job, device, level).avg_power;
+}
+
+Watts PowerPredictor::predict_corun(const std::string& cpu_job,
+                                    sim::FreqLevel cpu_level,
+                                    const std::string& gpu_job,
+                                    sim::FreqLevel gpu_level) const {
+  const Watts p_cpu = standalone(cpu_job, sim::DeviceKind::kCpu, cpu_level);
+  const Watts p_gpu = standalone(gpu_job, sim::DeviceKind::kGpu, gpu_level);
+  return p_cpu + p_gpu - db_.idle_power();
+}
+
+bool PowerPredictor::corun_feasible(const std::string& cpu_job,
+                                    sim::FreqLevel cpu_level,
+                                    const std::string& gpu_job,
+                                    sim::FreqLevel gpu_level, Watts cap) const {
+  return predict_corun(cpu_job, cpu_level, gpu_job, gpu_level) <= cap;
+}
+
+bool PowerPredictor::solo_feasible(const std::string& job,
+                                   sim::DeviceKind device, sim::FreqLevel level,
+                                   Watts cap) const {
+  return standalone(job, device, level) <= cap;
+}
+
+}  // namespace corun::model

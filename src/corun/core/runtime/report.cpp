@@ -1,0 +1,37 @@
+#include "corun/core/runtime/report.hpp"
+
+#include <sstream>
+
+namespace corun::runtime {
+
+double ExecutionReport::throughput_per_hour() const noexcept {
+  if (makespan <= 0.0) return 0.0;
+  return static_cast<double>(jobs.size()) * 3600.0 / makespan;
+}
+
+double ExecutionReport::planning_overhead() const noexcept {
+  if (makespan <= 0.0) return 0.0;
+  return planning_seconds / makespan;
+}
+
+double ExecutionReport::energy_delay_product() const noexcept {
+  return energy * makespan;
+}
+
+Joules ExecutionReport::energy_per_job() const noexcept {
+  return jobs.empty() ? 0.0 : energy / static_cast<double>(jobs.size());
+}
+
+std::string ExecutionReport::summary() const {
+  std::ostringstream oss;
+  oss.precision(4);
+  oss << "makespan=" << makespan << "s jobs=" << jobs.size()
+      << " energy=" << energy << "J avg_power=" << avg_power << "W";
+  if (cap_stats.samples > 0) {
+    oss << " cap_over=" << cap_stats.over_fraction() * 100.0 << "%"
+        << " worst_overshoot=" << cap_stats.worst_overshoot << "W";
+  }
+  return oss.str();
+}
+
+}  // namespace corun::runtime

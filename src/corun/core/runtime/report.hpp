@@ -1,0 +1,51 @@
+// Execution reports: what actually happened when a schedule ran on the
+// machine — ground truth makespan, per-job outcomes, energy, and the power
+// trace the Fig. 8/9 experiments inspect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corun/common/units.hpp"
+#include "corun/sim/engine.hpp"
+#include "corun/sim/telemetry.hpp"
+
+namespace corun::runtime {
+
+struct JobOutcome {
+  std::size_t job = 0;  ///< batch index
+  std::string name;
+  sim::DeviceKind device = sim::DeviceKind::kCpu;
+  Seconds start = 0.0;
+  Seconds finish = 0.0;
+
+  [[nodiscard]] Seconds runtime() const noexcept { return finish - start; }
+};
+
+struct ExecutionReport {
+  Seconds makespan = 0.0;
+  std::vector<JobOutcome> jobs;
+  Joules energy = 0.0;
+  Watts avg_power = 0.0;
+  sim::CapViolationStats cap_stats;
+  std::vector<sim::PowerSample> power_trace;
+  Seconds planning_seconds = 0.0;  ///< wall-clock cost of computing the plan
+
+  /// Jobs completed per hour of makespan — the throughput the paper's
+  /// objective maximizes (equivalent to minimizing makespan for a fixed set).
+  [[nodiscard]] double throughput_per_hour() const noexcept;
+
+  /// Planning cost as a fraction of the makespan (paper: < 0.1%).
+  [[nodiscard]] double planning_overhead() const noexcept;
+
+  /// Energy-delay product (J*s) — the energy-efficiency figure of merit the
+  /// power-cap literature optimizes alongside throughput.
+  [[nodiscard]] double energy_delay_product() const noexcept;
+
+  /// Average energy spent per completed job (J).
+  [[nodiscard]] Joules energy_per_job() const noexcept;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace corun::runtime

@@ -1,0 +1,122 @@
+#include "corun/core/runtime/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "corun/common/check.hpp"
+
+namespace corun::runtime {
+namespace {
+
+char label_for(std::size_t index) {
+  constexpr char kLabels[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  return kLabels[index % (sizeof(kLabels) - 1)];
+}
+
+/// Paints one occupancy interval onto a row of width `width`.
+void paint(std::string& row, Seconds start, Seconds end, Seconds makespan,
+           char c, std::size_t width) {
+  if (makespan <= 0.0) return;
+  auto clamp_idx = [&](double t) {
+    const auto idx = static_cast<std::ptrdiff_t>(t / makespan *
+                                                 static_cast<double>(width));
+    return static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(width) - 1));
+  };
+  const std::size_t lo = clamp_idx(start);
+  const std::size_t hi = clamp_idx(end - 1e-12);
+  for (std::size_t i = lo; i <= hi && i < width; ++i) row[i] = c;
+}
+
+std::string compose(const std::string& cpu_row, const std::string& gpu_row,
+                    const std::map<char, std::string>& legend,
+                    Seconds makespan) {
+  std::ostringstream oss;
+  oss << "CPU |" << cpu_row << "|\n";
+  oss << "GPU |" << gpu_row << "|\n";
+  oss << "     0s";
+  oss.precision(1);
+  oss << std::fixed;
+  const std::string pad(cpu_row.size() > 12 ? cpu_row.size() - 10 : 1, ' ');
+  oss << pad << makespan << "s\n  ";
+  std::size_t on_line = 0;
+  for (const auto& [c, name] : legend) {
+    oss << ' ' << c << '=' << name;
+    if (++on_line % 6 == 0) oss << "\n  ";
+  }
+  oss << '\n';
+  return oss.str();
+}
+
+}  // namespace
+
+UtilizationStats utilization(const ExecutionReport& report) {
+  UtilizationStats stats;
+  stats.makespan = report.makespan;
+  // CPU time-sharing can overlap job outcomes, so busy time per device is
+  // computed by merging intervals rather than summing runtimes.
+  for (const sim::DeviceKind d :
+       {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
+    std::vector<std::pair<Seconds, Seconds>> intervals;
+    for (const JobOutcome& j : report.jobs) {
+      if (j.device == d) intervals.emplace_back(j.start, j.finish);
+    }
+    std::sort(intervals.begin(), intervals.end());
+    Seconds busy = 0.0;
+    Seconds cur_start = 0.0;
+    Seconds cur_end = -1.0;
+    for (const auto& [s, e] : intervals) {
+      if (e <= cur_end) continue;
+      if (s > cur_end) {
+        if (cur_end > cur_start) busy += cur_end - cur_start;
+        cur_start = s;
+      }
+      cur_end = e;
+    }
+    if (cur_end > cur_start) busy += cur_end - cur_start;
+    (d == sim::DeviceKind::kCpu ? stats.cpu_busy : stats.gpu_busy) = busy;
+  }
+  return stats;
+}
+
+std::string render_gantt(const ExecutionReport& report, std::size_t width) {
+  CORUN_CHECK(width >= 8);
+  std::string cpu_row(width, '.');
+  std::string gpu_row(width, '.');
+  std::map<char, std::string> legend;
+  for (const JobOutcome& j : report.jobs) {
+    const char c = label_for(j.job);
+    legend[c] = j.name;
+    paint(j.device == sim::DeviceKind::kCpu ? cpu_row : gpu_row, j.start,
+          j.finish, report.makespan, c, width);
+  }
+  return compose(cpu_row, gpu_row, legend, report.makespan);
+}
+
+std::string render_gantt(const sched::Evaluation& evaluation,
+                         const std::vector<std::string>& names,
+                         std::size_t width) {
+  CORUN_CHECK(width >= 8);
+  std::string cpu_row(width, '.');
+  std::string gpu_row(width, '.');
+  std::map<char, std::string> legend;
+  for (const sched::EvalSegment& seg : evaluation.timeline) {
+    if (seg.cpu_job) {
+      const char c = label_for(*seg.cpu_job);
+      legend[c] = *seg.cpu_job < names.size() ? names[*seg.cpu_job]
+                                              : "#" + std::to_string(*seg.cpu_job);
+      paint(cpu_row, seg.start, seg.end, evaluation.makespan, c, width);
+    }
+    if (seg.gpu_job) {
+      const char c = label_for(*seg.gpu_job);
+      legend[c] = *seg.gpu_job < names.size() ? names[*seg.gpu_job]
+                                              : "#" + std::to_string(*seg.gpu_job);
+      paint(gpu_row, seg.start, seg.end, evaluation.makespan, c, width);
+    }
+  }
+  return compose(cpu_row, gpu_row, legend, evaluation.makespan);
+}
+
+}  // namespace corun::runtime

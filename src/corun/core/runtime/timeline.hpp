@@ -1,0 +1,46 @@
+// Timeline rendering: turns an execution report (or a predicted
+// evaluation) into a text Gantt chart plus device-utilization statistics.
+// Used by corun-run's --gantt flag and the examples; also handy when
+// debugging why a schedule under-performs (idle gaps are visible at a
+// glance).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corun/core/runtime/report.hpp"
+#include "corun/core/sched/makespan_evaluator.hpp"
+
+namespace corun::runtime {
+
+/// Device busy/idle statistics extracted from a report.
+struct UtilizationStats {
+  Seconds makespan = 0.0;
+  Seconds cpu_busy = 0.0;
+  Seconds gpu_busy = 0.0;
+
+  [[nodiscard]] double cpu_utilization() const noexcept {
+    return makespan > 0.0 ? cpu_busy / makespan : 0.0;
+  }
+  [[nodiscard]] double gpu_utilization() const noexcept {
+    return makespan > 0.0 ? gpu_busy / makespan : 0.0;
+  }
+};
+
+[[nodiscard]] UtilizationStats utilization(const ExecutionReport& report);
+
+/// Renders the report as a two-row text Gantt chart, `width` characters
+/// wide. Each job is labelled with a letter; a legend follows. Example:
+///
+///   CPU |aaaaaaaaabbbbbbbb...cccccc|
+///   GPU |ddddddeeeeeeefffffffggggg.|
+///        a=dwt2d b=lud ...
+[[nodiscard]] std::string render_gantt(const ExecutionReport& report,
+                                       std::size_t width = 72);
+
+/// Same rendering for a *predicted* timeline from the analytic evaluator.
+[[nodiscard]] std::string render_gantt(const sched::Evaluation& evaluation,
+                                       const std::vector<std::string>& names,
+                                       std::size_t width = 72);
+
+}  // namespace corun::runtime

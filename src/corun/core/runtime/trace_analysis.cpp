@@ -1,0 +1,75 @@
+#include "corun/core/runtime/trace_analysis.hpp"
+
+#include <algorithm>
+
+#include "corun/common/check.hpp"
+#include "corun/common/stats.hpp"
+
+namespace corun::runtime {
+
+Seconds TraceAnalysis::longest_episode() const noexcept {
+  Seconds longest = 0.0;
+  for (const ViolationEpisode& e : episodes) {
+    longest = std::max(longest, e.duration());
+  }
+  return longest;
+}
+
+TraceAnalysis analyze_trace(const std::vector<sim::PowerSample>& trace,
+                            Watts cap) {
+  CORUN_CHECK(cap > 0.0);
+  TraceAnalysis out;
+  out.samples = trace.size();
+  if (trace.empty()) return out;
+
+  std::vector<double> powers;
+  powers.reserve(trace.size());
+  std::size_t under = 0;
+  const ViolationEpisode none{};
+  ViolationEpisode current = none;
+  bool in_episode = false;
+  for (const sim::PowerSample& s : trace) {
+    powers.push_back(s.measured);
+    out.max_power = std::max(out.max_power, s.measured);
+    if (s.measured <= cap) {
+      ++under;
+      if (in_episode) {
+        out.episodes.push_back(current);
+        in_episode = false;
+      }
+      continue;
+    }
+    const Watts overshoot = s.measured - cap;
+    out.worst_overshoot = std::max(out.worst_overshoot, overshoot);
+    if (!in_episode) {
+      in_episode = true;
+      current = ViolationEpisode{.start = s.t, .end = s.t,
+                                 .worst_overshoot = overshoot};
+    } else {
+      current.end = s.t;
+      current.worst_overshoot = std::max(current.worst_overshoot, overshoot);
+    }
+  }
+  if (in_episode) out.episodes.push_back(current);
+
+  out.under_cap_fraction =
+      static_cast<double>(under) / static_cast<double>(trace.size());
+  out.mean_power = mean(powers);
+  out.p95_power = percentile(powers, 0.95);
+  return out;
+}
+
+std::vector<Watts> smooth_power(const std::vector<sim::PowerSample>& trace,
+                                std::size_t radius) {
+  std::vector<Watts> out(trace.size(), 0.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::size_t lo = i >= radius ? i - radius : 0;
+    const std::size_t hi = std::min(trace.size() - 1, i + radius);
+    Watts sum = 0.0;
+    for (std::size_t k = lo; k <= hi; ++k) sum += trace[k].measured;
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace corun::runtime

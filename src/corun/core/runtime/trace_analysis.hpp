@@ -1,0 +1,48 @@
+// Power-trace analysis: turns the RAPL-style sample stream into the
+// cap-compliance statistics the Fig. 9 discussion reads off its plots —
+// how long the package stayed under the cap, how violations cluster into
+// episodes, and the distribution of sampled power.
+#pragma once
+
+#include <vector>
+
+#include "corun/common/units.hpp"
+#include "corun/sim/telemetry.hpp"
+
+namespace corun::runtime {
+
+/// One maximal run of consecutive over-cap samples.
+struct ViolationEpisode {
+  Seconds start = 0.0;
+  Seconds end = 0.0;           ///< time of the last over-cap sample
+  Watts worst_overshoot = 0.0; ///< max measured power minus cap
+
+  [[nodiscard]] Seconds duration() const noexcept { return end - start; }
+};
+
+struct TraceAnalysis {
+  std::size_t samples = 0;
+  double under_cap_fraction = 0.0;  ///< fraction of samples at or below cap
+  Watts mean_power = 0.0;
+  Watts p95_power = 0.0;
+  Watts max_power = 0.0;
+  Watts worst_overshoot = 0.0;      ///< 0 when never above the cap
+  std::vector<ViolationEpisode> episodes;
+
+  [[nodiscard]] std::size_t episode_count() const noexcept {
+    return episodes.size();
+  }
+  [[nodiscard]] Seconds longest_episode() const noexcept;
+};
+
+/// Analyzes measured power against `cap`. Uses the *measured* (noisy)
+/// values — the same signal the governor and an operator's dashboard see.
+[[nodiscard]] TraceAnalysis analyze_trace(
+    const std::vector<sim::PowerSample>& trace, Watts cap);
+
+/// Centered moving average of the measured power (window = 2*radius + 1
+/// samples, truncated at the edges); smooths sensor noise for plotting.
+[[nodiscard]] std::vector<Watts> smooth_power(
+    const std::vector<sim::PowerSample>& trace, std::size_t radius);
+
+}  // namespace corun::runtime

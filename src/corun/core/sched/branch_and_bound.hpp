@@ -1,0 +1,58 @@
+// Branch-and-bound co-schedule search.
+//
+// The optimal co-scheduling problem is NP-hard (Sec. IV), and the paper
+// positions A*-style search (Tian et al.) as the exact-but-expensive
+// alternative its heuristic replaces. This solver makes that comparison
+// concrete: depth-first construction of the two device sequences with an
+// admissible pruning bound
+//     LB(partial) = max(L_cpu, L_gpu, (L_cpu + L_gpu + R) / 2)
+// where L_d sums optimistic (undegraded, best cap-feasible level) times of
+// jobs already placed on device d and R sums each unplaced job's best
+// time on its faster device. Leaves are scored with the full analytic
+// evaluator (model-driven DVFS, degradations, partial overlap). The search
+// enumerates placements (2^n device assignments); per-device order is then
+// polished by the Sec. IV-A.3 local refinement, since placement dominates
+// the makespan while order is a local property.
+//
+// Anytime behaviour: the search is seeded with the HCS+ schedule as the
+// incumbent and respects a node budget, so it degrades gracefully into
+// "HCS+ or better" on large batches.
+#pragma once
+
+#include <cstddef>
+
+#include "corun/core/sched/scheduler.hpp"
+
+namespace corun::sched {
+
+struct BranchAndBoundOptions {
+  std::size_t max_jobs = 12;        ///< hard safety limit
+  std::size_t node_budget = 200000; ///< DFS nodes before settling
+};
+
+class BranchAndBoundScheduler : public Scheduler {
+ public:
+  explicit BranchAndBoundScheduler(BranchAndBoundOptions options = {});
+
+  [[nodiscard]] Schedule plan(const SchedulerContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "BnB"; }
+
+  /// Search statistics of the last plan() call.
+  [[nodiscard]] std::size_t nodes_visited() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t nodes_pruned() const noexcept { return pruned_; }
+  [[nodiscard]] std::size_t leaves_evaluated() const noexcept {
+    return leaves_;
+  }
+  [[nodiscard]] bool exhausted_budget() const noexcept {
+    return budget_exhausted_;
+  }
+
+ private:
+  BranchAndBoundOptions options_;
+  std::size_t nodes_ = 0;
+  std::size_t pruned_ = 0;
+  std::size_t leaves_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace corun::sched

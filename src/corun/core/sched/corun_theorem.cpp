@@ -1,0 +1,44 @@
+#include "corun/core/sched/corun_theorem.hpp"
+
+#include <algorithm>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sched {
+
+bool corun_beneficial(Seconds l1, double d1, Seconds l2, double d2) {
+  CORUN_CHECK(l1 > 0.0 && l2 > 0.0);
+  CORUN_CHECK(d1 >= 0.0 && d2 >= 0.0);
+  // Order so job "a" is the one that finishes last under co-run.
+  Seconds la = l1;
+  double da = d1;
+  Seconds lb = l2;
+  if (l1 * (1.0 + d1) < l2 * (1.0 + d2)) {
+    la = l2;
+    da = d2;
+    lb = l1;
+  }
+  // Makespan of the co-run is la*(1+da) (the longer job is degraded for at
+  // most its whole run); sequential is la + lb. Co-run wins iff la*da < lb.
+  return la * da < lb;
+}
+
+PairLengths corun_pair_lengths(Seconds l1, double d1, Seconds l2, double d2) {
+  CORUN_CHECK(l1 > 0.0 && l2 > 0.0);
+  CORUN_CHECK(d1 >= 0.0 && d2 >= 0.0);
+  const Seconds c1 = l1 * (1.0 + d1);  // if fully overlapped
+  const Seconds c2 = l2 * (1.0 + d2);
+  PairLengths out;
+  if (c1 <= c2) {
+    // Job 1 finishes first at c1. Job 2's progress by then is c1/(1+d2)
+    // standalone-seconds; the rest runs clean.
+    out.first = c1;
+    out.second = c1 + (l2 - c1 / (1.0 + d2));
+  } else {
+    out.second = c2;
+    out.first = c2 + (l1 - c2 / (1.0 + d1));
+  }
+  return out;
+}
+
+}  // namespace corun::sched

@@ -1,0 +1,36 @@
+// The Co-Run Theorem (Sec. IV-A) and the partial-overlap length correction
+// (the "side note" of Sec. IV-B).
+//
+// Co-Run Theorem: for jobs W1, W2 with standalone lengths l1, l2 and co-run
+// degradations d1, d2 (ordered so W1 finishes last under co-run), the co-run
+// beats running the two jobs back-to-back iff  l1 * d1 < l2.
+//
+// Partial overlap: when the shorter job finishes, the longer one stops being
+// degraded; its total time is the overlap window plus the remaining work at
+// the standalone rate.
+#pragma once
+
+#include "corun/common/units.hpp"
+
+namespace corun::sched {
+
+/// Co-run completion times of a pair, accounting for partial overlap.
+struct PairLengths {
+  Seconds first = 0.0;   ///< completion time of job 1
+  Seconds second = 0.0;  ///< completion time of job 2
+  [[nodiscard]] Seconds makespan() const noexcept {
+    return first > second ? first : second;
+  }
+};
+
+/// True iff co-running beats sequential execution (the theorem's test).
+/// `l1`, `l2` are standalone lengths; `d1`, `d2` fractional degradations.
+[[nodiscard]] bool corun_beneficial(Seconds l1, double d1, Seconds l2,
+                                    double d2);
+
+/// Exact pair completion times under partial overlap. Both jobs start at
+/// t = 0; whichever finishes first releases the other to run undegraded.
+[[nodiscard]] PairLengths corun_pair_lengths(Seconds l1, double d1, Seconds l2,
+                                             double d2);
+
+}  // namespace corun::sched

@@ -1,0 +1,23 @@
+// Default baseline (Sec. VI-A): the "leave it to the OS" scheduler.
+//
+// Programs are ranked by the ratio of standalone CPU time to GPU time at
+// maximum frequency; a prefix of the ranking (the most GPU-leaning jobs)
+// goes to the GPU and the rest to the CPU, with the split chosen to
+// minimize the longer partition's total time. The GPU partition runs
+// sequentially (one kernel at a time); the CPU partition is launched all at
+// once and time-shared by the OS scheduler — the context-switch and
+// locality costs of that choice are why Default collapses below Random in
+// the 16-program study (Fig. 11).
+#pragma once
+
+#include "corun/core/sched/scheduler.hpp"
+
+namespace corun::sched {
+
+class DefaultScheduler : public Scheduler {
+ public:
+  [[nodiscard]] Schedule plan(const SchedulerContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "Default"; }
+};
+
+}  // namespace corun::sched

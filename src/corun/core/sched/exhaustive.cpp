@@ -1,0 +1,66 @@
+#include "corun/core/sched/exhaustive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "corun/common/check.hpp"
+#include "corun/core/sched/makespan_evaluator.hpp"
+
+namespace corun::sched {
+
+ExhaustiveScheduler::ExhaustiveScheduler(std::size_t max_jobs)
+    : max_jobs_(max_jobs) {}
+
+Schedule ExhaustiveScheduler::plan(const SchedulerContext& ctx) {
+  const std::size_t n = ctx.jobs().size();
+  CORUN_CHECK_MSG(n <= max_jobs_,
+                  "exhaustive search limited to " + std::to_string(max_jobs_) +
+                      " jobs");
+  const MakespanEvaluator evaluator(ctx);
+  const sim::FreqLevel cpu_max = ctx.model().machine().cpu_ladder.max_level();
+  const sim::FreqLevel gpu_max = ctx.model().machine().gpu_ladder.max_level();
+
+  evaluated_ = 0;
+  Schedule best;
+  Seconds best_makespan = std::numeric_limits<Seconds>::infinity();
+
+  // Enumerate device assignments by bitmask (bit set = GPU), then all
+  // orders of each side.
+  for (std::size_t mask = 0; mask < (1ull << n); ++mask) {
+    std::vector<std::size_t> cpu_jobs;
+    std::vector<std::size_t> gpu_jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) {
+        gpu_jobs.push_back(i);
+      } else {
+        cpu_jobs.push_back(i);
+      }
+    }
+    std::sort(cpu_jobs.begin(), cpu_jobs.end());
+    do {
+      std::vector<std::size_t> gpu_perm = gpu_jobs;
+      std::sort(gpu_perm.begin(), gpu_perm.end());
+      do {
+        Schedule candidate;
+        for (const std::size_t job : cpu_jobs) {
+          candidate.cpu.push_back({job, cpu_max});
+        }
+        for (const std::size_t job : gpu_perm) {
+          candidate.gpu.push_back({job, gpu_max});
+        }
+        const Seconds makespan = evaluator.makespan(candidate);
+        ++evaluated_;
+        if (makespan < best_makespan) {
+          best_makespan = makespan;
+          best = std::move(candidate);
+        }
+      } while (std::next_permutation(gpu_perm.begin(), gpu_perm.end()));
+    } while (std::next_permutation(cpu_jobs.begin(), cpu_jobs.end()));
+  }
+
+  best.validate(n);
+  return best;
+}
+
+}  // namespace corun::sched

@@ -1,0 +1,33 @@
+// Exhaustive search over placements and orders for small batches.
+//
+// The optimal co-scheduling problem is NP-hard (Sec. IV), so this is only
+// tractable for validation-sized batches (<= 8 jobs). Frequencies start at
+// the ceilings and are resolved by the evaluator's cap enforcement, which
+// matches how the runtime governor would execute the same schedule.
+// Used by tests to confirm HCS lands close to the true (model-predicted)
+// optimum, and by the ablation benches.
+#pragma once
+
+#include <cstddef>
+
+#include "corun/core/sched/scheduler.hpp"
+
+namespace corun::sched {
+
+class ExhaustiveScheduler : public Scheduler {
+ public:
+  /// `max_jobs` guards against accidental combinatorial explosion.
+  explicit ExhaustiveScheduler(std::size_t max_jobs = 8);
+
+  [[nodiscard]] Schedule plan(const SchedulerContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "Exhaustive"; }
+
+  /// Number of schedules evaluated during the last plan() call.
+  [[nodiscard]] std::size_t evaluated() const noexcept { return evaluated_; }
+
+ private:
+  std::size_t max_jobs_;
+  std::size_t evaluated_ = 0;
+};
+
+}  // namespace corun::sched

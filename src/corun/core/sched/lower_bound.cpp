@@ -1,0 +1,72 @@
+#include "corun/core/sched/lower_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sched {
+
+LowerBoundResult compute_lower_bound(const SchedulerContext& ctx) {
+  const model::CoRunPredictor& m = ctx.model();
+  const std::size_t n = ctx.jobs().size();
+  const sim::MachineConfig& machine = m.machine();
+
+  LowerBoundResult out;
+  Seconds sum = 0.0;
+  Seconds longest_best = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string job = ctx.job_name(i);
+    Seconds best_occupancy = std::numeric_limits<Seconds>::infinity();
+    Seconds best_time = std::numeric_limits<Seconds>::infinity();
+
+    for (const sim::DeviceKind p :
+         {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
+      // (b) twice the best standalone time on p under the cap.
+      const auto solo_level = m.best_solo_level(job, p, ctx.cap);
+      Seconds solo_occupancy = std::numeric_limits<Seconds>::infinity();
+      if (solo_level) {
+        const Seconds t = m.standalone_time(job, p, *solo_level);
+        solo_occupancy = 2.0 * t;
+        best_time = std::min(best_time, t);
+      }
+
+      // (a) best cap-feasible co-run time with the least interfering
+      // partner, over all partners and frequency pairs.
+      Seconds corun_occupancy = std::numeric_limits<Seconds>::infinity();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const std::string partner = ctx.job_name(j);
+        const std::string& cpu_job = p == sim::DeviceKind::kCpu ? job : partner;
+        const std::string& gpu_job = p == sim::DeviceKind::kCpu ? partner : job;
+        for (sim::FreqLevel fc = 0; fc <= machine.cpu_ladder.max_level(); ++fc) {
+          for (sim::FreqLevel fg = 0; fg <= machine.gpu_ladder.max_level();
+               ++fg) {
+            if (!m.corun_feasible(cpu_job, fc, gpu_job, fg, ctx.cap)) continue;
+            const model::PairPrediction pred =
+                m.predict(cpu_job, fc, gpu_job, fg);
+            const Seconds t =
+                p == sim::DeviceKind::kCpu ? pred.cpu_time : pred.gpu_time;
+            corun_occupancy = std::min(corun_occupancy, t);
+            best_time = std::min(best_time, t);
+          }
+        }
+      }
+
+      best_occupancy = std::min(
+          best_occupancy, std::min(corun_occupancy, solo_occupancy));
+    }
+
+    CORUN_CHECK_MSG(best_occupancy < std::numeric_limits<Seconds>::infinity(),
+                    "job " + job + " has no cap-feasible execution");
+    sum += best_occupancy;
+    longest_best = std::max(longest_best, best_time);
+  }
+
+  out.t_low = sum / 2.0;
+  out.t_low_tight = std::max(out.t_low, longest_best);
+  return out;
+}
+
+}  // namespace corun::sched

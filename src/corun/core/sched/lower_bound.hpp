@@ -1,0 +1,24 @@
+// Lower bound on the optimal makespan (Sec. IV-B).
+//
+// For each job i and processor p, the effective occupancy l'_{i,p} is the
+// smaller of (a) the best cap-feasible co-run time with the least
+// interfering partner, and (b) twice the best cap-feasible standalone time
+// (a solo run occupies both processors' time budget). The bound is half the
+// sum of min-over-p occupancies — two processors can at best halve total
+// work. We additionally report a slightly tightened variant that cannot
+// fall below the single longest job's best possible completion time.
+#pragma once
+
+#include "corun/common/units.hpp"
+#include "corun/core/sched/scheduler.hpp"
+
+namespace corun::sched {
+
+struct LowerBoundResult {
+  Seconds t_low = 0.0;          ///< the paper's formula
+  Seconds t_low_tight = 0.0;    ///< max(t_low, longest job's best time)
+};
+
+[[nodiscard]] LowerBoundResult compute_lower_bound(const SchedulerContext& ctx);
+
+}  // namespace corun::sched

@@ -1,0 +1,30 @@
+#include "corun/core/sched/random_scheduler.hpp"
+
+#include <numeric>
+
+#include "corun/common/rng.hpp"
+
+namespace corun::sched {
+
+RandomScheduler::RandomScheduler(std::uint64_t seed) : seed_(seed) {}
+
+Schedule RandomScheduler::plan(const SchedulerContext& ctx) {
+  const std::size_t n = ctx.jobs().size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng = Rng(seed_).fork("random-scheduler");
+  rng.shuffle(order);
+
+  Schedule schedule;
+  schedule.shared_queue = true;
+  const sim::FreqLevel cpu_max = ctx.model().machine().cpu_ladder.max_level();
+  for (const std::size_t job : order) {
+    // The level is clamped per pulling device at execution time; request the
+    // larger ladder's max so both devices end up at their ceiling.
+    schedule.shared.push_back({job, cpu_max});
+  }
+  schedule.validate(n);
+  return schedule;
+}
+
+}  // namespace corun::sched

@@ -1,0 +1,24 @@
+// Random baseline (Sec. VI-A): a fixed random order drained through a
+// shared queue — whenever a processor goes idle it pulls the next job.
+// Frequencies are left at maximum; the reactive governor enforces the cap
+// at execution time (GPU-biased in the paper's main comparison).
+#pragma once
+
+#include <cstdint>
+
+#include "corun/core/sched/scheduler.hpp"
+
+namespace corun::sched {
+
+class RandomScheduler : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed);
+
+  [[nodiscard]] Schedule plan(const SchedulerContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace corun::sched

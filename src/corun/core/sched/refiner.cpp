@@ -1,0 +1,102 @@
+#include "corun/core/sched/refiner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "corun/common/check.hpp"
+#include "corun/common/rng.hpp"
+#include "corun/core/sched/hcs.hpp"
+
+namespace corun::sched {
+
+Refiner::Refiner(RefinerOptions options) : options_(options) {
+  CORUN_CHECK(options_.random_swap_samples >= 0);
+  CORUN_CHECK(options_.cross_swap_samples >= 0);
+}
+
+Schedule Refiner::refine(const SchedulerContext& ctx, Schedule schedule) const {
+  CORUN_CHECK_MSG(!schedule.shared_queue && !schedule.cpu_batch_launch,
+                  "refinement expects a two-sequence schedule");
+  const MakespanEvaluator evaluator(ctx);
+  stats_ = RefinerStats{};
+  Seconds best = evaluator.makespan(schedule);
+  stats_.initial_makespan = best;
+
+  // Pass 1: adjacent swaps along each device sequence.
+  for (auto* seq : {&schedule.cpu, &schedule.gpu}) {
+    for (std::size_t i = 0; i + 1 < seq->size(); ++i) {
+      std::swap((*seq)[i], (*seq)[i + 1]);
+      const Seconds makespan = evaluator.makespan(schedule);
+      if (makespan < best) {
+        best = makespan;
+        ++stats_.adjacent_improvements;
+      } else {
+        std::swap((*seq)[i], (*seq)[i + 1]);
+      }
+    }
+  }
+
+  // Pass 2: random same-device swaps.
+  Rng rng = Rng(options_.seed).fork("refiner/random");
+  for (int s = 0; s < options_.random_swap_samples; ++s) {
+    auto* seq = rng.chance(0.5) ? &schedule.cpu : &schedule.gpu;
+    if (seq->size() < 2) continue;
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(seq->size()) - 1));
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(seq->size()) - 1));
+    if (i == j) continue;
+    std::swap((*seq)[i], (*seq)[j]);
+    const Seconds makespan = evaluator.makespan(schedule);
+    if (makespan < best) {
+      best = makespan;
+      ++stats_.random_improvements;
+    } else {
+      std::swap((*seq)[i], (*seq)[j]);
+    }
+  }
+
+  // Pass 3: random cross-device swaps. The moved jobs get their best
+  // cap-feasible solo level on the destination device (the evaluator's cap
+  // enforcement will still adjust per pairing).
+  const model::CoRunPredictor& m = ctx.model();
+  auto level_on = [&](std::size_t job, sim::DeviceKind device) {
+    return m.best_solo_level(ctx.job_name(job), device, ctx.cap);
+  };
+  for (int s = 0; s < options_.cross_swap_samples; ++s) {
+    if (schedule.cpu.empty() || schedule.gpu.empty()) break;
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(schedule.cpu.size()) - 1));
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(schedule.gpu.size()) - 1));
+    const auto cpu_level = level_on(schedule.gpu[j].job, sim::DeviceKind::kCpu);
+    const auto gpu_level = level_on(schedule.cpu[i].job, sim::DeviceKind::kGpu);
+    if (!cpu_level || !gpu_level) continue;
+    const ScheduledJob old_cpu = schedule.cpu[i];
+    const ScheduledJob old_gpu = schedule.gpu[j];
+    schedule.cpu[i] = {old_gpu.job, *cpu_level};
+    schedule.gpu[j] = {old_cpu.job, *gpu_level};
+    const Seconds makespan = evaluator.makespan(schedule);
+    if (makespan < best) {
+      best = makespan;
+      ++stats_.cross_improvements;
+    } else {
+      schedule.cpu[i] = old_cpu;
+      schedule.gpu[j] = old_gpu;
+    }
+  }
+
+  stats_.final_makespan = best;
+  return schedule;
+}
+
+HcsPlusScheduler::HcsPlusScheduler(RefinerOptions options)
+    : options_(options) {}
+
+Schedule HcsPlusScheduler::plan(const SchedulerContext& ctx) {
+  HcsScheduler hcs;
+  const Refiner refiner(options_);
+  return refiner.refine(ctx, hcs.plan(ctx));
+}
+
+}  // namespace corun::sched

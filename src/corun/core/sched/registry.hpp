@@ -1,0 +1,23 @@
+// Scheduler registry: name -> instance, shared by the command-line tools
+// and any embedding application that selects planners by configuration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corun/core/sched/scheduler.hpp"
+
+namespace corun::sched {
+
+/// Names accepted by make_scheduler, in presentation order.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+/// Constructs a scheduler by name ("hcs+", "hcs", "default", "random",
+/// "bnb", "exhaustive"); `seed` parameterizes the stochastic ones.
+/// Returns nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const std::string& name, std::uint64_t seed = 42);
+
+}  // namespace corun::sched

@@ -1,0 +1,22 @@
+#include "corun/ocl/buffer.hpp"
+
+#include "corun/common/check.hpp"
+
+namespace corun::ocl {
+
+Buffer::Buffer(std::size_t bytes, MemFlags flags, std::string label)
+    : bytes_(bytes), flags_(flags), label_(std::move(label)) {
+  CORUN_CHECK_MSG(bytes_ > 0, "zero-sized buffer");
+}
+
+bool Buffer::readable() const noexcept {
+  return (static_cast<std::uint32_t>(flags_) &
+          static_cast<std::uint32_t>(MemFlags::kReadOnly)) != 0;
+}
+
+bool Buffer::writable() const noexcept {
+  return (static_cast<std::uint32_t>(flags_) &
+          static_cast<std::uint32_t>(MemFlags::kWriteOnly)) != 0;
+}
+
+}  // namespace corun::ocl

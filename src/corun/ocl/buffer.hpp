@@ -1,0 +1,30 @@
+// Device memory object. On integrated processors host and device share
+// physical memory, so "transfers" are zero-copy; the buffer still validates
+// sizes and tracks access flags like a real CL buffer would.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "corun/ocl/types.hpp"
+
+namespace corun::ocl {
+
+class Buffer {
+ public:
+  Buffer(std::size_t bytes, MemFlags flags, std::string label = "");
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_; }
+  [[nodiscard]] MemFlags flags() const noexcept { return flags_; }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+  [[nodiscard]] bool readable() const noexcept;
+  [[nodiscard]] bool writable() const noexcept;
+
+ private:
+  std::size_t bytes_;
+  MemFlags flags_;
+  std::string label_;
+};
+
+}  // namespace corun::ocl

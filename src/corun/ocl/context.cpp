@@ -1,0 +1,49 @@
+#include "corun/ocl/context.hpp"
+
+#include "corun/common/check.hpp"
+#include "corun/ocl/queue.hpp"
+
+namespace corun::ocl {
+
+Context::Context(std::shared_ptr<Platform> platform)
+    : platform_(std::move(platform)) {
+  CORUN_CHECK(platform_ != nullptr);
+}
+
+std::shared_ptr<Buffer> Context::create_buffer(std::size_t bytes, MemFlags flags,
+                                               std::string label) {
+  auto buffer = std::make_shared<Buffer>(bytes, flags, std::move(label));
+  total_allocated_ += bytes;
+  ++live_buffers_;
+  return buffer;
+}
+
+void Context::register_queue(std::weak_ptr<CommandQueue> queue) {
+  queues_.push_back(std::move(queue));
+}
+
+bool Context::pump_all() {
+  bool any = false;
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    if (auto q = it->lock()) {
+      any = q->pump() || any;
+      ++it;
+    } else {
+      it = queues_.erase(it);
+    }
+  }
+  return any;
+}
+
+void Context::dispatch_events(const std::vector<sim::JobEvent>& events) {
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    if (auto q = it->lock()) {
+      q->absorb_events(events);
+      ++it;
+    } else {
+      it = queues_.erase(it);
+    }
+  }
+}
+
+}  // namespace corun::ocl

@@ -1,0 +1,54 @@
+// Context: groups the devices a host program targets and acts as the buffer
+// factory, tracking total allocation like a real runtime would.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corun/ocl/buffer.hpp"
+#include "corun/ocl/platform.hpp"
+
+namespace corun::ocl {
+
+class CommandQueue;
+
+class Context {
+ public:
+  explicit Context(std::shared_ptr<Platform> platform);
+
+  [[nodiscard]] std::shared_ptr<Buffer> create_buffer(std::size_t bytes,
+                                                      MemFlags flags,
+                                                      std::string label = "");
+
+  [[nodiscard]] const std::shared_ptr<Platform>& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] std::size_t total_allocated() const noexcept {
+    return total_allocated_;
+  }
+  [[nodiscard]] std::size_t buffer_count() const noexcept {
+    return live_buffers_;
+  }
+
+  /// Queues register themselves so that driving the engine from any event
+  /// wait can submit ready work from *every* queue — that is what lets two
+  /// queues (CPU + GPU) overlap into a co-run.
+  void register_queue(std::weak_ptr<CommandQueue> queue);
+
+  /// Submits ready work from all registered queues; returns true if any
+  /// queue submitted something.
+  bool pump_all();
+
+  /// Forwards engine completion events to every registered queue.
+  void dispatch_events(const std::vector<sim::JobEvent>& events);
+
+ private:
+  std::shared_ptr<Platform> platform_;
+  std::size_t total_allocated_ = 0;
+  std::size_t live_buffers_ = 0;
+  std::vector<std::weak_ptr<CommandQueue>> queues_;
+};
+
+}  // namespace corun::ocl

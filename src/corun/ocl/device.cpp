@@ -1,0 +1,20 @@
+#include "corun/ocl/device.hpp"
+
+namespace corun::ocl {
+
+Device::Device(sim::DeviceKind kind, const sim::MachineConfig& config)
+    : kind_(kind) {
+  const sim::FrequencyLadder& ladder = config.ladder(kind);
+  freq_levels_ = static_cast<int>(ladder.size());
+  max_clock_mhz_ = static_cast<int>(ladder.max_ghz() * 1000.0 + 0.5);
+  if (kind == sim::DeviceKind::kCpu) {
+    name_ = "corun-sim CPU (Ivy Bridge class, " +
+            std::to_string(config.cpu_cores) + " cores)";
+    compute_units_ = config.cpu_cores;
+  } else {
+    name_ = "corun-sim iGPU (HD Graphics 4000 class)";
+    compute_units_ = 16;  // HD4000 has 16 execution units
+  }
+}
+
+}  // namespace corun::ocl

@@ -1,0 +1,43 @@
+// Device handle: one of the two on-die execution domains, with OpenCL-style
+// informational queries backed by the simulator's machine configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "corun/sim/machine.hpp"
+
+namespace corun::ocl {
+
+class Device {
+ public:
+  Device(sim::DeviceKind kind, const sim::MachineConfig& config);
+
+  [[nodiscard]] sim::DeviceKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// CL_DEVICE_MAX_COMPUTE_UNITS analogue.
+  [[nodiscard]] int compute_units() const noexcept { return compute_units_; }
+
+  /// CL_DEVICE_MAX_CLOCK_FREQUENCY analogue, in MHz.
+  [[nodiscard]] int max_clock_mhz() const noexcept { return max_clock_mhz_; }
+
+  /// Number of DVFS levels the domain exposes.
+  [[nodiscard]] int frequency_levels() const noexcept { return freq_levels_; }
+
+  [[nodiscard]] bool is_cpu() const noexcept {
+    return kind_ == sim::DeviceKind::kCpu;
+  }
+  [[nodiscard]] bool is_gpu() const noexcept {
+    return kind_ == sim::DeviceKind::kGpu;
+  }
+
+ private:
+  sim::DeviceKind kind_;
+  std::string name_;
+  int compute_units_;
+  int max_clock_mhz_;
+  int freq_levels_;
+};
+
+}  // namespace corun::ocl

@@ -1,0 +1,13 @@
+#include "corun/ocl/event.hpp"
+
+#include "corun/common/check.hpp"
+#include "corun/ocl/queue.hpp"
+
+namespace corun::ocl {
+
+void Event::wait() {
+  CORUN_CHECK(queue_ != nullptr);
+  queue_->drive_until(*this);
+}
+
+}  // namespace corun::ocl

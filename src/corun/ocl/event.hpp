@@ -1,0 +1,49 @@
+// Event: completion handle for an enqueued kernel, with OpenCL-profiling
+// style timestamps (queued / submitted-to-device / finished).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "corun/common/units.hpp"
+#include "corun/sim/engine.hpp"
+
+namespace corun::ocl {
+
+class CommandQueue;
+
+class Event {
+ public:
+  enum class State { kQueued, kRunning, kComplete };
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool complete() const noexcept { return state_ == State::kComplete; }
+
+  /// Blocks (drives the simulation) until this command completes.
+  void wait();
+
+  /// Profiling timestamps, valid per state.
+  [[nodiscard]] Seconds queued_at() const noexcept { return queued_at_; }
+  [[nodiscard]] Seconds started_at() const noexcept { return started_at_; }
+  [[nodiscard]] Seconds finished_at() const noexcept { return finished_at_; }
+  [[nodiscard]] Seconds duration() const noexcept {
+    return finished_at_ - started_at_;
+  }
+
+  [[nodiscard]] const std::string& kernel_name() const noexcept { return name_; }
+  [[nodiscard]] sim::JobId job_id() const noexcept { return job_id_; }
+
+ private:
+  friend class CommandQueue;
+  explicit Event(std::shared_ptr<CommandQueue> queue) : queue_(std::move(queue)) {}
+
+  std::shared_ptr<CommandQueue> queue_;
+  State state_ = State::kQueued;
+  std::string name_;
+  sim::JobId job_id_ = -1;
+  Seconds queued_at_ = 0.0;
+  Seconds started_at_ = 0.0;
+  Seconds finished_at_ = 0.0;
+};
+
+}  // namespace corun::ocl

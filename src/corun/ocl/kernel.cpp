@@ -1,0 +1,36 @@
+#include "corun/ocl/kernel.hpp"
+
+#include "corun/common/check.hpp"
+
+namespace corun::ocl {
+
+Kernel::Kernel(std::string name, sim::JobSpec spec, int num_args)
+    : name_(std::move(name)), spec_(std::move(spec)),
+      args_(static_cast<std::size_t>(num_args)) {
+  CORUN_CHECK(num_args >= 0);
+}
+
+Status Kernel::set_arg(int index, std::shared_ptr<Buffer> buffer) {
+  if (index < 0 || static_cast<std::size_t>(index) >= args_.size()) {
+    return Status::kInvalidArgIndex;
+  }
+  if (buffer == nullptr) {
+    return Status::kInvalidKernelArgs;
+  }
+  args_[static_cast<std::size_t>(index)] = std::move(buffer);
+  return Status::kSuccess;
+}
+
+bool Kernel::args_complete() const noexcept {
+  for (const auto& a : args_) {
+    if (a == nullptr) return false;
+  }
+  return true;
+}
+
+const std::shared_ptr<Buffer>& Kernel::arg(int index) const {
+  CORUN_CHECK(index >= 0 && static_cast<std::size_t>(index) < args_.size());
+  return args_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace corun::ocl

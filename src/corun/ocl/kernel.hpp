@@ -1,0 +1,38 @@
+// Kernel: an invocable entry point with OpenCL-style argument binding.
+// All declared arguments must be bound (set_arg) before an enqueue is legal.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corun/ocl/buffer.hpp"
+#include "corun/ocl/types.hpp"
+#include "corun/sim/job.hpp"
+
+namespace corun::ocl {
+
+class Kernel {
+ public:
+  Kernel(std::string name, sim::JobSpec spec, int num_args);
+
+  /// Binds a buffer to argument `index`; mirrors clSetKernelArg.
+  Status set_arg(int index, std::shared_ptr<Buffer> buffer);
+
+  /// True when every declared argument has been bound.
+  [[nodiscard]] bool args_complete() const noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const sim::JobSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int num_args() const noexcept {
+    return static_cast<int>(args_.size());
+  }
+  [[nodiscard]] const std::shared_ptr<Buffer>& arg(int index) const;
+
+ private:
+  std::string name_;
+  sim::JobSpec spec_;
+  std::vector<std::shared_ptr<Buffer>> args_;
+};
+
+}  // namespace corun::ocl

@@ -1,0 +1,23 @@
+#include "corun/ocl/platform.hpp"
+
+namespace corun::ocl {
+
+Platform::Platform(sim::MachineConfig config, sim::EngineOptions options)
+    : config_(config), engine_(std::make_shared<sim::Engine>(config, options)) {
+  devices_.emplace_back(sim::DeviceKind::kCpu, config_);
+  devices_.emplace_back(sim::DeviceKind::kGpu, config_);
+}
+
+std::shared_ptr<Platform> Platform::create(sim::MachineConfig config,
+                                           sim::EngineOptions options) {
+  return std::shared_ptr<Platform>(
+      new Platform(std::move(config), options));
+}
+
+std::shared_ptr<Platform> Platform::create_default(std::uint64_t seed) {
+  sim::EngineOptions options;
+  options.seed = seed;
+  return create(sim::ivy_bridge(), options);
+}
+
+}  // namespace corun::ocl

@@ -1,0 +1,45 @@
+// Platform: the OpenCL-style entry point. Owns the simulated machine (the
+// "driver") and exposes its two devices.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "corun/ocl/device.hpp"
+#include "corun/sim/engine.hpp"
+#include "corun/sim/machine.hpp"
+
+namespace corun::ocl {
+
+class Platform {
+ public:
+  /// Builds a platform over a freshly constructed engine.
+  static std::shared_ptr<Platform> create(sim::MachineConfig config,
+                                          sim::EngineOptions options);
+
+  /// Default platform: the calibrated Ivy Bridge machine, no power cap.
+  static std::shared_ptr<Platform> create_default(std::uint64_t seed = 42);
+
+  [[nodiscard]] const std::vector<Device>& devices() const noexcept {
+    return devices_;
+  }
+  [[nodiscard]] const Device& cpu() const noexcept { return devices_[0]; }
+  [[nodiscard]] const Device& gpu() const noexcept { return devices_[1]; }
+
+  /// The underlying simulation engine (shared with queues/events).
+  [[nodiscard]] const std::shared_ptr<sim::Engine>& engine() const noexcept {
+    return engine_;
+  }
+  [[nodiscard]] const sim::MachineConfig& machine() const noexcept {
+    return config_;
+  }
+
+ private:
+  Platform(sim::MachineConfig config, sim::EngineOptions options);
+
+  sim::MachineConfig config_;
+  std::shared_ptr<sim::Engine> engine_;
+  std::vector<Device> devices_;
+};
+
+}  // namespace corun::ocl

@@ -1,0 +1,38 @@
+#include "corun/ocl/program.hpp"
+
+#include "corun/common/check.hpp"
+#include "corun/ocl/kernel.hpp"
+
+namespace corun::ocl {
+
+Program::Program(std::shared_ptr<Context> context,
+                 std::map<std::string, KernelSource> kernels)
+    : context_(std::move(context)), kernels_(std::move(kernels)) {
+  CORUN_CHECK(context_ != nullptr);
+  CORUN_CHECK_MSG(!kernels_.empty(), "program contains no kernels");
+}
+
+std::shared_ptr<Program> Program::build(
+    std::shared_ptr<Context> context,
+    std::map<std::string, KernelSource> kernels) {
+  return std::shared_ptr<Program>(
+      new Program(std::move(context), std::move(kernels)));
+}
+
+Expected<std::shared_ptr<Kernel>> Program::create_kernel(const std::string& name) {
+  const auto it = kernels_.find(name);
+  if (it == kernels_.end()) {
+    return fail("no kernel named '" + name + "' in program (" +
+                status_name(Status::kInvalidKernelName) + ")");
+  }
+  return std::make_shared<Kernel>(name, it->second.spec, it->second.num_args);
+}
+
+std::vector<std::string> Program::kernel_names() const {
+  std::vector<std::string> names;
+  names.reserve(kernels_.size());
+  for (const auto& [name, source] : kernels_) names.push_back(name);
+  return names;
+}
+
+}  // namespace corun::ocl

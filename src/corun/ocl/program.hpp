@@ -1,0 +1,49 @@
+// Program: a "compiled" collection of named kernels. In a real OpenCL stack
+// this is the output of clBuildProgram; here building binds each kernel name
+// to a per-device execution profile (sim::JobSpec) produced by the workload
+// layer, which plays the role of the device compiler.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corun/common/expected.hpp"
+#include "corun/ocl/context.hpp"
+#include "corun/sim/job.hpp"
+
+namespace corun::ocl {
+
+class Kernel;
+
+/// Source-level description of one kernel: its simulator profile plus the
+/// host-visible argument signature.
+struct KernelSource {
+  sim::JobSpec spec;     ///< per-device behaviour (the "binary")
+  int num_args = 0;      ///< declared __kernel parameter count
+};
+
+class Program : public std::enable_shared_from_this<Program> {
+ public:
+  static std::shared_ptr<Program> build(std::shared_ptr<Context> context,
+                                        std::map<std::string, KernelSource> kernels);
+
+  /// Creates a kernel object; fails with kInvalidKernelName for unknown names.
+  [[nodiscard]] Expected<std::shared_ptr<Kernel>> create_kernel(
+      const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> kernel_names() const;
+  [[nodiscard]] const std::shared_ptr<Context>& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  Program(std::shared_ptr<Context> context,
+          std::map<std::string, KernelSource> kernels);
+
+  std::shared_ptr<Context> context_;
+  std::map<std::string, KernelSource> kernels_;
+};
+
+}  // namespace corun::ocl

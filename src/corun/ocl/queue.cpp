@@ -1,0 +1,171 @@
+#include "corun/ocl/queue.hpp"
+
+#include <algorithm>
+
+#include "corun/common/check.hpp"
+
+namespace corun::ocl {
+
+CommandQueue::CommandQueue(std::shared_ptr<Context> context,
+                           sim::DeviceKind device)
+    : context_(std::move(context)), device_(device) {
+  CORUN_CHECK(context_ != nullptr);
+}
+
+std::shared_ptr<CommandQueue> CommandQueue::create(
+    std::shared_ptr<Context> context, const Device& device) {
+  auto queue = std::shared_ptr<CommandQueue>(
+      new CommandQueue(std::move(context), device.kind()));
+  queue->context_->register_queue(queue);
+  return queue;
+}
+
+bool CommandQueue::PendingCommand::dependencies_met() const {
+  for (const auto& dep : wait_list) {
+    if (!dep->complete()) return false;
+  }
+  return true;
+}
+
+Expected<std::shared_ptr<Event>> CommandQueue::enqueue(
+    std::shared_ptr<Kernel> kernel,
+    std::vector<std::shared_ptr<Event>> wait_list) {
+  CORUN_CHECK(kernel != nullptr);
+  for (const auto& dep : wait_list) {
+    if (dep == nullptr) {
+      return fail("null event in wait list (" +
+                  std::string(status_name(Status::kInvalidKernelArgs)) + ")");
+    }
+  }
+  if (!kernel->args_complete()) {
+    return fail("kernel '" + kernel->name() + "' has unbound arguments (" +
+                status_name(Status::kInvalidKernelArgs) + ")");
+  }
+  if (kernel->spec().profile(device_).empty()) {
+    return fail("kernel '" + kernel->name() + "' has no binary for " +
+                sim::device_name(device_) + " (" +
+                status_name(Status::kInvalidDevice) + ")");
+  }
+  auto event = std::shared_ptr<Event>(new Event(shared_from_this()));
+  event->name_ = kernel->name();
+  event->queued_at_ = context_->platform()->engine()->now();
+  event->job_id_ = -1;
+  queued_.push_back(PendingCommand{.event = event,
+                                   .spec = kernel->spec(),
+                                   .wait_list = std::move(wait_list)});
+  pump();
+  return event;
+}
+
+std::vector<std::shared_ptr<Event>> CommandQueue::outstanding_events() const {
+  std::vector<std::shared_ptr<Event>> events = running_;
+  for (const PendingCommand& command : queued_) {
+    events.push_back(command.event);
+  }
+  return events;
+}
+
+std::shared_ptr<Event> CommandQueue::enqueue_marker(
+    std::vector<std::shared_ptr<Event>> wait_list) {
+  if (wait_list.empty()) {
+    wait_list = outstanding_events();
+  }
+  auto event = std::shared_ptr<Event>(new Event(shared_from_this()));
+  event->name_ = "(marker)";
+  event->queued_at_ = context_->platform()->engine()->now();
+  queued_.push_back(PendingCommand{.event = event,
+                                   .spec = {},
+                                   .wait_list = std::move(wait_list),
+                                   .is_marker = true});
+  pump();
+  return event;
+}
+
+std::shared_ptr<Event> CommandQueue::enqueue_barrier() {
+  // In an in-order queue a barrier is a marker on everything outstanding:
+  // later commands already serialize behind the queue front.
+  auto event = enqueue_marker();
+  event->name_ = "(barrier)";
+  return event;
+}
+
+bool CommandQueue::pump() {
+  sim::Engine& engine = *context_->platform()->engine();
+  bool submitted = false;
+  // In-order: submit from the front while the device can accept work and
+  // the front command's dependencies are satisfied. The GPU accepts one
+  // job; the CPU is treated the same way here because oversubscription is
+  // an explicit scheduler decision, not a queue one.
+  while (!queued_.empty() && queued_.front().dependencies_met()) {
+    if (queued_.front().is_marker) {
+      PendingCommand command = std::move(queued_.front());
+      queued_.pop_front();
+      command.event->state_ = Event::State::kComplete;
+      command.event->started_at_ = engine.now();
+      command.event->finished_at_ = engine.now();
+      submitted = true;
+      continue;
+    }
+    if (!engine.device_idle(device_)) break;
+    PendingCommand command = std::move(queued_.front());
+    queued_.pop_front();
+    command.event->job_id_ = engine.launch(command.spec, device_);
+    command.event->state_ = Event::State::kRunning;
+    command.event->started_at_ = engine.now();
+    running_.push_back(std::move(command.event));
+    submitted = true;
+  }
+  return submitted;
+}
+
+void CommandQueue::absorb_events(const std::vector<sim::JobEvent>& events) {
+  for (const sim::JobEvent& ev : events) {
+    const auto it = std::find_if(
+        running_.begin(), running_.end(),
+        [&](const std::shared_ptr<Event>& e) { return e->job_id_ == ev.id; });
+    if (it != running_.end()) {
+      (*it)->state_ = Event::State::kComplete;
+      (*it)->finished_at_ = ev.finish_time;
+      running_.erase(it);
+    }
+  }
+}
+
+void CommandQueue::drive_until(Event& event) {
+  sim::Engine& engine = *context_->platform()->engine();
+  while (!event.complete()) {
+    context_->pump_all();
+    if (event.complete()) break;  // markers complete inside pump
+    if (engine.idle()) {
+      CORUN_CHECK_MSG(event.complete(),
+                      "event cannot complete: engine idle with work queued");
+      break;
+    }
+    // Let every queue in the context see the completions so cross-queue
+    // co-runs progress correctly.
+    context_->dispatch_events(engine.run_until_event());
+  }
+}
+
+void CommandQueue::finish() {
+  sim::Engine& engine = *context_->platform()->engine();
+  while (!queued_.empty() || !running_.empty()) {
+    if (!running_.empty()) {
+      auto event = running_.front();
+      drive_until(*event);
+    } else {
+      // Pump every queue in the context: our front command may be blocked
+      // on a dependency that itself has not been submitted yet.
+      context_->pump_all();
+      if (running_.empty() && !queued_.empty()) {
+        // Device occupied by another queue's job (or our front is waiting
+        // on another queue's running command): drive the engine forward.
+        CORUN_CHECK_MSG(!engine.idle(),
+                        "queue stalled with idle engine (dependency cycle?)");
+        context_->dispatch_events(engine.run_until_event());
+      }
+    }
+  }
+}
+
+}  // namespace corun::ocl

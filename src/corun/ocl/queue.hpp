@@ -1,0 +1,92 @@
+// In-order command queue bound to one device.
+//
+// Enqueued kernels launch immediately when the device is free; otherwise
+// they wait in the queue and are submitted as the device drains — the same
+// in-order semantics the paper's workloads rely on. Waiting on an event
+// drives the shared simulation engine forward, so two queues (one per
+// device) naturally produce CPU-GPU co-runs.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "corun/common/expected.hpp"
+#include "corun/ocl/context.hpp"
+#include "corun/ocl/device.hpp"
+#include "corun/ocl/event.hpp"
+#include "corun/ocl/kernel.hpp"
+
+namespace corun::ocl {
+
+class CommandQueue : public std::enable_shared_from_this<CommandQueue> {
+ public:
+  static std::shared_ptr<CommandQueue> create(std::shared_ptr<Context> context,
+                                              const Device& device);
+
+  /// Enqueues a kernel for execution; all declared args must be bound.
+  /// `wait_list` holds events (possibly from other queues) that must
+  /// complete before this command may start — the clEnqueueNDRangeKernel
+  /// event-dependency semantics. In-order queues additionally serialize
+  /// behind their own earlier commands.
+  [[nodiscard]] Expected<std::shared_ptr<Event>> enqueue(
+      std::shared_ptr<Kernel> kernel,
+      std::vector<std::shared_ptr<Event>> wait_list = {});
+
+  /// Enqueues a marker that completes when all events in `wait_list` (or,
+  /// with an empty list, everything previously enqueued here) complete —
+  /// clEnqueueMarkerWithWaitList semantics. Markers occupy no device time.
+  [[nodiscard]] std::shared_ptr<Event> enqueue_marker(
+      std::vector<std::shared_ptr<Event>> wait_list = {});
+
+  /// Enqueues a barrier: later commands in this queue do not start until
+  /// everything enqueued before the barrier has completed
+  /// (clEnqueueBarrier semantics). Returns the barrier's event.
+  [[nodiscard]] std::shared_ptr<Event> enqueue_barrier();
+
+  /// Blocks until every command in this queue has completed.
+  void finish();
+
+  /// Submits queued work if the device is free; called by Event::wait and
+  /// finish. Returns true if something was submitted.
+  bool pump();
+
+  /// Marks any of this queue's running events that appear in `events` as
+  /// complete. Invoked (via Context) whenever the engine is advanced.
+  void absorb_events(const std::vector<sim::JobEvent>& events);
+
+  [[nodiscard]] sim::DeviceKind device_kind() const noexcept { return device_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queued_.size(); }
+  [[nodiscard]] const std::shared_ptr<Context>& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  CommandQueue(std::shared_ptr<Context> context, sim::DeviceKind device);
+
+  friend class Event;
+  /// Advances the engine until `event` completes.
+  void drive_until(Event& event);
+
+  /// One not-yet-submitted command. Markers have `is_marker` set and no
+  /// spec; they complete (instantly, consuming no device time) once their
+  /// dependencies do.
+  struct PendingCommand {
+    std::shared_ptr<Event> event;
+    sim::JobSpec spec;
+    std::vector<std::shared_ptr<Event>> wait_list;
+    bool is_marker = false;
+
+    [[nodiscard]] bool dependencies_met() const;
+  };
+
+  /// Events of everything currently enqueued or running in this queue.
+  [[nodiscard]] std::vector<std::shared_ptr<Event>> outstanding_events() const;
+
+  std::shared_ptr<Context> context_;
+  sim::DeviceKind device_;
+  std::deque<PendingCommand> queued_;           ///< not yet on the device
+  std::vector<std::shared_ptr<Event>> running_; ///< submitted, not finished
+};
+
+}  // namespace corun::ocl

@@ -1,0 +1,45 @@
+// Shared vocabulary types for the mini OpenCL-style host API.
+//
+// This layer reproduces the programming interface the paper's workloads use:
+// a host program discovers a platform with a CPU device and a GPU device,
+// builds kernels that are portable across both, and enqueues them through
+// in-order command queues. "Compilation" maps a kernel to a per-device
+// execution profile understood by the simulator; the host-visible API shape
+// (platform -> device -> context -> program -> kernel -> queue -> event)
+// deliberately mirrors OpenCL 1.2.
+#pragma once
+
+#include <cstdint>
+
+namespace corun::ocl {
+
+/// OpenCL-style status codes surfaced by the validating entry points.
+enum class Status : std::int32_t {
+  kSuccess = 0,
+  kInvalidKernelName = -46,
+  kInvalidArgIndex = -49,
+  kInvalidKernelArgs = -52,
+  kInvalidBufferSize = -61,
+  kInvalidDevice = -33,
+};
+
+[[nodiscard]] constexpr const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kSuccess: return "SUCCESS";
+    case Status::kInvalidKernelName: return "INVALID_KERNEL_NAME";
+    case Status::kInvalidArgIndex: return "INVALID_ARG_INDEX";
+    case Status::kInvalidKernelArgs: return "INVALID_KERNEL_ARGS";
+    case Status::kInvalidBufferSize: return "INVALID_BUFFER_SIZE";
+    case Status::kInvalidDevice: return "INVALID_DEVICE";
+  }
+  return "UNKNOWN";
+}
+
+/// Buffer access intent, as in CL_MEM_* flags.
+enum class MemFlags : std::uint32_t {
+  kReadOnly = 1u << 0,
+  kWriteOnly = 1u << 1,
+  kReadWrite = (1u << 0) | (1u << 1),
+};
+
+}  // namespace corun::ocl

@@ -1,0 +1,92 @@
+#include "corun/profile/online_profiler.hpp"
+
+#include <algorithm>
+
+#include "corun/common/check.hpp"
+#include "corun/sim/engine.hpp"
+
+namespace corun::profile {
+
+OnlineProfiler::OnlineProfiler(sim::MachineConfig config,
+                               OnlineProfilerOptions options)
+    : config_(std::move(config)), options_(std::move(options)) {
+  CORUN_CHECK(options_.sample_seconds > 0.0);
+}
+
+std::vector<sim::FreqLevel> OnlineProfiler::level_set(sim::DeviceKind d) const {
+  const sim::FrequencyLadder& ladder = config_.ladder(d);
+  std::vector<sim::FreqLevel> levels =
+      d == sim::DeviceKind::kCpu ? options_.cpu_levels : options_.gpu_levels;
+  levels.push_back(ladder.max_level());
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  for (const sim::FreqLevel l : levels) {
+    CORUN_CHECK(l >= 0 && l <= ladder.max_level());
+  }
+  return levels;
+}
+
+ProfileEntry OnlineProfiler::sample_one(const sim::JobSpec& spec,
+                                        sim::DeviceKind device,
+                                        sim::FreqLevel level) const {
+  sim::EngineOptions eo;
+  eo.seed = options_.seed;
+  eo.record_samples = false;
+  sim::Engine engine(config_, eo);
+  engine.set_ceilings(device == sim::DeviceKind::kCpu ? level : 0,
+                      device == sim::DeviceKind::kGpu ? level : 0);
+  const sim::JobId id = engine.launch(spec, device);
+  engine.run_for(options_.sample_seconds);
+
+  const sim::JobStats& st = engine.stats(id);
+  ProfileEntry entry;
+  if (st.finished) {
+    entry.time = st.runtime();
+    entry.avg_bw = st.avg_bandwidth();
+  } else {
+    const double p = engine.progress(id);
+    CORUN_CHECK_MSG(p > 0.0, "no progress in the sampling window");
+    entry.time = options_.sample_seconds / p;
+    entry.avg_bw = st.total_gb / options_.sample_seconds;
+  }
+  entry.avg_power = engine.telemetry().avg_power();
+  entry.energy = entry.avg_power * entry.time;  // extrapolated
+  return entry;
+}
+
+ProfileDB OnlineProfiler::profile_batch(const workload::Batch& batch) const {
+  ProfileDB db;
+  // Idle power is a one-second measurement either way; reuse the engine.
+  {
+    sim::EngineOptions eo;
+    eo.seed = options_.seed;
+    eo.record_samples = false;
+    sim::Engine engine(config_, eo);
+    engine.set_ceilings(0, 0);
+    engine.run_for(1.0);
+    db.set_idle_power(engine.telemetry().avg_power());
+  }
+  for (const workload::BatchJob& job : batch.jobs()) {
+    for (const sim::DeviceKind device :
+         {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
+      for (const sim::FreqLevel level : level_set(device)) {
+        db.insert(job.instance_name, device, level,
+                  sample_one(job.spec, device, level));
+      }
+    }
+  }
+  return db;
+}
+
+Seconds OnlineProfiler::sampling_cost(const workload::Batch& batch) const {
+  Seconds total = 0.0;
+  for (const workload::BatchJob& job : batch.jobs()) {
+    (void)job;
+    total += options_.sample_seconds *
+             static_cast<double>(level_set(sim::DeviceKind::kCpu).size() +
+                                 level_set(sim::DeviceKind::kGpu).size());
+  }
+  return total;
+}
+
+}  // namespace corun::profile

@@ -1,0 +1,144 @@
+#include "corun/profile/profile_db.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "corun/common/check.hpp"
+#include "corun/common/csv.hpp"
+
+namespace corun::profile {
+namespace {
+
+std::tuple<std::string, int, int> make_key(const std::string& job,
+                                           sim::DeviceKind device,
+                                           sim::FreqLevel level) {
+  return {job, static_cast<int>(device), level};
+}
+
+}  // namespace
+
+void ProfileDB::insert(const std::string& job, sim::DeviceKind device,
+                       sim::FreqLevel level, const ProfileEntry& entry) {
+  CORUN_CHECK(!job.empty());
+  CORUN_CHECK(level >= 0);
+  CORUN_CHECK(entry.time > 0.0);
+  entries_[make_key(job, device, level)] = entry;
+}
+
+bool ProfileDB::contains(const std::string& job, sim::DeviceKind device,
+                         sim::FreqLevel level) const {
+  return entries_.count(make_key(job, device, level)) > 0;
+}
+
+const ProfileEntry& ProfileDB::at(const std::string& job,
+                                  sim::DeviceKind device,
+                                  sim::FreqLevel level) const {
+  const auto it = entries_.find(make_key(job, device, level));
+  CORUN_CHECK_MSG(it != entries_.end(),
+                  "no profile for " + job + " on " + sim::device_name(device) +
+                      " at level " + std::to_string(level));
+  return it->second;
+}
+
+std::vector<std::string> ProfileDB::jobs() const {
+  std::vector<std::string> names;
+  for (const auto& [key, entry] : entries_) {
+    const std::string& job = std::get<0>(key);
+    if (names.empty() || names.back() != job) names.push_back(job);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<sim::FreqLevel> ProfileDB::levels(const std::string& job,
+                                              sim::DeviceKind device) const {
+  std::vector<sim::FreqLevel> out;
+  for (const auto& [key, entry] : entries_) {
+    if (std::get<0>(key) == job && std::get<1>(key) == static_cast<int>(device)) {
+      out.push_back(std::get<2>(key));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Seconds ProfileDB::best_time(const std::string& job,
+                             sim::DeviceKind device) const {
+  const auto lv = levels(job, device);
+  CORUN_CHECK_MSG(!lv.empty(), "no profiles for " + job);
+  return at(job, device, lv.back()).time;
+}
+
+void ProfileDB::add_scaled_instance(const std::string& base_job,
+                                    const std::string& instance,
+                                    double scale) {
+  CORUN_CHECK_MSG(scale > 0.0, "input scale must be positive");
+  CORUN_CHECK_MSG(instance != base_job,
+                  "scaled instance needs a distinct name");
+  bool any = false;
+  for (const sim::DeviceKind device :
+       {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
+    for (const sim::FreqLevel level : levels(base_job, device)) {
+      const ProfileEntry& base = at(base_job, device, level);
+      insert(instance, device, level,
+             ProfileEntry{.time = base.time * scale,
+                          .avg_bw = base.avg_bw,
+                          .avg_power = base.avg_power,
+                          .energy = base.energy * scale});
+      any = true;
+    }
+  }
+  CORUN_CHECK_MSG(any, "no profiles recorded for " + base_job);
+}
+
+void ProfileDB::write_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.write_row({"job", "device", "level", "time_s", "avg_bw_gbps",
+                    "avg_power_w", "energy_j"});
+  writer.write_row({"__idle__", "-", "0", "0", "0",
+                    std::to_string(idle_power_), "0"});
+  for (const auto& [key, e] : entries_) {
+    writer.write_row({std::get<0>(key),
+                      std::get<1>(key) == 0 ? "cpu" : "gpu",
+                      std::to_string(std::get<2>(key)), std::to_string(e.time),
+                      std::to_string(e.avg_bw), std::to_string(e.avg_power),
+                      std::to_string(e.energy)});
+  }
+}
+
+Expected<ProfileDB> ProfileDB::read_csv(const std::string& text) {
+  const auto rows = parse_csv(text);
+  if (!rows.has_value()) return rows.error();
+  ProfileDB db;
+  bool header_seen = false;
+  for (const auto& row : rows.value()) {
+    if (!header_seen) {
+      header_seen = true;
+      if (row.empty() || row[0] != "job") {
+        return fail("profile CSV missing header");
+      }
+      continue;
+    }
+    if (row.size() != 7) return fail("profile CSV row arity != 7");
+    try {
+      if (row[0] == "__idle__") {
+        db.set_idle_power(std::stod(row[5]));
+        continue;
+      }
+      const sim::DeviceKind device =
+          row[1] == "cpu" ? sim::DeviceKind::kCpu : sim::DeviceKind::kGpu;
+      ProfileEntry e{.time = std::stod(row[3]),
+                     .avg_bw = std::stod(row[4]),
+                     .avg_power = std::stod(row[5]),
+                     .energy = std::stod(row[6])};
+      db.insert(row[0], device, std::stoi(row[2]), e);
+    } catch (const std::exception& ex) {
+      return fail(std::string("profile CSV parse error: ") + ex.what());
+    }
+  }
+  return db;
+}
+
+}  // namespace corun::profile

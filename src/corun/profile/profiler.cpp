@@ -1,0 +1,74 @@
+#include "corun/profile/profiler.hpp"
+
+#include <algorithm>
+
+#include "corun/common/check.hpp"
+
+namespace corun::profile {
+
+Profiler::Profiler(sim::MachineConfig config, ProfilerOptions options)
+    : config_(std::move(config)), options_(std::move(options)) {}
+
+std::vector<sim::FreqLevel> Profiler::level_set(sim::DeviceKind d) const {
+  const sim::FrequencyLadder& ladder = config_.ladder(d);
+  const auto& requested =
+      d == sim::DeviceKind::kCpu ? options_.cpu_levels : options_.gpu_levels;
+  std::vector<sim::FreqLevel> levels;
+  if (requested.empty()) {
+    for (sim::FreqLevel l = 0; l <= ladder.max_level(); ++l) levels.push_back(l);
+    return levels;
+  }
+  levels = requested;
+  levels.push_back(ladder.max_level());  // max level is always needed
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  for (sim::FreqLevel l : levels) {
+    CORUN_CHECK(l >= 0 && l <= ladder.max_level());
+  }
+  return levels;
+}
+
+ProfileEntry Profiler::profile_one(const sim::JobSpec& spec,
+                                   sim::DeviceKind device,
+                                   sim::FreqLevel level) const {
+  // The idle domain is parked at its lowest level, as a power-aware OS
+  // would; its idle power is level-independent in the model but parking
+  // mirrors the measurement procedure on real hardware.
+  const sim::FreqLevel cpu_level =
+      device == sim::DeviceKind::kCpu ? level : 0;
+  const sim::FreqLevel gpu_level =
+      device == sim::DeviceKind::kGpu ? level : 0;
+  const sim::StandaloneResult r = sim::run_standalone(
+      config_, spec, device, cpu_level, gpu_level, options_.seed);
+  return ProfileEntry{.time = r.time,
+                      .avg_bw = r.avg_bandwidth,
+                      .avg_power = r.avg_power,
+                      .energy = r.energy};
+}
+
+ProfileDB Profiler::profile_batch(const workload::Batch& batch) const {
+  ProfileDB db;
+  db.set_idle_power(measure_idle_power());
+  for (const workload::BatchJob& job : batch.jobs()) {
+    for (const sim::DeviceKind device :
+         {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
+      for (const sim::FreqLevel level : level_set(device)) {
+        db.insert(job.instance_name, device, level,
+                  profile_one(job.spec, device, level));
+      }
+    }
+  }
+  return db;
+}
+
+Watts Profiler::measure_idle_power() const {
+  sim::EngineOptions options;
+  options.seed = options_.seed;
+  options.record_samples = false;
+  sim::Engine engine(config_, options);
+  engine.set_ceilings(0, 0);
+  engine.run_for(1.0);
+  return engine.telemetry().avg_power();
+}
+
+}  // namespace corun::profile

@@ -1,0 +1,358 @@
+#include "corun/sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sim {
+
+Engine::Engine(MachineConfig config, EngineOptions options)
+    : config_(std::move(config)),
+      options_(options),
+      memory_(config_.memory),
+      power_model_(config_.power, config_.cpu_ladder, config_.gpu_ladder),
+      meter_(Rng(options.seed).fork("power-meter"), options.meter_noise_stddev) {
+  CORUN_CHECK(options_.dt > 0.0);
+  CORUN_CHECK(options_.governor_interval >= options_.dt);
+  CORUN_CHECK(options_.sample_interval >= options_.dt);
+  dvfs_.cpu_ceiling = config_.cpu_ladder.max_level();
+  dvfs_.gpu_ceiling = config_.gpu_ladder.max_level();
+  if (options_.policy == GovernorPolicy::kNone) {
+    dvfs_.cpu_level = dvfs_.cpu_ceiling;
+    dvfs_.gpu_level = dvfs_.gpu_ceiling;
+  } else {
+    // Cap-managed machines boot conservatively and let the governor ramp
+    // up — this is what keeps the first power samples under the cap.
+    dvfs_.cpu_level = 0;
+    dvfs_.gpu_level = 0;
+  }
+}
+
+JobId Engine::launch(const JobSpec& spec, DeviceKind device) {
+  CORUN_CHECK_MSG(!spec.profile(device).empty(),
+                  "job has no profile for the target device");
+  if (device == DeviceKind::kGpu) {
+    CORUN_CHECK_MSG(device_idle(DeviceKind::kGpu),
+                    "the integrated GPU runs one job at a time");
+  }
+  RunningJob run;
+  run.id = next_id_++;
+  run.spec = spec;
+  run.device = device;
+  run.phase_idx = 0;
+  run.phase_ref_remaining = spec.profile(device).phases().front().dur_ref;
+
+  JobStats st;
+  st.id = run.id;
+  st.name = spec.name;
+  st.device = device;
+  st.start_time = now_;
+  stats_[run.id] = st;
+  running_.push_back(std::move(run));
+  return next_id_ - 1;
+}
+
+void Engine::set_ceilings(FreqLevel cpu, FreqLevel gpu) {
+  dvfs_.cpu_ceiling = config_.cpu_ladder.clamp(cpu);
+  dvfs_.gpu_ceiling = config_.gpu_ladder.clamp(gpu);
+  if (options_.policy == GovernorPolicy::kNone) {
+    dvfs_.cpu_level = dvfs_.cpu_ceiling;
+    dvfs_.gpu_level = dvfs_.gpu_ceiling;
+  } else {
+    // A lowered ceiling applies immediately; a raised one waits for the
+    // governor to confirm there is power headroom.
+    dvfs_.cpu_level = std::min(dvfs_.cpu_level, dvfs_.cpu_ceiling);
+    dvfs_.gpu_level = std::min(dvfs_.gpu_level, dvfs_.gpu_ceiling);
+  }
+}
+
+bool Engine::device_idle(DeviceKind d) const noexcept {
+  return resident_count(d) == 0;
+}
+
+int Engine::resident_count(DeviceKind d) const noexcept {
+  int n = 0;
+  for (const RunningJob& r : running_) {
+    if (r.device == d) ++n;
+  }
+  return n;
+}
+
+double Engine::oversubscription_overhead(DeviceKind d) const {
+  const int n = resident_count(d);
+  if (d != DeviceKind::kCpu || n <= 1) return 1.0;
+  return static_cast<double>(n) * (1.0 + config_.cs_overhead * (n - 1));
+}
+
+double Engine::llc_slowdown(DeviceKind d, GBps partner_demand) const {
+  if (partner_demand <= 0.0) return 1.0;
+  // Aggregate the victim side's sensitivity and the partner side's
+  // footprint across residents (the CPU may time-share several jobs).
+  double sensitivity = 0.0;
+  double partner_footprint = 0.0;
+  for (const RunningJob& r : running_) {
+    const LlcBehavior& llc = r.spec.profile(r.device).llc();
+    if (r.device == d) {
+      sensitivity = std::max(sensitivity, llc.sensitivity);
+    } else {
+      partner_footprint += llc.footprint_mb;
+    }
+  }
+  if (sensitivity <= 0.0 || partner_footprint <= 0.0) return 1.0;
+  const double eviction =
+      std::min(1.0, partner_footprint / config_.llc_capacity_mb);
+  const double pressure =
+      std::min(1.0, partner_demand / config_.llc_pressure_saturation_bw);
+  return 1.0 + sensitivity * eviction * pressure;
+}
+
+double Engine::locality_sigma(DeviceKind d, double sigma) const {
+  const int n = resident_count(d);
+  if (d != DeviceKind::kCpu || n <= 1) return sigma;
+  return sigma * (1.0 + config_.cs_locality_penalty * (n - 1));
+}
+
+Engine::DeviceTick Engine::device_demand(DeviceKind d, double sigma) const {
+  DeviceTick out;
+  const int n = resident_count(d);
+  if (n == 0) return out;
+  out.busy = true;
+
+  const FrequencyLadder& ladder = config_.ladder(d);
+  const FreqLevel level = d == DeviceKind::kCpu ? dvfs_.cpu_level : dvfs_.gpu_level;
+  const double phi = ladder.fraction(level);
+  const double sens = config_.mem_bw_freq_sensitivity;
+  const double sig_eff = locality_sigma(d, sigma);
+  const double share = 1.0 / oversubscription_overhead(d);
+
+  for (const RunningJob& r : running_) {
+    if (r.device != d) continue;
+    const Phase& ph = r.spec.profile(d).phases()[r.phase_idx];
+    // Offered load is the *uncontended* rate at the current frequency: the
+    // contention model turns offered loads into slowdowns, so feeding the
+    // already-slowed demand back in would double-count the contention.
+    out.demand += phase_demand(ph, phi, 1.0, sens) * share;
+    const double stretch = phase_stretch(ph, phi, sig_eff, sens);
+    const double compute = (ph.compute_frac / phi) / stretch;
+    out.compute_share += compute * share;
+    out.memory_share += (1.0 - compute) * share;
+  }
+  // Oversubscription overhead time behaves like active (switching) cycles.
+  const double slack = 1.0 - (out.compute_share + out.memory_share);
+  if (slack > 0.0 && n > 1) out.compute_share += slack;
+  out.compute_share = std::min(out.compute_share, 1.0);
+  out.memory_share = std::min(out.memory_share, 1.0 - out.compute_share);
+  return out;
+}
+
+void Engine::advance_jobs(DeviceKind d, double sigma, Seconds dt,
+                          std::vector<JobEvent>& events) {
+  const int n = resident_count(d);
+  if (n == 0) return;
+
+  const FrequencyLadder& ladder = config_.ladder(d);
+  const FreqLevel level = d == DeviceKind::kCpu ? dvfs_.cpu_level : dvfs_.gpu_level;
+  const double phi = ladder.fraction(level);
+  const double sens = config_.mem_bw_freq_sensitivity;
+  const double sig_eff = locality_sigma(d, sigma);
+  const double overhead = oversubscription_overhead(d);
+
+  for (RunningJob& r : running_) {
+    if (r.device != d) continue;
+    const auto& phases = r.spec.profile(d).phases();
+    Seconds budget = dt / overhead;  // job-visible execution time this tick
+    JobStats& st = stats_[r.id];
+    while (budget > 0.0 && r.phase_idx < phases.size()) {
+      const Phase& ph = phases[r.phase_idx];
+      const double stretch = phase_stretch(ph, phi, sig_eff, sens);
+      const Seconds wall_to_finish = r.phase_ref_remaining * stretch;
+      if (wall_to_finish <= budget) {
+        budget -= wall_to_finish;
+        st.total_gb += r.phase_ref_remaining * (1.0 - ph.compute_frac) * ph.mem_bw;
+        ++r.phase_idx;
+        if (r.phase_idx < phases.size()) {
+          r.phase_ref_remaining = phases[r.phase_idx].dur_ref;
+        }
+      } else {
+        const Seconds ref_consumed = budget / stretch;
+        r.phase_ref_remaining -= ref_consumed;
+        st.total_gb += ref_consumed * (1.0 - ph.compute_frac) * ph.mem_bw;
+        budget = 0.0;
+      }
+    }
+    if (r.phase_idx >= phases.size()) {
+      // Finished inside this tick; bill the unused budget back for a finer
+      // finish-time estimate.
+      st.finished = true;
+      st.finish_time = now_ + dt - budget * overhead;
+      events.push_back(JobEvent{r.id, st.name, d, st.finish_time});
+    }
+  }
+  std::erase_if(running_, [&](const RunningJob& r) {
+    return r.device == d && stats_.at(r.id).finished;
+  });
+}
+
+void Engine::tick(std::vector<JobEvent>& events) {
+  const Seconds dt = options_.dt;
+
+  // DVFS control loop (reacts to the previous tick's measured power).
+  // Down-steps happen every tick a violation is measured (RAPL-style fast
+  // clamping); up-steps only at the governor cadence (conservative ramp).
+  if (options_.policy != GovernorPolicy::kNone && options_.power_cap) {
+    Watts measured = meter_.read(last_true_power_);
+    if (options_.cap_window > 0.0) {
+      // PL1 semantics: the control signal is the windowed average, so
+      // short bursts ride above the cap as long as the average fits.
+      if (!ema_primed_) {
+        power_ema_ = measured;
+        ema_primed_ = true;
+      } else {
+        const double alpha = std::min(1.0, dt / options_.cap_window);
+        power_ema_ += alpha * (measured - power_ema_);
+      }
+      measured = power_ema_;
+    }
+    const bool violating = measured > *options_.power_cap;
+    if (violating || now_ + 1e-12 >= next_governor_) {
+      const PowerGovernor governor(options_.policy, options_.power_cap);
+      dvfs_ = governor.step(measured, dvfs_);
+    }
+    if (now_ + 1e-12 >= next_governor_) {
+      next_governor_ = now_ + options_.governor_interval;
+    }
+  } else if (now_ + 1e-12 >= next_governor_) {
+    const PowerGovernor governor(options_.policy, options_.power_cap);
+    dvfs_ = governor.step(meter_.read(last_true_power_), dvfs_);
+    next_governor_ = now_ + options_.governor_interval;
+  }
+
+  // Resolve memory contention from the uncontended offered loads, then a
+  // second pass so the activity shares reflect the resolved slowdowns.
+  DeviceTick cpu_tick = device_demand(DeviceKind::kCpu, sigma_[0]);
+  DeviceTick gpu_tick = device_demand(DeviceKind::kGpu, sigma_[1]);
+  const ContentionResult contention = memory_.resolve(
+      {.cpu_demand = cpu_tick.demand, .gpu_demand = gpu_tick.demand});
+  // Second contention channel: LLC thrashing. Each device's memory phases
+  // stretch further when the partner's working set evicts its own — scaled
+  // by the partner's streaming pressure. This channel is invisible to the
+  // bandwidth-only predictive model (as on the real machine).
+  const double llc_cpu = llc_slowdown(DeviceKind::kCpu, gpu_tick.demand);
+  const double llc_gpu = llc_slowdown(DeviceKind::kGpu, cpu_tick.demand);
+  sigma_[0] = contention.cpu_slowdown * llc_cpu;
+  sigma_[1] = contention.gpu_slowdown * llc_gpu;
+  cpu_tick = device_demand(DeviceKind::kCpu, sigma_[0]);
+  gpu_tick = device_demand(DeviceKind::kGpu, sigma_[1]);
+
+  advance_jobs(DeviceKind::kCpu, sigma_[0], dt, events);
+  advance_jobs(DeviceKind::kGpu, sigma_[1], dt, events);
+
+  // Power accounting for the tick.
+  const DeviceActivity cpu_act{.busy = cpu_tick.busy,
+                               .compute_share = cpu_tick.compute_share,
+                               .memory_share = cpu_tick.memory_share};
+  const DeviceActivity gpu_act{.busy = gpu_tick.busy,
+                               .compute_share = gpu_tick.compute_share,
+                               .memory_share = gpu_tick.memory_share};
+  last_true_power_ = power_model_.package_power(dvfs_.cpu_level, dvfs_.gpu_level,
+                                                cpu_act, gpu_act);
+  const bool cap_active = options_.power_cap.has_value();
+  const Watts cap = options_.power_cap.value_or(0.0);
+  telemetry_.record_tick(dt, last_true_power_, cpu_tick.busy, gpu_tick.busy,
+                         cap, cap_active);
+
+  if (now_ + 1e-12 >= next_sample_) {
+    if (options_.record_samples) {
+      telemetry_.record_sample(
+          PowerSample{.t = now_,
+                      .measured = meter_.read(last_true_power_),
+                      .true_power = last_true_power_,
+                      .cpu_level = dvfs_.cpu_level,
+                      .gpu_level = dvfs_.gpu_level,
+                      .cpu_bw = contention.cpu_achieved,
+                      .gpu_bw = contention.gpu_achieved},
+          cap, cap_active);
+    }
+    next_sample_ = now_ + options_.sample_interval;
+  }
+
+  now_ += dt;
+}
+
+std::vector<JobEvent> Engine::run_until_event() {
+  std::vector<JobEvent> events;
+  while (events.empty() && !idle()) {
+    tick(events);
+  }
+  return events;
+}
+
+std::vector<JobEvent> Engine::run_for(Seconds duration) {
+  CORUN_CHECK(duration >= 0.0);
+  std::vector<JobEvent> events;
+  const Seconds end = now_ + duration;
+  while (now_ + 1e-12 < end) {
+    tick(events);
+  }
+  return events;
+}
+
+void Engine::run_until_idle() {
+  std::vector<JobEvent> events;
+  while (!idle()) {
+    tick(events);
+  }
+}
+
+double Engine::progress(JobId id) const {
+  const JobStats& st = stats(id);
+  if (st.finished) return 1.0;
+  for (const RunningJob& r : running_) {
+    if (r.id != id) continue;
+    const auto& phases = r.spec.profile(r.device).phases();
+    Seconds remaining = r.phase_ref_remaining;
+    for (std::size_t p = r.phase_idx + 1; p < phases.size(); ++p) {
+      remaining += phases[p].dur_ref;
+    }
+    const Seconds total = r.spec.profile(r.device).total_ref_time();
+    return std::clamp(1.0 - remaining / total, 0.0, 1.0);
+  }
+  CORUN_CHECK_MSG(false, "progress queried for unknown running job");
+  return 0.0;
+}
+
+const JobStats& Engine::stats(JobId id) const {
+  const auto it = stats_.find(id);
+  CORUN_CHECK_MSG(it != stats_.end(), "unknown job id");
+  return it->second;
+}
+
+std::vector<JobStats> Engine::all_stats() const {
+  std::vector<JobStats> out;
+  out.reserve(stats_.size());
+  for (const auto& [id, st] : stats_) out.push_back(st);
+  return out;
+}
+
+StandaloneResult run_standalone(const MachineConfig& config, const JobSpec& spec,
+                                DeviceKind device, FreqLevel cpu_level,
+                                FreqLevel gpu_level, std::uint64_t seed) {
+  EngineOptions options;
+  options.seed = seed;
+  options.policy = GovernorPolicy::kNone;
+  options.record_samples = false;
+  Engine engine(config, options);
+  engine.set_ceilings(cpu_level, gpu_level);
+  const JobId id = engine.launch(spec, device);
+  engine.run_until_idle();
+  const JobStats& st = engine.stats(id);
+  StandaloneResult result;
+  result.time = st.runtime();
+  result.avg_bandwidth = st.avg_bandwidth();
+  result.energy = engine.telemetry().energy();
+  result.avg_power = engine.telemetry().avg_power();
+  return result;
+}
+
+}  // namespace corun::sim

@@ -1,0 +1,187 @@
+// Discrete-time co-simulation engine for the integrated CPU-GPU machine.
+//
+// The engine advances both domains in fixed ticks (default 10 ms). Each tick
+// it (a) resolves shared-memory contention between the domains' offered
+// loads via a short fixed-point iteration, (b) advances every resident job
+// through its phase trace at the contention- and frequency-adjusted rate,
+// (c) evaluates the package power model and RAPL-style sampling, and (d)
+// runs the DVFS governor control loop at its own cadence.
+//
+// Placement rules mirror the paper's platform semantics: the GPU executes
+// one OpenCL job at a time; the CPU normally does too, but *can* be
+// oversubscribed (several resident jobs time-share with context-switch and
+// locality penalties) because the Default baseline launches its whole CPU
+// partition at once and relies on the OS scheduler — the behaviour behind
+// Fig. 11's "Default worse than Random" result.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corun/common/rng.hpp"
+#include "corun/sim/governor.hpp"
+#include "corun/sim/job.hpp"
+#include "corun/sim/machine.hpp"
+#include "corun/sim/memory_system.hpp"
+#include "corun/sim/power_meter.hpp"
+#include "corun/sim/power_model.hpp"
+#include "corun/sim/telemetry.hpp"
+
+namespace corun::sim {
+
+using JobId = int;
+
+/// Emitted when a job finishes.
+struct JobEvent {
+  JobId id = -1;
+  std::string name;
+  DeviceKind device = DeviceKind::kCpu;
+  Seconds finish_time = 0.0;
+};
+
+/// Lifetime record of one launched job.
+struct JobStats {
+  JobId id = -1;
+  std::string name;
+  DeviceKind device = DeviceKind::kCpu;
+  Seconds start_time = 0.0;
+  Seconds finish_time = 0.0;
+  double total_gb = 0.0;  ///< bytes moved, in GB
+  bool finished = false;
+
+  [[nodiscard]] Seconds runtime() const noexcept {
+    return finish_time - start_time;
+  }
+  [[nodiscard]] GBps avg_bandwidth() const noexcept {
+    const Seconds rt = runtime();
+    return rt > 0.0 ? total_gb / rt : 0.0;
+  }
+};
+
+struct EngineOptions {
+  Seconds dt = 0.01;                ///< simulation tick
+  Seconds governor_interval = 0.1;  ///< DVFS control-loop cadence
+  Seconds sample_interval = 1.0;    ///< power-trace sampling cadence
+  std::uint64_t seed = 42;          ///< meter-noise stream seed
+  Watts meter_noise_stddev = 0.25;
+  std::optional<Watts> power_cap;   ///< nullopt = uncapped
+  GovernorPolicy policy = GovernorPolicy::kNone;
+  bool record_samples = true;       ///< keep the PowerSample trace
+
+  /// RAPL-style enforcement window: the governor reacts to an exponential
+  /// moving average of measured power with this time constant, instead of
+  /// instantaneous readings. 0 = instantaneous (the default; what the rest
+  /// of the suite uses). A window tolerates short bursts above the cap as
+  /// long as the average fits — the PL1 semantics of real RAPL.
+  Seconds cap_window = 0.0;
+};
+
+class Engine {
+ public:
+  Engine(MachineConfig config, EngineOptions options);
+
+  /// Starts a job on `device` immediately. The GPU must be idle; the CPU may
+  /// already host jobs (time sharing).
+  JobId launch(const JobSpec& spec, DeviceKind device);
+
+  /// Sets the requested (ceiling) frequency levels; the governor will not
+  /// raise either domain above its ceiling. With GovernorPolicy::kNone the
+  /// levels snap to the ceilings at the next control step.
+  void set_ceilings(FreqLevel cpu, FreqLevel gpu);
+
+  [[nodiscard]] DvfsState dvfs() const noexcept { return dvfs_; }
+  [[nodiscard]] Seconds now() const noexcept { return now_; }
+  [[nodiscard]] bool idle() const noexcept { return running_.empty(); }
+  [[nodiscard]] bool device_idle(DeviceKind d) const noexcept;
+  [[nodiscard]] int resident_count(DeviceKind d) const noexcept;
+
+  /// Advances time until at least one job finishes (returning all the
+  /// completions from that tick) or until the machine is idle (empty vector).
+  std::vector<JobEvent> run_until_event();
+
+  /// Advances exactly `duration` simulated seconds.
+  std::vector<JobEvent> run_for(Seconds duration);
+
+  /// Drains every running job.
+  void run_until_idle();
+
+  /// Fraction of the job's total (reference) work completed, in [0, 1].
+  /// 1.0 for finished jobs. Used by online profiling to extrapolate a full
+  /// runtime from a truncated sample.
+  [[nodiscard]] double progress(JobId id) const;
+
+  [[nodiscard]] const Telemetry& telemetry() const noexcept { return telemetry_; }
+  [[nodiscard]] const JobStats& stats(JobId id) const;
+  [[nodiscard]] std::vector<JobStats> all_stats() const;
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+
+ private:
+  struct RunningJob {
+    JobId id = -1;
+    JobSpec spec;
+    DeviceKind device = DeviceKind::kCpu;
+    std::size_t phase_idx = 0;
+    Seconds phase_ref_remaining = 0.0;
+  };
+
+  /// Per-device per-tick execution summary.
+  struct DeviceTick {
+    double demand = 0.0;        ///< offered GB/s this tick
+    double compute_share = 0.0; ///< wall fraction core-bound
+    double memory_share = 0.0;  ///< wall fraction memory-stalled
+    bool busy = false;
+  };
+
+  void tick(std::vector<JobEvent>& events);
+  [[nodiscard]] DeviceTick device_demand(DeviceKind d, double sigma) const;
+  void advance_jobs(DeviceKind d, double sigma, Seconds dt,
+                    std::vector<JobEvent>& events);
+  [[nodiscard]] double oversubscription_overhead(DeviceKind d) const;
+  [[nodiscard]] double locality_sigma(DeviceKind d, double sigma) const;
+  /// Extra memory slowdown of device `d` from the partner's LLC footprint.
+  [[nodiscard]] double llc_slowdown(DeviceKind d, GBps partner_demand) const;
+
+  MachineConfig config_;
+  EngineOptions options_;
+  MemorySystem memory_;
+  PowerModel power_model_;
+  PowerMeter meter_;
+
+  Seconds now_ = 0.0;
+  DvfsState dvfs_;
+  double sigma_[kDeviceCount] = {1.0, 1.0};
+  Watts last_true_power_ = 0.0;
+  Seconds next_governor_ = 0.0;
+  Seconds next_sample_ = 0.0;
+
+  JobId next_id_ = 0;
+  std::vector<RunningJob> running_;
+  std::map<JobId, JobStats> stats_;
+  Telemetry telemetry_;
+  Watts power_ema_ = 0.0;  ///< windowed-cap moving average (cap_window > 0)
+  bool ema_primed_ = false;
+};
+
+/// Result of a single standalone (no co-runner) execution.
+struct StandaloneResult {
+  Seconds time = 0.0;
+  GBps avg_bandwidth = 0.0;
+  Watts avg_power = 0.0;
+  Joules energy = 0.0;
+};
+
+/// Convenience: run one job alone on a fresh engine at pinned levels with no
+/// cap, returning its measured time/bandwidth/power. Used by the profiler
+/// and the micro-benchmark calibration solver.
+[[nodiscard]] StandaloneResult run_standalone(const MachineConfig& config,
+                                              const JobSpec& spec,
+                                              DeviceKind device,
+                                              FreqLevel cpu_level,
+                                              FreqLevel gpu_level,
+                                              std::uint64_t seed = 42);
+
+}  // namespace corun::sim

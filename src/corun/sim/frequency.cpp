@@ -1,0 +1,63 @@
+#include "corun/sim/frequency.hpp"
+
+#include <algorithm>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sim {
+
+const char* device_name(DeviceKind d) noexcept {
+  return d == DeviceKind::kCpu ? "CPU" : "GPU";
+}
+
+FrequencyLadder::FrequencyLadder(std::vector<GHz> levels)
+    : levels_(std::move(levels)) {
+  CORUN_CHECK_MSG(!levels_.empty(), "frequency ladder must not be empty");
+  CORUN_CHECK_MSG(std::is_sorted(levels_.begin(), levels_.end(),
+                                 std::less_equal<GHz>()),
+                  "frequency ladder must be strictly increasing");
+  CORUN_CHECK_MSG(levels_.front() > 0.0, "frequencies must be positive");
+}
+
+FrequencyLadder FrequencyLadder::linear(GHz lo, GHz hi, std::size_t count) {
+  CORUN_CHECK(count >= 2);
+  CORUN_CHECK(hi > lo);
+  std::vector<GHz> levels(count);
+  const GHz step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    levels[i] = lo + step * static_cast<double>(i);
+  }
+  levels.back() = hi;  // avoid accumulated rounding on the top level
+  return FrequencyLadder(std::move(levels));
+}
+
+GHz FrequencyLadder::at(FreqLevel level) const {
+  CORUN_CHECK(level >= 0 && static_cast<std::size_t>(level) < levels_.size());
+  return levels_[static_cast<std::size_t>(level)];
+}
+
+double FrequencyLadder::fraction(FreqLevel level) const {
+  return at(level) / max_ghz();
+}
+
+FreqLevel FrequencyLadder::clamp(int level) const noexcept {
+  return std::clamp(level, 0, max_level());
+}
+
+FreqLevel FrequencyLadder::level_at_or_below(GHz ghz) const noexcept {
+  FreqLevel best = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i] <= ghz) best = static_cast<FreqLevel>(i);
+  }
+  return best;
+}
+
+FrequencyLadder ivy_bridge_cpu_ladder() {
+  return FrequencyLadder::linear(1.2, 3.6, 16);
+}
+
+FrequencyLadder ivy_bridge_gpu_ladder() {
+  return FrequencyLadder::linear(0.35, 1.25, 10);
+}
+
+}  // namespace corun::sim

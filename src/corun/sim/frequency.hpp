@@ -1,0 +1,68 @@
+// DVFS frequency ladders for the two on-die domains.
+//
+// The reproduced platform is an Intel i7-3520M Ivy Bridge APU: the CPU domain
+// exposes 16 P-state levels from 1.2 GHz to 3.6 GHz and the integrated GPU
+// (HD Graphics 4000) exposes 10 levels from 350 MHz to 1.25 GHz — exactly the
+// ladders the paper's search space enumerates (Sec. III counts
+// 16 x 10 = 160 frequency pairs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "corun/common/units.hpp"
+
+namespace corun::sim {
+
+/// Which on-die execution domain.
+enum class DeviceKind { kCpu = 0, kGpu = 1 };
+
+/// Number of DeviceKind values; used to size per-device arrays.
+inline constexpr std::size_t kDeviceCount = 2;
+
+[[nodiscard]] constexpr DeviceKind other_device(DeviceKind d) noexcept {
+  return d == DeviceKind::kCpu ? DeviceKind::kGpu : DeviceKind::kCpu;
+}
+
+[[nodiscard]] const char* device_name(DeviceKind d) noexcept;
+
+/// Index into a FrequencyLadder; level 0 is the lowest frequency.
+using FreqLevel = int;
+
+/// An ordered list of discrete operating frequencies for one DVFS domain.
+class FrequencyLadder {
+ public:
+  /// `levels` must be non-empty and strictly increasing.
+  explicit FrequencyLadder(std::vector<GHz> levels);
+
+  /// Evenly spaced ladder from `lo` to `hi` inclusive with `count` levels.
+  static FrequencyLadder linear(GHz lo, GHz hi, std::size_t count);
+
+  [[nodiscard]] std::size_t size() const noexcept { return levels_.size(); }
+  [[nodiscard]] GHz at(FreqLevel level) const;
+  [[nodiscard]] GHz min_ghz() const noexcept { return levels_.front(); }
+  [[nodiscard]] GHz max_ghz() const noexcept { return levels_.back(); }
+  [[nodiscard]] FreqLevel max_level() const noexcept {
+    return static_cast<FreqLevel>(levels_.size()) - 1;
+  }
+
+  /// Fraction of the maximum frequency at `level`, in (0, 1].
+  [[nodiscard]] double fraction(FreqLevel level) const;
+
+  /// Clamps an arbitrary integer to a valid level.
+  [[nodiscard]] FreqLevel clamp(int level) const noexcept;
+
+  /// Highest level whose frequency is <= `ghz`; level 0 if all are above.
+  [[nodiscard]] FreqLevel level_at_or_below(GHz ghz) const noexcept;
+
+ private:
+  std::vector<GHz> levels_;
+};
+
+/// The i7-3520M CPU ladder: 16 levels, 1.2 GHz .. 3.6 GHz.
+[[nodiscard]] FrequencyLadder ivy_bridge_cpu_ladder();
+
+/// The HD Graphics 4000 ladder: 10 levels, 0.35 GHz .. 1.25 GHz.
+[[nodiscard]] FrequencyLadder ivy_bridge_gpu_ladder();
+
+}  // namespace corun::sim

@@ -1,0 +1,49 @@
+#include "corun/sim/job.hpp"
+
+namespace corun::sim {
+
+DeviceProfile::DeviceProfile(std::vector<Phase> phases, LlcBehavior llc)
+    : phases_(std::move(phases)), llc_(llc) {
+  CORUN_CHECK_MSG(!phases_.empty(), "device profile needs at least one phase");
+  CORUN_CHECK(llc_.footprint_mb >= 0.0);
+  CORUN_CHECK(llc_.sensitivity >= 0.0);
+  double cf_weighted = 0.0;
+  for (const Phase& ph : phases_) {
+    CORUN_CHECK(ph.dur_ref > 0.0);
+    CORUN_CHECK(ph.compute_frac >= 0.0 && ph.compute_frac <= 1.0);
+    CORUN_CHECK(ph.mem_bw >= 0.0);
+    total_ref_ += ph.dur_ref;
+    cf_weighted += ph.compute_frac * ph.dur_ref;
+    total_gb_ += ph.mem_bw * (1.0 - ph.compute_frac) * ph.dur_ref;
+  }
+  avg_cf_ = cf_weighted / total_ref_;
+}
+
+double phase_stretch(const Phase& ph, double phi, double sigma,
+                     double issue_sensitivity) {
+  CORUN_CHECK(phi > 0.0 && phi <= 1.0 + 1e-9);
+  CORUN_CHECK(sigma >= 1.0 - 1e-9);
+  const double issue = (1.0 - issue_sensitivity) + issue_sensitivity * phi;
+  return ph.compute_frac / phi + (1.0 - ph.compute_frac) * sigma / issue;
+}
+
+GBps phase_demand(const Phase& ph, double phi, double sigma,
+                  double issue_sensitivity) {
+  const double stretch = phase_stretch(ph, phi, sigma, issue_sensitivity);
+  if (stretch <= 0.0) return 0.0;
+  // Bytes per unit reference time divided by wall time per unit reference
+  // time: average offered bandwidth over the phase.
+  const double gb_per_ref = ph.mem_bw * (1.0 - ph.compute_frac);
+  return gb_per_ref / stretch;
+}
+
+Seconds standalone_time(const DeviceProfile& prof, double phi,
+                        double issue_sensitivity) {
+  Seconds total = 0.0;
+  for (const Phase& ph : prof.phases()) {
+    total += ph.dur_ref * phase_stretch(ph, phi, 1.0, issue_sensitivity);
+  }
+  return total;
+}
+
+}  // namespace corun::sim

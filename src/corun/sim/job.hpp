@@ -1,0 +1,109 @@
+// Executable job descriptions for the simulator.
+//
+// A job is an OpenCL-style program whose kernels can execute on either
+// device. Its behaviour on a device is a *phase trace*: a sequence of
+// (reference duration, compute fraction, memory bandwidth) segments. The
+// reference duration is measured at the device's maximum frequency with no
+// co-runner, so the sum of phase durations equals the standalone time at max
+// frequency — the quantity Table I of the paper reports.
+//
+// Phase execution at frequency fraction phi with memory slowdown sigma:
+//   wall_time = dur_ref * ( cf/phi  +  (1-cf) * sigma / issue(phi) )
+// where issue(phi) = (1 - s) + s*phi models the reduced request issue rate at
+// lower clock (s = mem_bw_freq_sensitivity). The compute part scales with
+// frequency; the memory part scales with contention. Offered bandwidth
+// follows from bytes/time, so a faster clock raises a program's memory
+// demand — the interplay the paper highlights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corun/common/check.hpp"
+#include "corun/common/units.hpp"
+#include "corun/sim/frequency.hpp"
+
+namespace corun::sim {
+
+/// One homogeneous segment of a job's execution on a given device.
+struct Phase {
+  Seconds dur_ref = 0.0;     ///< duration at device max frequency, standalone
+  double compute_frac = 0.5; ///< fraction of dur_ref that is core-bound
+  GBps mem_bw = 0.0;         ///< offered bandwidth during the memory portion
+};
+
+/// Last-level-cache behaviour of a job on a device. The shared LLC is the
+/// second contention channel of the integrated chip: a co-runner with a
+/// large footprint evicts the job's working set, stretching its memory
+/// phases beyond what pure bandwidth interference explains. The paper's
+/// model deliberately ignores this channel (Sec. V-A: "we primarily
+/// consider the impact of memory access contention"), so this is where the
+/// ground truth diverges from the staged-interpolation prediction — the
+/// source of Fig. 7's residual error.
+struct LlcBehavior {
+  double footprint_mb = 0.0;  ///< live working set competing for the LLC
+  double sensitivity = 0.0;   ///< extra memory slowdown per full eviction
+};
+
+/// How a job behaves on one device.
+class DeviceProfile {
+ public:
+  DeviceProfile() = default;
+  explicit DeviceProfile(std::vector<Phase> phases, LlcBehavior llc = {});
+
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept {
+    return phases_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return phases_.empty(); }
+
+  /// Standalone execution time at max frequency (sum of phase durations).
+  [[nodiscard]] Seconds total_ref_time() const noexcept { return total_ref_; }
+
+  /// Duration-weighted average compute fraction.
+  [[nodiscard]] double avg_compute_frac() const noexcept { return avg_cf_; }
+
+  /// Total bytes moved, expressed in GB (bandwidth * memory time).
+  [[nodiscard]] double total_gb() const noexcept { return total_gb_; }
+
+  /// Average offered bandwidth at max frequency, standalone.
+  [[nodiscard]] GBps avg_bandwidth_ref() const noexcept {
+    return total_ref_ > 0.0 ? total_gb_ / total_ref_ : 0.0;
+  }
+
+  [[nodiscard]] const LlcBehavior& llc() const noexcept { return llc_; }
+
+ private:
+  std::vector<Phase> phases_;
+  LlcBehavior llc_;
+  Seconds total_ref_ = 0.0;
+  double avg_cf_ = 0.0;
+  double total_gb_ = 0.0;
+};
+
+/// A schedulable job: a name plus per-device behaviour.
+struct JobSpec {
+  std::string name;
+  DeviceProfile cpu;
+  DeviceProfile gpu;
+
+  [[nodiscard]] const DeviceProfile& profile(DeviceKind d) const noexcept {
+    return d == DeviceKind::kCpu ? cpu : gpu;
+  }
+};
+
+/// Wall-clock stretch of one phase relative to its reference duration.
+/// `phi` = frequency fraction in (0,1]; `sigma` = memory slowdown >= 1;
+/// `issue_sensitivity` = MachineConfig::mem_bw_freq_sensitivity.
+[[nodiscard]] double phase_stretch(const Phase& ph, double phi, double sigma,
+                                   double issue_sensitivity);
+
+/// Offered bandwidth of a phase given the same operating point (GB/s).
+[[nodiscard]] GBps phase_demand(const Phase& ph, double phi, double sigma,
+                                double issue_sensitivity);
+
+/// Standalone wall time of a whole profile at frequency fraction `phi`.
+[[nodiscard]] Seconds standalone_time(const DeviceProfile& prof, double phi,
+                                      double issue_sensitivity);
+
+}  // namespace corun::sim

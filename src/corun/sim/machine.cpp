@@ -1,0 +1,46 @@
+#include "corun/sim/machine.hpp"
+
+namespace corun::sim {
+
+MachineConfig ivy_bridge() {
+  // Defaults in the member initializers are already the calibrated Ivy
+  // Bridge values; this factory exists so call sites read as intent and so
+  // re-calibration happens in exactly one place.
+  return MachineConfig{};
+}
+
+MachineConfig amd_kaveri() {
+  MachineConfig config;
+  // Steamroller module pair: 3.7 GHz nominal, 8 P-states.
+  config.cpu_ladder = FrequencyLadder::linear(1.7, 3.7, 8);
+  // GCN iGPU: 720 MHz max, 6 levels.
+  config.gpu_ladder = FrequencyLadder::linear(0.35, 0.72, 6);
+
+  // Desktop-class power: hotter CPU module, much beefier iGPU.
+  config.power.uncore = 4.0;
+  config.power.cpu = DevicePowerParams{.leakage = 2.5,
+                                       .idle = 0.6,
+                                       .dyn_max = 32.0,
+                                       .v_floor = 0.68,
+                                       .stall_activity = 0.45};
+  config.power.gpu = DevicePowerParams{.leakage = 2.0,
+                                       .idle = 0.5,
+                                       .dyn_max = 28.0,
+                                       .v_floor = 0.72,
+                                       .stall_activity = 0.50};
+
+  // DDR3-2133 dual channel: more headroom, and the GCN GPU's arbitration
+  // advantage is even stronger than HD 4000's.
+  config.memory.saturation_bw = 18.0;
+  config.memory.gpu_share_weight = 1.35;
+
+  // No shared L3: cross-device cache interference is much weaker (only the
+  // memory-side buffers are shared).
+  config.llc_capacity_mb = 4.0;
+  config.llc_pressure_saturation_bw = 9.0;
+
+  config.cpu_cores = 4;
+  return config;
+}
+
+}  // namespace corun::sim

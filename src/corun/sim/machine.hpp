@@ -1,0 +1,56 @@
+// Whole-machine configuration: ladders, power, memory, and the handful of
+// scalar knobs that govern execution semantics. `ivy_bridge()` is the
+// calibrated configuration matching the paper's platform (i7-3520M +
+// HD Graphics 4000 under Linux).
+#pragma once
+
+#include "corun/sim/frequency.hpp"
+#include "corun/sim/memory_system.hpp"
+#include "corun/sim/power_model.hpp"
+
+namespace corun::sim {
+
+struct MachineConfig {
+  FrequencyLadder cpu_ladder = ivy_bridge_cpu_ladder();
+  FrequencyLadder gpu_ladder = ivy_bridge_gpu_ladder();
+  PowerModelParams power{};
+  MemorySystemParams memory{};
+
+  int cpu_cores = 4;
+
+  /// How strongly a device's memory issue rate tracks its clock (0 = memory
+  /// time is frequency-independent, 1 = fully proportional).
+  double mem_bw_freq_sensitivity = 0.30;
+
+  /// Per-extra-job time-sharing overhead on the CPU (context switches),
+  /// applied multiplicatively per additional resident job.
+  double cs_overhead = 0.035;
+
+  /// Extra memory slowdown per additional resident CPU job (cache/TLB
+  /// locality loss under time sharing).
+  double cs_locality_penalty = 0.10;
+
+  /// Shared last-level cache capacity (i7-3520M: 4 MB).
+  double llc_capacity_mb = 4.0;
+
+  /// Partner bandwidth at which LLC thrashing pressure saturates: a
+  /// co-runner streaming at this rate (or more) fully churns the cache.
+  GBps llc_pressure_saturation_bw = 6.0;
+
+  [[nodiscard]] const FrequencyLadder& ladder(DeviceKind d) const noexcept {
+    return d == DeviceKind::kCpu ? cpu_ladder : gpu_ladder;
+  }
+};
+
+/// The calibrated reproduction platform (Intel i7-3520M + HD 4000).
+[[nodiscard]] MachineConfig ivy_bridge();
+
+/// A second integrated platform, AMD Kaveri class (A10-7850K-like): beefier
+/// iGPU (8 CUs), hotter CPU module, no shared L3 (footprint pressure acts
+/// on per-module caches, so the LLC channel is weaker), higher DRAM
+/// bandwidth. The paper reports observing the same co-run phenomena "on
+/// both Intel and AMD"; this configuration backs the cross-machine
+/// robustness experiment (ablation_machines).
+[[nodiscard]] MachineConfig amd_kaveri();
+
+}  // namespace corun::sim

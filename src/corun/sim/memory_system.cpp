@@ -1,0 +1,79 @@
+#include "corun/sim/memory_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sim {
+
+MemorySystem::MemorySystem(MemorySystemParams params) : params_(params) {
+  CORUN_CHECK(params_.saturation_bw > 0.0);
+  CORUN_CHECK(params_.cpu_share_weight > 0.0 && params_.gpu_share_weight > 0.0);
+  CORUN_CHECK(params_.cpu_latency_alpha >= 0.0 && params_.gpu_latency_alpha >= 0.0);
+}
+
+ContentionResult MemorySystem::resolve(const ContentionInput& in) const {
+  CORUN_CHECK(in.cpu_demand >= 0.0 && in.gpu_demand >= 0.0);
+  const MemorySystemParams& p = params_;
+  ContentionResult out;
+
+  const double total = in.cpu_demand + in.gpu_demand;
+  if (total <= 0.0) {
+    return out;
+  }
+
+  // Latency inflation: partner load (raised to a device-specific exponent)
+  // times own-load coupling. The convex CPU exponent keeps the CPU largely
+  // unharmed until the partner pushes hard; the concave GPU exponent makes
+  // moderate partner traffic already visible on the GPU.
+  auto latency_factor = [&](GBps self, GBps partner, double alpha, double gamma) {
+    const double partner_frac = std::min(partner / p.saturation_bw, 1.0);
+    const double self_frac = std::min(self / p.saturation_bw, 1.0);
+    return 1.0 + alpha * std::pow(partner_frac, gamma) *
+                     (p.latency_base + p.latency_self * self_frac);
+  };
+  const double lat_cpu = latency_factor(in.cpu_demand, in.gpu_demand,
+                                        p.cpu_latency_alpha, p.cpu_latency_gamma);
+  const double lat_gpu = latency_factor(in.gpu_demand, in.cpu_demand,
+                                        p.gpu_latency_alpha, p.gpu_latency_gamma);
+
+  // Bandwidth partitioning: only bites above saturation. Weighted
+  // proportional share models the GPU's arbitration advantage.
+  double bw_cpu = 1.0;
+  double bw_gpu = 1.0;
+  GBps achieved_cpu = in.cpu_demand;
+  GBps achieved_gpu = in.gpu_demand;
+  if (total > p.saturation_bw) {
+    const double wc = p.cpu_share_weight * in.cpu_demand;
+    const double wg = p.gpu_share_weight * in.gpu_demand;
+    const double denom = wc + wg;
+    const GBps share_cpu = p.saturation_bw * wc / denom;
+    const GBps share_gpu = p.saturation_bw * wg / denom;
+    if (in.cpu_demand > 0.0 && share_cpu < in.cpu_demand) {
+      bw_cpu = in.cpu_demand / share_cpu;
+      achieved_cpu = share_cpu;
+    }
+    if (in.gpu_demand > 0.0 && share_gpu < in.gpu_demand) {
+      bw_gpu = in.gpu_demand / share_gpu;
+      achieved_gpu = share_gpu;
+    }
+  }
+
+  // A device pays the worse of the two effects; the achieved bandwidth is
+  // consistent with its final slowdown.
+  out.cpu_slowdown = std::max(lat_cpu, bw_cpu);
+  out.gpu_slowdown = std::max(lat_gpu, bw_gpu);
+  out.cpu_achieved =
+      out.cpu_slowdown > 0.0 ? in.cpu_demand / out.cpu_slowdown : 0.0;
+  out.gpu_achieved =
+      out.gpu_slowdown > 0.0 ? in.gpu_demand / out.gpu_slowdown : 0.0;
+  // Where latency dominates, achieved = demand / latency-slowdown, which can
+  // be below the raw share; keep the partition-consistent value.
+  out.cpu_achieved = std::min(out.cpu_achieved, achieved_cpu);
+  out.gpu_achieved = std::min(out.gpu_achieved, achieved_gpu);
+  out.utilization = (out.cpu_achieved + out.gpu_achieved) / p.saturation_bw;
+  return out;
+}
+
+}  // namespace corun::sim

@@ -1,0 +1,27 @@
+// RAPL-like package power sensor: true model power plus zero-mean Gaussian
+// measurement noise. The governor reacts to *measured* power, which is what
+// lets transient overshoots above the cap appear in traces (Fig. 9) before
+// the control loop claws power back.
+#pragma once
+
+#include "corun/common/rng.hpp"
+#include "corun/common/units.hpp"
+
+namespace corun::sim {
+
+class PowerMeter {
+ public:
+  /// `noise_stddev` in watts; 0 disables noise.
+  PowerMeter(Rng rng, Watts noise_stddev);
+
+  /// One sensor reading of the given true power (never negative).
+  [[nodiscard]] Watts read(Watts true_power);
+
+  [[nodiscard]] Watts noise_stddev() const noexcept { return noise_stddev_; }
+
+ private:
+  Rng rng_;
+  Watts noise_stddev_;
+};
+
+}  // namespace corun::sim

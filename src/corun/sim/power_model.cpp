@@ -1,0 +1,51 @@
+#include "corun/sim/power_model.hpp"
+
+#include "corun/common/check.hpp"
+
+namespace corun::sim {
+
+PowerModel::PowerModel(PowerModelParams params, FrequencyLadder cpu_ladder,
+                       FrequencyLadder gpu_ladder)
+    : params_(params),
+      cpu_ladder_(std::move(cpu_ladder)),
+      gpu_ladder_(std::move(gpu_ladder)) {
+  CORUN_CHECK(params_.cpu.dyn_max > 0.0 && params_.gpu.dyn_max > 0.0);
+  CORUN_CHECK(params_.cpu.v_floor > 0.0 && params_.cpu.v_floor <= 1.0);
+  CORUN_CHECK(params_.gpu.v_floor > 0.0 && params_.gpu.v_floor <= 1.0);
+}
+
+Watts PowerModel::device_power(DeviceKind d, FreqLevel level,
+                               const DeviceActivity& activity) const {
+  const DevicePowerParams& p = device_params(d);
+  if (!activity.busy) {
+    return p.leakage + p.idle;
+  }
+  CORUN_CHECK(activity.compute_share >= -1e-9 && activity.memory_share >= -1e-9);
+  CORUN_CHECK(activity.compute_share + activity.memory_share <= 1.0 + 1e-9);
+  const FrequencyLadder& lad = ladder(d);
+  const double f_frac = lad.fraction(level);
+  const double v_frac = p.v_floor + (1.0 - p.v_floor) * f_frac;
+  const double a =
+      activity.compute_share + p.stall_activity * activity.memory_share;
+  return p.leakage + p.dyn_max * f_frac * v_frac * v_frac * a;
+}
+
+Watts PowerModel::package_power(FreqLevel cpu_level, FreqLevel gpu_level,
+                                const DeviceActivity& cpu,
+                                const DeviceActivity& gpu) const {
+  return params_.uncore + device_power(DeviceKind::kCpu, cpu_level, cpu) +
+         device_power(DeviceKind::kGpu, gpu_level, gpu);
+}
+
+Watts PowerModel::device_power_full(DeviceKind d, FreqLevel level) const {
+  DeviceActivity full{.busy = true, .compute_share = 1.0, .memory_share = 0.0};
+  return device_power(d, level, full);
+}
+
+Watts PowerModel::package_power_full(FreqLevel cpu_level,
+                                     FreqLevel gpu_level) const {
+  return params_.uncore + device_power_full(DeviceKind::kCpu, cpu_level) +
+         device_power_full(DeviceKind::kGpu, gpu_level);
+}
+
+}  // namespace corun::sim

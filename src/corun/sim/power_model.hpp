@@ -1,0 +1,92 @@
+// Package power model for the integrated processor.
+//
+// Per-domain power follows the classic CMOS decomposition
+//   P(f, a) = P_leak + P_dyn_max * (f / f_max) * (V(f) / V(f_max))^2 * a
+// with a linear voltage/frequency curve V(f) and an activity factor `a`
+// in [0, 1] that discounts cycles stalled on memory (stalled logic clocks
+// but does not switch datapaths). Package power adds an always-on uncore
+// term (ring, LLC, memory controller). The constants are calibrated so the
+// machine behaves like a 15-16 W-cap-constrained mobile APU: the CPU domain
+// alone at 3.6 GHz full activity exceeds a 15 W cap (forcing DVFS decisions),
+// and CPU-max + GPU-max together reach ~29 W, far above any cap studied in
+// the paper.
+#pragma once
+
+#include <array>
+
+#include "corun/common/units.hpp"
+#include "corun/sim/frequency.hpp"
+
+namespace corun::sim {
+
+/// Power characteristics of one DVFS domain.
+struct DevicePowerParams {
+  Watts leakage = 1.0;        ///< consumed whenever the domain is powered
+  Watts idle = 0.3;           ///< extra when idle but not power-gated
+  Watts dyn_max = 10.0;       ///< dynamic power at f_max, full activity
+  double v_floor = 0.65;      ///< V(f_min)/V(f_max) voltage-curve floor
+  double stall_activity = 0.45;  ///< activity factor while memory-stalled
+};
+
+/// Whole-package power characteristics.
+struct PowerModelParams {
+  DevicePowerParams cpu{.leakage = 1.5,
+                        .idle = 0.4,
+                        .dyn_max = 13.0,
+                        .v_floor = 0.62,
+                        .stall_activity = 0.45};
+  DevicePowerParams gpu{.leakage = 1.0,
+                        .idle = 0.3,
+                        .dyn_max = 11.0,
+                        .v_floor = 0.70,
+                        .stall_activity = 0.50};
+  Watts uncore = 2.5;  ///< ring/LLC/IMC, always on
+};
+
+/// Instantaneous utilization of one domain, produced by the engine each tick.
+struct DeviceActivity {
+  bool busy = false;          ///< a job is resident on the domain
+  double compute_share = 0.0; ///< fraction of the tick spent core-bound
+  double memory_share = 0.0;  ///< fraction of the tick spent memory-stalled
+};
+
+/// Analytic package power model. Stateless; all methods are const.
+class PowerModel {
+ public:
+  PowerModel(PowerModelParams params, FrequencyLadder cpu_ladder,
+             FrequencyLadder gpu_ladder);
+
+  /// Power of one domain given its frequency level and activity.
+  [[nodiscard]] Watts device_power(DeviceKind d, FreqLevel level,
+                                   const DeviceActivity& activity) const;
+
+  /// Total package power = uncore + CPU domain + GPU domain.
+  [[nodiscard]] Watts package_power(FreqLevel cpu_level, FreqLevel gpu_level,
+                                    const DeviceActivity& cpu,
+                                    const DeviceActivity& gpu) const;
+
+  /// Worst-case (full activity) power of one busy domain at a level — the
+  /// conservative number DVFS feasibility enumeration uses.
+  [[nodiscard]] Watts device_power_full(DeviceKind d, FreqLevel level) const;
+
+  /// Worst-case package power with both domains busy at full activity.
+  [[nodiscard]] Watts package_power_full(FreqLevel cpu_level,
+                                         FreqLevel gpu_level) const;
+
+  [[nodiscard]] Watts uncore() const noexcept { return params_.uncore; }
+  [[nodiscard]] const PowerModelParams& params() const noexcept { return params_; }
+  [[nodiscard]] const FrequencyLadder& ladder(DeviceKind d) const noexcept {
+    return d == DeviceKind::kCpu ? cpu_ladder_ : gpu_ladder_;
+  }
+
+ private:
+  [[nodiscard]] const DevicePowerParams& device_params(DeviceKind d) const noexcept {
+    return d == DeviceKind::kCpu ? params_.cpu : params_.gpu;
+  }
+
+  PowerModelParams params_;
+  FrequencyLadder cpu_ladder_;
+  FrequencyLadder gpu_ladder_;
+};
+
+}  // namespace corun::sim

@@ -1,0 +1,71 @@
+// Execution telemetry recorded by the engine: RAPL-style power samples,
+// energy integration, cap-violation accounting, and per-device utilization.
+// The Fig. 8/9 experiments read these records directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "corun/common/units.hpp"
+#include "corun/sim/frequency.hpp"
+
+namespace corun::sim {
+
+/// One sampled observation of the package power sensor.
+struct PowerSample {
+  Seconds t = 0.0;
+  Watts measured = 0.0;   ///< sensor reading (true power + noise)
+  Watts true_power = 0.0; ///< model ground truth
+  FreqLevel cpu_level = 0;
+  FreqLevel gpu_level = 0;
+  GBps cpu_bw = 0.0;      ///< achieved bandwidths at sample time
+  GBps gpu_bw = 0.0;
+};
+
+/// Aggregated cap-violation statistics over a run.
+struct CapViolationStats {
+  std::size_t samples = 0;       ///< total power samples taken
+  std::size_t over_cap = 0;      ///< samples with true power above the cap
+  Watts worst_overshoot = 0.0;   ///< max (true - cap) observed
+  Seconds time_over_cap = 0.0;   ///< integrated time above the cap
+
+  [[nodiscard]] double over_fraction() const noexcept {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(over_cap) /
+                              static_cast<double>(samples);
+  }
+};
+
+/// Accumulating recorder; owned by the engine, readable by callers.
+class Telemetry {
+ public:
+  void record_sample(const PowerSample& sample, Watts cap, bool cap_active);
+  void record_tick(Seconds dt, Watts true_power, bool cpu_busy, bool gpu_busy,
+                   Watts cap, bool cap_active);
+
+  [[nodiscard]] const std::vector<PowerSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const CapViolationStats& cap_stats() const noexcept {
+    return cap_stats_;
+  }
+  [[nodiscard]] Joules energy() const noexcept { return energy_; }
+  [[nodiscard]] Seconds cpu_busy_time() const noexcept { return cpu_busy_; }
+  [[nodiscard]] Seconds gpu_busy_time() const noexcept { return gpu_busy_; }
+  [[nodiscard]] Seconds elapsed() const noexcept { return elapsed_; }
+  [[nodiscard]] Watts avg_power() const noexcept {
+    return elapsed_ > 0.0 ? energy_ / elapsed_ : 0.0;
+  }
+
+  void clear();
+
+ private:
+  std::vector<PowerSample> samples_;
+  CapViolationStats cap_stats_;
+  Joules energy_ = 0.0;
+  Seconds cpu_busy_ = 0.0;
+  Seconds gpu_busy_ = 0.0;
+  Seconds elapsed_ = 0.0;
+};
+
+}  // namespace corun::sim

@@ -1,0 +1,125 @@
+#include "corun/workload/batch.hpp"
+
+#include <ostream>
+
+#include "corun/common/check.hpp"
+#include "corun/common/csv.hpp"
+#include "corun/workload/microbench.hpp"
+#include "corun/workload/rodinia.hpp"
+
+namespace corun::workload {
+
+void Batch::add(const KernelDescriptor& desc, std::uint64_t seed,
+                const std::string& instance_tag) {
+  BatchJob job;
+  job.descriptor = desc;
+  job.seed = seed;
+  job.instance_name = instance_tag.empty() ? desc.name : instance_tag;
+  for (const BatchJob& existing : jobs_) {
+    CORUN_CHECK_MSG(existing.instance_name != job.instance_name,
+                    "duplicate instance name in batch");
+  }
+  job.spec = make_job_spec(desc, seed);
+  job.spec.name = job.instance_name;
+  jobs_.push_back(std::move(job));
+}
+
+const BatchJob& Batch::job(std::size_t i) const {
+  CORUN_CHECK(i < jobs_.size());
+  return jobs_[i];
+}
+
+Batch make_batch_8(std::uint64_t seed) {
+  Batch batch;
+  for (const KernelDescriptor& desc : rodinia_suite()) {
+    batch.add(desc, seed + hash64(desc.name));
+  }
+  return batch;
+}
+
+Batch make_batch_16(std::uint64_t seed) {
+  Batch batch;
+  for (const KernelDescriptor& desc : rodinia_suite()) {
+    batch.add(desc, seed + hash64(desc.name), desc.name + "#1");
+    KernelDescriptor smaller = desc;
+    smaller.input_scale = 0.8;  // "different inputs" per Sec. VI-D
+    batch.add(smaller, seed + hash64(desc.name + "/2"), desc.name + "#2");
+  }
+  return batch;
+}
+
+Batch make_batch_motivation(std::uint64_t seed) {
+  Batch batch;
+  for (const KernelDescriptor& desc : rodinia_motivation_four()) {
+    batch.add(desc, seed + hash64(desc.name));
+  }
+  return batch;
+}
+
+Batch make_batch_n(std::size_t n, std::uint64_t seed) {
+  CORUN_CHECK(n >= 1);
+  Batch batch;
+  const auto catalogue = rodinia_all();
+  for (std::size_t i = 0; i < n; ++i) {
+    KernelDescriptor desc = catalogue[i % catalogue.size()];
+    const std::size_t round = i / catalogue.size();
+    desc.input_scale = 1.0 - 0.15 * static_cast<double>(round % 3);
+    batch.add(desc, seed + hash64(desc.name) + 1000 * round,
+              desc.name + "#" + std::to_string(round));
+  }
+  return batch;
+}
+
+Expected<Batch> batch_from_csv(const std::string& text) {
+  const auto rows = parse_csv(text);
+  if (!rows.has_value()) return rows.error();
+  Batch batch;
+  bool header = true;
+  for (const auto& row : rows.value()) {
+    if (header) {
+      header = false;
+      if (row.size() < 4 || row[0] != "instance") {
+        return fail("batch CSV must start with: instance,program,input_scale,seed");
+      }
+      continue;
+    }
+    if (row.size() != 4) return fail("batch CSV row arity != 4");
+    const std::string& instance = row[0];
+    const std::string& program = row[1];
+    KernelDescriptor desc;
+    if (program.rfind("micro:", 0) == 0) {
+      const auto micro = micro_kernel(std::stod(program.substr(6)));
+      if (!micro.has_value()) return micro.error();
+      desc = micro.value();
+    } else {
+      const auto found = rodinia_by_name(program);
+      if (!found.has_value()) {
+        return fail("unknown program '" + program + "' in batch CSV");
+      }
+      desc = *found;
+    }
+    try {
+      desc.input_scale = std::stod(row[2]);
+      batch.add(desc, static_cast<std::uint64_t>(std::stoull(row[3])),
+                instance);
+    } catch (const ContractViolation&) {
+      throw;  // duplicate instance etc.: a usage error worth surfacing
+    } catch (const std::exception& ex) {
+      return fail(std::string("batch CSV parse error: ") + ex.what());
+    }
+  }
+  if (batch.empty()) return fail("batch CSV describes no jobs");
+  return batch;
+}
+
+void batch_to_csv(const Batch& batch, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.write_row({"instance", "program", "input_scale", "seed"});
+  for (const BatchJob& job : batch.jobs()) {
+    writer.write_row({job.instance_name, job.descriptor.name,
+                      std::to_string(job.descriptor.input_scale),
+                      std::to_string(job.seed)});
+  }
+}
+
+}  // namespace corun::workload

@@ -1,0 +1,58 @@
+// The paper's Figure-4 micro-benchmark: a controllable memory stressor.
+//
+// The OpenCL kernel reads two large arrays, performs j_max register-resident
+// arithmetic iterations, and writes one output element per work-item. By
+// scaling the compute loop against the fixed per-item traffic (two reads +
+// one write), the kernel's standalone bandwidth is dialled anywhere from
+// 0 GB/s (pure compute) to the device's streaming limit. The
+// characterization stage (Sec. V-B) runs it at 11 evenly spaced levels
+// covering 0-11 GB/s on each device and co-runs every pair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "corun/common/expected.hpp"
+#include "corun/sim/machine.hpp"
+#include "corun/workload/kernel_descriptor.hpp"
+
+namespace corun::workload {
+
+/// Host-visible tuning parameters of the Figure-4 kernel source.
+struct MicroSourceParams {
+  std::size_t array_elems = 64u << 20;  ///< per input array; must exceed LLC
+  int i_max = 64;                       ///< outer (memory) iterations
+  int j_max = 100;                      ///< inner (compute) iterations
+};
+
+/// Streaming bandwidth a single device can pull when fully memory-bound;
+/// slightly above the paper's 11 GB/s top characterization level.
+inline constexpr GBps kMicroStreamBw = 11.6;
+
+/// The 11 standalone-bandwidth levels of the characterization grid
+/// (0, 1.1, ..., 11.0 GB/s), as in Sec. V-B.
+[[nodiscard]] std::vector<GBps> micro_grid_levels();
+
+/// Builds a micro-benchmark descriptor whose standalone average bandwidth at
+/// max frequency is `target_bw` on both devices (closed form: the descriptor
+/// trades compute fraction against the fixed stream bandwidth).
+/// Fails when target_bw exceeds kMicroStreamBw.
+[[nodiscard]] Expected<KernelDescriptor> micro_kernel(GBps target_bw,
+                                                      Seconds duration = 25.0);
+
+/// Derives source-level loop parameters that realize a target bandwidth —
+/// the knob an experimenter would actually turn (array sizes and j_max as in
+/// Figure 4 of the paper).
+[[nodiscard]] Expected<MicroSourceParams> micro_source_for(GBps target_bw);
+
+/// The inverse mapping: what bandwidth a given source configuration offers.
+[[nodiscard]] GBps micro_bandwidth_of(const MicroSourceParams& params);
+
+/// Verifies a micro kernel against the simulator: measures its standalone
+/// bandwidth on `device` at max frequency and returns it. The calibration
+/// test asserts measurement == target within tick noise.
+[[nodiscard]] GBps measure_micro_bandwidth(const sim::MachineConfig& config,
+                                           const KernelDescriptor& desc,
+                                           sim::DeviceKind device);
+
+}  // namespace corun::workload

@@ -1,0 +1,65 @@
+#include "corun/workload/phase_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corun/common/check.hpp"
+
+namespace corun::workload {
+
+sim::DeviceProfile make_phase_trace(const TraceParams& params, Rng rng) {
+  CORUN_CHECK(params.total_time > 0.0);
+  CORUN_CHECK(params.compute_frac >= 0.0 && params.compute_frac <= 1.0);
+  CORUN_CHECK(params.mem_bw >= 0.0);
+  CORUN_CHECK(params.phase_count >= 1);
+  CORUN_CHECK(params.variability >= 0.0 && params.variability <= 1.0);
+
+  if (params.variability == 0.0 || params.phase_count == 1) {
+    return sim::DeviceProfile({sim::Phase{.dur_ref = params.total_time,
+                                          .compute_frac = params.compute_frac,
+                                          .mem_bw = params.mem_bw}},
+                              params.llc);
+  }
+
+  const unsigned n = params.phase_count;
+  std::vector<sim::Phase> phases(n);
+
+  // Durations: uniform in [0.5, 1.5] of the mean, then normalized so the
+  // trace sums exactly to the requested standalone time.
+  double dur_sum = 0.0;
+  for (auto& ph : phases) {
+    ph.dur_ref = rng.uniform(0.5, 1.5);
+    dur_sum += ph.dur_ref;
+  }
+  for (auto& ph : phases) {
+    ph.dur_ref *= params.total_time / dur_sum;
+  }
+
+  // Compute fractions: jittered, then additively corrected so the
+  // duration-weighted mean hits the target (clamping may leave a tiny
+  // residual, acceptable for a synthetic program).
+  const double v = params.variability;
+  for (auto& ph : phases) {
+    const double jitter = rng.uniform(-v, v);
+    ph.compute_frac = std::clamp(params.compute_frac + jitter, 0.0, 1.0);
+  }
+  double cf_mean = 0.0;
+  for (const auto& ph : phases) cf_mean += ph.compute_frac * ph.dur_ref;
+  cf_mean /= params.total_time;
+  const double correction = params.compute_frac - cf_mean;
+  for (auto& ph : phases) {
+    ph.compute_frac = std::clamp(ph.compute_frac + correction, 0.0, 1.0);
+  }
+
+  // Memory bandwidth of each phase's memory portion: multiplicative jitter
+  // around the average, bounded below at a trickle so no phase is entirely
+  // insensitive to contention unless the program is fully compute-bound.
+  for (auto& ph : phases) {
+    const double jitter = 1.0 + rng.uniform(-v, v);
+    ph.mem_bw = std::max(0.0, params.mem_bw * jitter);
+  }
+
+  return sim::DeviceProfile(std::move(phases), params.llc);
+}
+
+}  // namespace corun::workload

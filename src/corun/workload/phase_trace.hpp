@@ -1,0 +1,36 @@
+// Phase-trace synthesis.
+//
+// Real programs are not homogeneous: their compute/memory mix drifts over
+// time. The simulator executes these phase traces while the paper's
+// predictor only sees a program's *average* standalone bandwidth — this gap
+// is what gives the staged-interpolation model a realistic, non-zero error
+// (the paper reports ~15% average).
+//
+// The generator produces a deterministic trace (seeded) whose total duration
+// equals the requested standalone time at max frequency and whose
+// duration-weighted compute fraction matches the requested average.
+#pragma once
+
+#include <vector>
+
+#include "corun/common/rng.hpp"
+#include "corun/sim/job.hpp"
+
+namespace corun::workload {
+
+struct TraceParams {
+  Seconds total_time = 20.0;   ///< standalone time at device max frequency
+  double compute_frac = 0.5;   ///< target duration-weighted average
+  GBps mem_bw = 6.0;           ///< average demand during memory portions
+  unsigned phase_count = 14;   ///< number of segments
+  double variability = 0.25;   ///< relative jitter of per-phase cf / bw
+  sim::LlcBehavior llc{};      ///< cache behaviour, forwarded verbatim
+};
+
+/// Builds a phase trace matching `params`; deterministic for a given rng
+/// state. variability = 0 yields a single uniform phase (used by the
+/// micro-benchmark, which must be a *controlled* stressor).
+[[nodiscard]] sim::DeviceProfile make_phase_trace(const TraceParams& params,
+                                                  Rng rng);
+
+}  // namespace corun::workload

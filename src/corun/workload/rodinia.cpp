@@ -1,0 +1,140 @@
+#include "corun/workload/rodinia.hpp"
+
+namespace corun::workload {
+namespace {
+
+// Table I standalone times (seconds at max frequency) with per-device
+// compute/memory characters. Bandwidths are the demand during memory-bound
+// portions; average standalone demand is (1 - compute_frac) * mem_bw.
+// LLC fields give each program a cache personality the bandwidth-only
+// predictive model cannot see: footprint = pressure it exerts, sensitivity
+// = how much it suffers under eviction. The streaming micro-benchmark has
+// near-zero reuse, so this channel is exactly the residual the paper's
+// Fig. 7 error distribution measures.
+const KernelDescriptor kSuite[] = {
+    {.name = "streamcluster",
+     .cpu = {.base_time = 59.71, .compute_frac = 0.30, .mem_bw = 9.0,
+             .llc_footprint_mb = 3.5, .llc_sensitivity = 0.82},
+     .gpu = {.base_time = 23.72, .compute_frac = 0.10, .mem_bw = 11.0,
+             .llc_footprint_mb = 3.5, .llc_sensitivity = 0.17}},
+    {.name = "cfd",
+     .cpu = {.base_time = 49.69, .compute_frac = 0.35, .mem_bw = 8.5,
+             .llc_footprint_mb = 3.0, .llc_sensitivity = 0.69},
+     .gpu = {.base_time = 26.32, .compute_frac = 0.20, .mem_bw = 10.5,
+             .llc_footprint_mb = 3.0, .llc_sensitivity = 0.14}},
+    {.name = "dwt2d",
+     .cpu = {.base_time = 24.37, .compute_frac = 0.30, .mem_bw = 9.0,
+             .llc_footprint_mb = 2.5, .llc_sensitivity = 0.96},
+     .gpu = {.base_time = 61.66, .compute_frac = 0.25, .mem_bw = 9.5,
+             .llc_footprint_mb = 2.5, .llc_sensitivity = 0.19}},
+    {.name = "hotspot",
+     .cpu = {.base_time = 70.24, .compute_frac = 0.70, .mem_bw = 5.0,
+             .llc_footprint_mb = 1.5, .llc_sensitivity = 0.41},
+     .gpu = {.base_time = 28.52, .compute_frac = 0.60, .mem_bw = 7.0,
+             .llc_footprint_mb = 1.5, .llc_sensitivity = 0.09}},
+    {.name = "srad",
+     .cpu = {.base_time = 51.39, .compute_frac = 0.50, .mem_bw = 7.5,
+             .llc_footprint_mb = 2.5, .llc_sensitivity = 0.60},
+     .gpu = {.base_time = 23.71, .compute_frac = 0.40, .mem_bw = 9.0,
+             .llc_footprint_mb = 2.5, .llc_sensitivity = 0.12}},
+    {.name = "lud",
+     .cpu = {.base_time = 27.76, .compute_frac = 0.75, .mem_bw = 4.5,
+             .llc_footprint_mb = 1.0, .llc_sensitivity = 0.50},
+     .gpu = {.base_time = 24.83, .compute_frac = 0.72, .mem_bw = 5.0,
+             .llc_footprint_mb = 1.0, .llc_sensitivity = 0.11}},
+    {.name = "leukocyte",
+     .cpu = {.base_time = 50.88, .compute_frac = 0.85, .mem_bw = 3.0,
+             .llc_footprint_mb = 0.8, .llc_sensitivity = 0.22},
+     .gpu = {.base_time = 23.08, .compute_frac = 0.80, .mem_bw = 4.0,
+             .llc_footprint_mb = 0.8, .llc_sensitivity = 0.05}},
+    {.name = "heartwall",
+     .cpu = {.base_time = 54.68, .compute_frac = 0.55, .mem_bw = 6.5,
+             .llc_footprint_mb = 2.0, .llc_sensitivity = 0.55},
+     .gpu = {.base_time = 22.99, .compute_frac = 0.50, .mem_bw = 8.0,
+             .llc_footprint_mb = 2.0, .llc_sensitivity = 0.11}},
+};
+
+// Programs the paper's testbed could not run stably under Beignet; their
+// characters follow the published Rodinia characterizations (bfs/b+tree
+// irregular and memory-latency-bound, kmeans/backprop bandwidth-streaming,
+// nw/pathfinder wavefront with moderate reuse, lavaMD/gaussian
+// compute-dense). Times are chosen in the same 20-70 s band as Table I.
+const KernelDescriptor kExtended[] = {
+    {.name = "backprop",
+     .cpu = {.base_time = 44.20, .compute_frac = 0.40, .mem_bw = 8.0,
+             .llc_footprint_mb = 2.8, .llc_sensitivity = 0.58},
+     .gpu = {.base_time = 21.30, .compute_frac = 0.30, .mem_bw = 9.5,
+             .llc_footprint_mb = 2.8, .llc_sensitivity = 0.15}},
+    {.name = "bfs",
+     .cpu = {.base_time = 38.60, .compute_frac = 0.25, .mem_bw = 7.5,
+             .llc_footprint_mb = 3.2, .llc_sensitivity = 0.85},
+     .gpu = {.base_time = 33.10, .compute_frac = 0.20, .mem_bw = 8.0,
+             .llc_footprint_mb = 3.2, .llc_sensitivity = 0.22}},
+    {.name = "kmeans",
+     .cpu = {.base_time = 52.40, .compute_frac = 0.45, .mem_bw = 8.5,
+             .llc_footprint_mb = 2.4, .llc_sensitivity = 0.50},
+     .gpu = {.base_time = 24.60, .compute_frac = 0.35, .mem_bw = 10.0,
+             .llc_footprint_mb = 2.4, .llc_sensitivity = 0.14}},
+    {.name = "nw",
+     .cpu = {.base_time = 31.80, .compute_frac = 0.55, .mem_bw = 6.0,
+             .llc_footprint_mb = 1.8, .llc_sensitivity = 0.45},
+     .gpu = {.base_time = 27.50, .compute_frac = 0.50, .mem_bw = 6.5,
+             .llc_footprint_mb = 1.8, .llc_sensitivity = 0.12}},
+    {.name = "pathfinder",
+     .cpu = {.base_time = 47.30, .compute_frac = 0.60, .mem_bw = 6.0,
+             .llc_footprint_mb = 1.6, .llc_sensitivity = 0.38},
+     .gpu = {.base_time = 22.10, .compute_frac = 0.55, .mem_bw = 7.0,
+             .llc_footprint_mb = 1.6, .llc_sensitivity = 0.10}},
+    {.name = "lavaMD",
+     .cpu = {.base_time = 61.70, .compute_frac = 0.88, .mem_bw = 2.5,
+             .llc_footprint_mb = 0.6, .llc_sensitivity = 0.15},
+     .gpu = {.base_time = 24.90, .compute_frac = 0.84, .mem_bw = 3.5,
+             .llc_footprint_mb = 0.6, .llc_sensitivity = 0.05}},
+    {.name = "b+tree",
+     .cpu = {.base_time = 29.40, .compute_frac = 0.35, .mem_bw = 6.5,
+             .llc_footprint_mb = 3.0, .llc_sensitivity = 0.75},
+     .gpu = {.base_time = 31.20, .compute_frac = 0.30, .mem_bw = 7.0,
+             .llc_footprint_mb = 3.0, .llc_sensitivity = 0.20}},
+    {.name = "gaussian",
+     .cpu = {.base_time = 56.90, .compute_frac = 0.78, .mem_bw = 4.0,
+             .llc_footprint_mb = 1.2, .llc_sensitivity = 0.25},
+     .gpu = {.base_time = 23.40, .compute_frac = 0.72, .mem_bw = 5.0,
+             .llc_footprint_mb = 1.2, .llc_sensitivity = 0.08}},
+};
+
+}  // namespace
+
+std::vector<KernelDescriptor> rodinia_suite() {
+  return {std::begin(kSuite), std::end(kSuite)};
+}
+
+std::vector<KernelDescriptor> rodinia_extended() {
+  return {std::begin(kExtended), std::end(kExtended)};
+}
+
+std::vector<KernelDescriptor> rodinia_all() {
+  std::vector<KernelDescriptor> all = rodinia_suite();
+  const auto extended = rodinia_extended();
+  all.insert(all.end(), extended.begin(), extended.end());
+  return all;
+}
+
+std::vector<KernelDescriptor> rodinia_motivation_four() {
+  std::vector<KernelDescriptor> out;
+  for (const char* name : {"streamcluster", "cfd", "dwt2d", "hotspot"}) {
+    out.push_back(*rodinia_by_name(name));
+  }
+  return out;
+}
+
+std::optional<KernelDescriptor> rodinia_by_name(const std::string& name) {
+  for (const KernelDescriptor& desc : kSuite) {
+    if (desc.name == name) return desc;
+  }
+  for (const KernelDescriptor& desc : kExtended) {
+    if (desc.name == name) return desc;
+  }
+  return std::nullopt;
+}
+
+}  // namespace corun::workload

@@ -1,0 +1,43 @@
+// Synthetic analogues of the eight Rodinia OpenCL programs the paper
+// evaluates (Sec. VI): streamcluster, cfd, dwt2d, hotspot, srad, lud,
+// leukocyte, heartwall.
+//
+// Standalone times at maximum frequency are calibrated to Table I of the
+// paper (e.g. streamcluster: 59.71 s CPU / 23.72 s GPU). Compute fractions
+// and memory appetites are chosen to match each program's published
+// character: streamcluster/cfd/dwt2d memory-hungry, hotspot/lud/leukocyte
+// compute-leaning, and — crucially for the scheduler — dwt2d is the only
+// CPU-preferred program while lud is the only non-preferred one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corun/workload/kernel_descriptor.hpp"
+
+namespace corun::workload {
+
+/// All eight calibrated programs, in the paper's order.
+[[nodiscard]] std::vector<KernelDescriptor> rodinia_suite();
+
+/// The four programs of the paper's Sec. III motivating example:
+/// streamcluster, cfd, dwt2d, hotspot.
+[[nodiscard]] std::vector<KernelDescriptor> rodinia_motivation_four();
+
+/// Eight additional Rodinia-style analogues (backprop, bfs, kmeans, nw,
+/// pathfinder, lavaMD, b+tree, gaussian). The paper discarded these on its
+/// testbed because the third-party GPU driver ran them unstably — a
+/// limitation of Beignet, not of the algorithms — so they are calibrated
+/// here from their published characters rather than from Table I. Used by
+/// the scalability sweep to build batches beyond 16 instances.
+[[nodiscard]] std::vector<KernelDescriptor> rodinia_extended();
+
+/// The full catalogue: rodinia_suite() + rodinia_extended().
+[[nodiscard]] std::vector<KernelDescriptor> rodinia_all();
+
+/// Looks a program up by name; nullopt when unknown.
+[[nodiscard]] std::optional<KernelDescriptor> rodinia_by_name(
+    const std::string& name);
+
+}  // namespace corun::workload

@@ -1,0 +1,40 @@
+#include "corun/common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corun {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(CORUN_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(CORUN_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailingCheckThrowsContractViolation) {
+  EXPECT_THROW(CORUN_CHECK(false), ContractViolation);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    CORUN_CHECK_MSG(2 < 1, "two is not less than one");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto count = [&] {
+    ++calls;
+    return true;
+  };
+  CORUN_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace corun

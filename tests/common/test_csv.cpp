@@ -1,0 +1,76 @@
+#include "corun/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace corun {
+namespace {
+
+TEST(CsvWriter, PlainCells) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(oss.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(ParseCsv, SimpleRows) {
+  const auto rows = parse_csv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, MissingTrailingNewline) {
+  const auto rows = parse_csv("x,y");
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ParseCsv, QuotedCellsWithCommasAndNewlines) {
+  const auto rows = parse_csv("\"a,b\",\"c\nd\",\"e\"\"f\"\n");
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0], "a,b");
+  EXPECT_EQ(rows.value()[0][1], "c\nd");
+  EXPECT_EQ(rows.value()[0][2], "e\"f");
+}
+
+TEST(ParseCsv, ToleratesCrlf) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_EQ(rows.value()[1][1], "d");
+}
+
+TEST(ParseCsv, UnterminatedQuoteIsError) {
+  const auto rows = parse_csv("\"open");
+  EXPECT_FALSE(rows.has_value());
+}
+
+TEST(ParseCsv, RoundTripThroughWriter) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.write_row({"plain", "with,comma", "with\"quote"});
+  const auto rows = parse_csv(oss.str());
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_EQ(rows.value()[0],
+            (std::vector<std::string>{"plain", "with,comma", "with\"quote"}));
+}
+
+TEST(ParseCsv, EmptyInputYieldsNoRows) {
+  const auto rows = parse_csv("");
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_TRUE(rows.value().empty());
+}
+
+}  // namespace
+}  // namespace corun

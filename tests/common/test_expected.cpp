@@ -1,0 +1,60 @@
+#include "corun/common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace corun {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e = fail("boom");
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().message, "boom");
+}
+
+TEST(Expected, ValueOnErrorThrowsWithMessage) {
+  Expected<int> e = fail("parse failed at line 3");
+  try {
+    (void)e.value();
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& ex) {
+    EXPECT_NE(std::string(ex.what()).find("parse failed at line 3"),
+              std::string::npos);
+  }
+}
+
+TEST(Expected, ErrorOnValueThrows) {
+  Expected<int> e(1);
+  EXPECT_THROW((void)e.error(), ContractViolation);
+}
+
+TEST(Expected, ValueOrFallsBack) {
+  Expected<int> ok(7);
+  Expected<int> bad = fail("x");
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Expected, MoveOnlyValueSupported) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(5));
+  ASSERT_TRUE(e.has_value());
+  auto p = std::move(e).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Expected, WorksWithStrings) {
+  Expected<std::string> e(std::string("hello"));
+  EXPECT_EQ(e.value(), "hello");
+}
+
+}  // namespace
+}  // namespace corun

@@ -1,0 +1,70 @@
+#include "corun/common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "corun/common/check.hpp"
+
+namespace corun {
+namespace {
+
+TEST(Histogram, BinningMatchesRanges) {
+  Histogram h(0.0, 1.0, 4);  // bins of width 0.25 plus overflow
+  h.add(0.0);
+  h.add(0.1);
+  h.add(0.25);
+  h.add(0.6);
+  h.add(0.99);
+  h.add(1.0);   // overflow
+  h.add(2.0);   // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(4), 2u);  // overflow bin
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h(0.0, 0.5, 5);
+  for (double x : {0.05, 0.15, 0.25, 0.35, 0.45, 0.55}) h.add(x);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) sum += h.fraction(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, LabelsReadable) {
+  Histogram h(0.0, 0.4, 2);
+  EXPECT_EQ(h.label(0), "[0,0.2)");
+  EXPECT_EQ(h.label(1), "[0.2,0.4)");
+  EXPECT_EQ(h.label(2), ">=0.4");
+}
+
+TEST(Histogram, BelowRangeRejected) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.add(-0.01), ContractViolation);
+}
+
+TEST(Histogram, AddAllSpan) {
+  Histogram h(0.0, 1.0, 2);
+  const std::vector<double> xs{0.1, 0.6, 0.7};
+  h.add_all(xs);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(Histogram, BinEdgesExposed) {
+  Histogram h(1.0, 3.0, 2);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+}
+
+}  // namespace
+}  // namespace corun

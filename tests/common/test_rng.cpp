@@ -1,0 +1,115 @@
+#include "corun/common/rng.hpp"
+
+#include "corun/common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace corun {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16 && !any_diff; ++i) {
+    any_diff = a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit with overwhelming probability
+}
+
+TEST(Rng, GaussianRoughMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian(2.0);
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(sq / n, 4.0, 0.3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(42);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("beta");
+  Rng a2 = Rng(42).fork("alpha");
+  // Same parent + same tag reproduces; different tags diverge.
+  EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), a2.uniform(0.0, 1.0));
+  Rng a3 = Rng(42).fork("alpha");
+  EXPECT_NE(a3.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, ForkDiffersFromParentSeedChange) {
+  Rng s1 = Rng(1).fork("t");
+  Rng s2 = Rng(2).fork("t");
+  EXPECT_NE(s1.uniform(0.0, 1.0), s2.uniform(0.0, 1.0));
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, InvalidArgsRejected) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), ContractViolation);
+  EXPECT_THROW((void)rng.gaussian(-1.0), ContractViolation);
+  EXPECT_THROW((void)rng.chance(1.5), ContractViolation);
+}
+
+TEST(Hash64, StableAndDistinct) {
+  EXPECT_EQ(hash64("abc"), hash64("abc"));
+  EXPECT_NE(hash64("abc"), hash64("abd"));
+  EXPECT_NE(hash64(""), hash64("a"));
+}
+
+}  // namespace
+}  // namespace corun

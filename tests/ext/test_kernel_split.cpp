@@ -1,0 +1,121 @@
+#include "corun/ext/kernel_split.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+#include "corun/workload/microbench.hpp"
+
+namespace corun::ext {
+namespace {
+
+class KernelSplitTest : public ::testing::Test {
+ protected:
+  sim::MachineConfig config_ = sim::ivy_bridge();
+  KernelSplitPlanner planner_{config_};
+};
+
+TEST_F(KernelSplitTest, PlacementBookkeeping) {
+  StagePlacement p;
+  p.device = {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu,
+              sim::DeviceKind::kGpu, sim::DeviceKind::kCpu};
+  EXPECT_EQ(p.handoffs(), 2u);
+  EXPECT_FALSE(p.is_whole_job());
+  StagePlacement whole;
+  whole.device = {sim::DeviceKind::kGpu, sim::DeviceKind::kGpu};
+  EXPECT_TRUE(whole.is_whole_job());
+}
+
+TEST_F(KernelSplitTest, AlternatingChainBenefitsFromSplitting) {
+  // Stages with opposing affinities: the optimal placement follows the
+  // affinity of each stage and clearly beats any whole-job placement —
+  // the upside the paper's future-work note anticipates.
+  const MultiKernelJob job = make_alternating_chain(4, 8.0);
+  const SplitPlan plan = planner_.plan(job, std::nullopt);
+  EXPECT_FALSE(plan.placement.is_whole_job());
+  EXPECT_GT(plan.split_gain(), 0.3);  // >30% over the better whole-job run
+  // The chosen placement follows the per-stage affinity.
+  for (std::size_t i = 0; i < job.stage_count(); ++i) {
+    EXPECT_EQ(plan.placement.device[i],
+              i % 2 == 0 ? sim::DeviceKind::kCpu : sim::DeviceKind::kGpu)
+        << i;
+  }
+}
+
+TEST_F(KernelSplitTest, UniformChainStaysWhole) {
+  // With no affinity diversity there is nothing to gain and handoffs to
+  // lose — the [31] caution the paper cites for deferring this direction.
+  const MultiKernelJob job = make_uniform_gpu_chain(4, 8.0);
+  const SplitPlan plan = planner_.plan(job, std::nullopt);
+  EXPECT_TRUE(plan.placement.is_whole_job());
+  EXPECT_EQ(plan.placement.device[0], sim::DeviceKind::kGpu);
+  EXPECT_NEAR(plan.predicted_time, plan.whole_gpu_time, 1e-9);
+}
+
+TEST_F(KernelSplitTest, HandoffCostsSuppressFineSplitting) {
+  // With brutal handoff costs even the alternating chain stays whole.
+  SplitOptions expensive;
+  expensive.handoff_latency = 30.0;
+  const KernelSplitPlanner pricey(config_, expensive);
+  const MultiKernelJob job = make_alternating_chain(4, 8.0);
+  const SplitPlan plan = pricey.plan(job, std::nullopt);
+  EXPECT_TRUE(plan.placement.is_whole_job());
+}
+
+TEST_F(KernelSplitTest, PredictMatchesPlanForChosenPlacement) {
+  const MultiKernelJob job = make_alternating_chain(3, 6.0);
+  const SplitPlan plan = planner_.plan(job, std::nullopt);
+  EXPECT_NEAR(planner_.predict(job, plan.placement, std::nullopt),
+              plan.predicted_time, 1e-6);
+}
+
+TEST_F(KernelSplitTest, GroundTruthTracksPrediction) {
+  const MultiKernelJob job = make_alternating_chain(4, 6.0);
+  const SplitPlan plan = planner_.plan(job, std::nullopt);
+  const Seconds actual = execute_split(config_, job, plan.placement,
+                                       planner_.options(), std::nullopt);
+  EXPECT_NEAR(actual, plan.predicted_time, plan.predicted_time * 0.15);
+}
+
+TEST_F(KernelSplitTest, CapRestrictsStageFrequencies) {
+  const MultiKernelJob job = make_uniform_gpu_chain(2, 6.0);
+  const SplitPlan free_plan = planner_.plan(job, std::nullopt);
+  const SplitPlan capped_plan = planner_.plan(job, 14.0);
+  EXPECT_GE(capped_plan.predicted_time, free_plan.predicted_time);
+}
+
+TEST_F(KernelSplitTest, SearchCoversAllPlacements) {
+  const MultiKernelJob job = make_alternating_chain(5, 4.0);
+  const SplitPlan plan = planner_.plan(job, std::nullopt);
+  EXPECT_EQ(plan.placements_searched, 32u);  // 2^5
+}
+
+TEST_F(KernelSplitTest, CoRunnerDelaysChain) {
+  // A long co-runner squatting on the GPU forces GPU stages to wait or
+  // contend; the chain must take longer than standalone.
+  const MultiKernelJob job = make_alternating_chain(4, 6.0);
+  const SplitPlan plan = planner_.plan(job, std::nullopt);
+  const Seconds solo = execute_split(config_, job, plan.placement,
+                                     planner_.options(), std::nullopt);
+  const auto hog_desc = workload::micro_kernel(9.0, 40.0).value();
+  const sim::JobSpec hog = workload::make_job_spec(hog_desc, 99);
+  const Seconds contended =
+      execute_split(config_, job, plan.placement, planner_.options(),
+                    std::nullopt, &hog, sim::DeviceKind::kGpu);
+  EXPECT_GT(contended, solo * 1.1);
+}
+
+TEST_F(KernelSplitTest, InvalidInputsRejected) {
+  EXPECT_THROW((void)planner_.plan(MultiKernelJob{}, std::nullopt),
+               corun::ContractViolation);
+  const MultiKernelJob job = make_alternating_chain(2, 5.0);
+  StagePlacement wrong_arity;
+  wrong_arity.device = {sim::DeviceKind::kCpu};
+  EXPECT_THROW((void)planner_.predict(job, wrong_arity, std::nullopt),
+               corun::ContractViolation);
+  SplitOptions bad;
+  bad.cold_start_penalty = 0.5;
+  EXPECT_THROW(KernelSplitPlanner(config_, bad), corun::ContractViolation);
+}
+
+}  // namespace
+}  // namespace corun::ext

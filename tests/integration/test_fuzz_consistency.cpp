@@ -1,0 +1,117 @@
+// Fuzz-style consistency tests: for many randomly generated (but valid)
+// schedules, the analytic evaluator's prediction and the simulator's ground
+// truth must agree within the model-error band, and every structural
+// invariant of execution must hold. This is the broadest net over the
+// evaluator/runtime pair — anything the example-based tests miss tends to
+// surface here first.
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+#include "corun/common/rng.hpp"
+#include "corun/core/runtime/runtime.hpp"
+#include "corun/core/sched/makespan_evaluator.hpp"
+
+namespace corun {
+namespace {
+
+using corun::testing::eight_program_fixture;
+
+/// Generates a random valid schedule over `n` jobs: random placement,
+/// random order, random (valid) levels, occasional solo tail, occasional
+/// model-driven DVFS.
+sched::Schedule random_schedule(Rng& rng, std::size_t n) {
+  sched::Schedule s;
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::size_t solo_count =
+      rng.chance(0.3) ? static_cast<std::size_t>(rng.uniform_int(1, 2)) : 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t job = order[k];
+    if (k < solo_count) {
+      const auto device =
+          rng.chance(0.5) ? sim::DeviceKind::kCpu : sim::DeviceKind::kGpu;
+      s.solo.push_back({job, device,
+                        static_cast<sim::FreqLevel>(rng.uniform_int(
+                            0, device == sim::DeviceKind::kCpu ? 15 : 9))});
+    } else if (rng.chance(0.5)) {
+      s.cpu.push_back({job, static_cast<sim::FreqLevel>(rng.uniform_int(0, 15))});
+    } else {
+      s.gpu.push_back({job, static_cast<sim::FreqLevel>(rng.uniform_int(0, 9))});
+    }
+  }
+  s.model_dvfs = rng.chance(0.3);
+  return s;
+}
+
+TEST(FuzzConsistency, PredictionTracksGroundTruthOverRandomSchedules) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  const sched::MakespanEvaluator evaluator(ctx);
+  runtime::RuntimeOptions rt;
+  rt.cap = 15.0;
+  rt.predictor = f.predictor.get();
+  rt.record_power_trace = false;
+  const runtime::CoRunRuntime runner(f.config, rt);
+
+  Rng rng(20260706);
+  int within_band = 0;
+  constexpr int kTrials = 12;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const sched::Schedule s = random_schedule(rng, 8);
+    ASSERT_NO_THROW(s.validate(8)) << "generator bug in trial " << trial;
+
+    const Seconds predicted = evaluator.makespan(s);
+    const runtime::ExecutionReport report = runner.execute(f.batch, s);
+
+    // Structural invariants on every execution.
+    ASSERT_EQ(report.jobs.size(), 8u) << trial;
+    for (const runtime::JobOutcome& j : report.jobs) {
+      EXPECT_GT(j.finish, j.start) << trial;
+      EXPECT_LE(j.finish, report.makespan + 1e-9) << trial;
+    }
+    EXPECT_GT(report.energy, 0.0) << trial;
+    EXPECT_GT(predicted, 0.0) << trial;
+
+    // Prediction within the (generous) model-error band.
+    const double err =
+        std::abs(report.makespan - predicted) / report.makespan;
+    EXPECT_LT(err, 0.35) << "trial " << trial << ": predicted " << predicted
+                         << " actual " << report.makespan;
+    if (err < 0.15) ++within_band;
+  }
+  // Most random schedules should be predicted well, not just bounded.
+  EXPECT_GE(within_band, kTrials / 2);
+}
+
+TEST(FuzzConsistency, EvaluatorDeterministicOverRandomSchedules) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  const sched::MakespanEvaluator evaluator(ctx);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const sched::Schedule s = random_schedule(rng, 8);
+    EXPECT_DOUBLE_EQ(evaluator.makespan(s), evaluator.makespan(s));
+  }
+}
+
+TEST(FuzzConsistency, CapNeverGrosslyViolatedForAnySchedule) {
+  const auto& f = eight_program_fixture();
+  runtime::RuntimeOptions rt;
+  rt.cap = 15.0;
+  rt.predictor = f.predictor.get();
+  rt.record_power_trace = false;
+  const runtime::CoRunRuntime runner(f.config, rt);
+  Rng rng(99);
+  for (int trial = 0; trial < 6; ++trial) {
+    const sched::Schedule s = random_schedule(rng, 8);
+    const runtime::ExecutionReport report = runner.execute(f.batch, s);
+    EXPECT_LT(report.cap_stats.worst_overshoot, 4.0) << trial;
+    EXPECT_LT(report.cap_stats.time_over_cap,
+              report.makespan * 0.25)
+        << trial;
+  }
+}
+
+}  // namespace
+}  // namespace corun

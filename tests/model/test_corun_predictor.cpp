@@ -1,0 +1,168 @@
+#include "corun/core/model/corun_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/core/model/degradation_space.hpp"
+#include "corun/profile/profiler.hpp"
+#include "corun/workload/rodinia.hpp"
+
+namespace corun::model {
+namespace {
+
+class CoRunPredictorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new sim::MachineConfig(sim::ivy_bridge());
+    workload::Batch batch;
+    for (const char* name : {"streamcluster", "dwt2d", "leukocyte"}) {
+      batch.add(workload::rodinia_by_name(name).value(), 42);
+    }
+    profile::Profiler profiler(
+        *config_, profile::ProfilerOptions{.cpu_levels = {0, 7},
+                                           .gpu_levels = {0, 4}});
+    db_ = new profile::ProfileDB(profiler.profile_batch(batch));
+    const DegradationSpaceBuilder builder(*config_);
+    grid_ = new DegradationGrid(
+        builder.characterize({0.0, 3.0, 7.0, 11.0}, {0.0, 3.0, 7.0, 11.0}));
+    predictor_ = new CoRunPredictor(*db_, *grid_, *config_);
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete grid_;
+    delete db_;
+    delete config_;
+  }
+
+  static sim::MachineConfig* config_;
+  static profile::ProfileDB* db_;
+  static DegradationGrid* grid_;
+  static CoRunPredictor* predictor_;
+};
+
+sim::MachineConfig* CoRunPredictorTest::config_ = nullptr;
+profile::ProfileDB* CoRunPredictorTest::db_ = nullptr;
+DegradationGrid* CoRunPredictorTest::grid_ = nullptr;
+CoRunPredictor* CoRunPredictorTest::predictor_ = nullptr;
+
+TEST_F(CoRunPredictorTest, RecordedLevelsPassThrough) {
+  EXPECT_DOUBLE_EQ(
+      predictor_->standalone_time("dwt2d", sim::DeviceKind::kCpu, 15),
+      db_->at("dwt2d", sim::DeviceKind::kCpu, 15).time);
+}
+
+TEST_F(CoRunPredictorTest, MissingLevelsInterpolated) {
+  // Level 11 was not profiled; the interpolant must land between the
+  // bracketing recorded levels 7 and 15.
+  const Seconds t7 = predictor_->standalone_time("dwt2d", sim::DeviceKind::kCpu, 7);
+  const Seconds t15 =
+      predictor_->standalone_time("dwt2d", sim::DeviceKind::kCpu, 15);
+  const Seconds t11 =
+      predictor_->standalone_time("dwt2d", sim::DeviceKind::kCpu, 11);
+  EXPECT_LT(t11, t7);
+  EXPECT_GT(t11, t15);
+}
+
+TEST_F(CoRunPredictorTest, PredictionFieldsConsistent) {
+  const PairPrediction p = predictor_->predict("dwt2d", 15, "streamcluster", 9);
+  EXPECT_GE(p.cpu_degradation, 0.0);
+  EXPECT_GE(p.gpu_degradation, 0.0);
+  EXPECT_DOUBLE_EQ(p.cpu_time, p.cpu_solo_time * (1.0 + p.cpu_degradation));
+  EXPECT_DOUBLE_EQ(p.gpu_time, p.gpu_solo_time * (1.0 + p.gpu_degradation));
+  EXPECT_GT(p.power, 0.0);
+}
+
+TEST_F(CoRunPredictorTest, MemoryHogsInterfereMoreThanComputeJobs) {
+  const PairPrediction hog = predictor_->predict("dwt2d", 15, "streamcluster", 9);
+  const PairPrediction mild = predictor_->predict("dwt2d", 15, "leukocyte", 9);
+  EXPECT_GT(hog.cpu_degradation, mild.cpu_degradation + 0.02);
+}
+
+TEST_F(CoRunPredictorTest, BestSoloLevelIsMaxWithoutCap) {
+  const auto level = predictor_->best_solo_level(
+      "leukocyte", sim::DeviceKind::kCpu, std::nullopt);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 15);
+}
+
+TEST_F(CoRunPredictorTest, CapLowersBestSoloLevel) {
+  // leukocyte is compute-bound (high power): a 15 W cap forbids max freq.
+  const auto capped =
+      predictor_->best_solo_level("leukocyte", sim::DeviceKind::kCpu, 15.0);
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_LT(*capped, 15);
+  EXPECT_TRUE(predictor_->solo_feasible("leukocyte", sim::DeviceKind::kCpu,
+                                        *capped, 15.0));
+}
+
+TEST_F(CoRunPredictorTest, ImpossibleCapYieldsNull) {
+  EXPECT_FALSE(predictor_
+                   ->best_solo_level("leukocyte", sim::DeviceKind::kCpu, 1.0)
+                   .has_value());
+}
+
+TEST_F(CoRunPredictorTest, BestPairRespectsCap) {
+  const auto pair =
+      predictor_->best_pair_min_makespan("dwt2d", "streamcluster", 16.0);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_TRUE(predictor_->corun_feasible("dwt2d", pair->cpu, "streamcluster",
+                                         pair->gpu, 16.0));
+  // Without a cap the best pair is at least as good as running both maxed.
+  const auto uncapped = predictor_->best_pair_min_makespan(
+      "dwt2d", "streamcluster", std::nullopt);
+  ASSERT_TRUE(uncapped.has_value());
+  const PairPrediction best =
+      predictor_->predict("dwt2d", uncapped->cpu, "streamcluster", uncapped->gpu);
+  const PairPrediction maxed = predictor_->predict("dwt2d", 15, "streamcluster", 9);
+  EXPECT_LE(std::max(best.cpu_time, best.gpu_time),
+            std::max(maxed.cpu_time, maxed.gpu_time) + 1e-9);
+}
+
+TEST_F(CoRunPredictorTest, TighterCapNeverFaster) {
+  const auto loose =
+      predictor_->best_pair_min_makespan("dwt2d", "streamcluster", 20.0);
+  const auto tight =
+      predictor_->best_pair_min_makespan("dwt2d", "streamcluster", 14.0);
+  ASSERT_TRUE(loose && tight);
+  const PairPrediction pl =
+      predictor_->predict("dwt2d", loose->cpu, "streamcluster", loose->gpu);
+  const PairPrediction pt =
+      predictor_->predict("dwt2d", tight->cpu, "streamcluster", tight->gpu);
+  EXPECT_LE(std::max(pl.cpu_time, pl.gpu_time),
+            std::max(pt.cpu_time, pt.gpu_time) + 1e-9);
+}
+
+TEST_F(CoRunPredictorTest, MinDegradationCriterionFindsLowInterference) {
+  const auto pair =
+      predictor_->best_pair_min_degradation("dwt2d", "streamcluster", 16.0);
+  ASSERT_TRUE(pair.has_value());
+  const PairPrediction p =
+      predictor_->predict("dwt2d", pair->cpu, "streamcluster", pair->gpu);
+  // Any feasible alternative must have >= degradation sum (up to the small
+  // frequency tie-break bonus).
+  const auto alt =
+      predictor_->best_pair_min_makespan("dwt2d", "streamcluster", 16.0);
+  const PairPrediction pa =
+      predictor_->predict("dwt2d", alt->cpu, "streamcluster", alt->gpu);
+  EXPECT_LE(p.cpu_degradation + p.gpu_degradation,
+            pa.cpu_degradation + pa.gpu_degradation + 0.01);
+}
+
+TEST_F(CoRunPredictorTest, BestLevelAgainstPinnedPartner) {
+  const auto level = predictor_->best_level_against(
+      "dwt2d", sim::DeviceKind::kCpu, "streamcluster", 9, 16.0);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_TRUE(
+      predictor_->corun_feasible("dwt2d", *level, "streamcluster", 9, 16.0));
+}
+
+TEST_F(CoRunPredictorTest, PowerPredictionMatchesPowerPredictorFormula) {
+  const Watts p = predictor_->predict_power("dwt2d", 15, "streamcluster", 9);
+  const Watts expected =
+      predictor_->standalone_power("dwt2d", sim::DeviceKind::kCpu, 15) +
+      predictor_->standalone_power("streamcluster", sim::DeviceKind::kGpu, 9) -
+      db_->idle_power();
+  EXPECT_DOUBLE_EQ(p, expected);
+}
+
+}  // namespace
+}  // namespace corun::model

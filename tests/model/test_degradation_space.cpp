@@ -1,0 +1,135 @@
+#include "corun/core/model/degradation_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corun/sim/machine.hpp"
+
+namespace corun::model {
+namespace {
+
+// Characterization is the expensive offline stage; run it once per suite.
+class DegradationSpaceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const DegradationSpaceBuilder builder(sim::ivy_bridge());
+    grid_ = new DegradationGrid(builder.characterize());
+  }
+  static void TearDownTestSuite() {
+    delete grid_;
+    grid_ = nullptr;
+  }
+  static DegradationGrid* grid_;
+};
+
+DegradationGrid* DegradationSpaceTest::grid_ = nullptr;
+
+TEST_F(DegradationSpaceTest, GridIsElevenByEleven) {
+  ASSERT_TRUE(grid_->valid());
+  EXPECT_EQ(grid_->cpu_axis.size(), 11u);
+  EXPECT_EQ(grid_->gpu_axis.size(), 11u);
+}
+
+TEST_F(DegradationSpaceTest, CornerDegradationsMatchPaperBands) {
+  // Paper (Figs. 5-6): largest CPU degradation ~65%, largest GPU ~45%.
+  EXPECT_NEAR(grid_->max_cpu_degradation(), 0.65, 0.10);
+  EXPECT_NEAR(grid_->max_gpu_degradation(), 0.45, 0.10);
+  EXPECT_GT(grid_->max_cpu_degradation(), grid_->max_gpu_degradation());
+}
+
+TEST_F(DegradationSpaceTest, ZeroDemandMeansZeroDegradation) {
+  // First row/column: a pure-compute micro neither suffers nor inflicts.
+  for (std::size_t j = 0; j < grid_->gpu_axis.size(); ++j) {
+    EXPECT_NEAR(grid_->cpu_deg[0][j], 0.0, 0.01);  // CPU side at 0 GB/s
+  }
+  for (std::size_t i = 0; i < grid_->cpu_axis.size(); ++i) {
+    EXPECT_NEAR(grid_->gpu_deg[i][0], 0.0, 0.01);  // GPU side at 0 GB/s
+    EXPECT_NEAR(grid_->cpu_deg[i][0], 0.0, 0.01);  // no GPU traffic
+  }
+}
+
+TEST_F(DegradationSpaceTest, DegradationGrowsWithPartnerDemand) {
+  // Along the top CPU row, more GPU traffic hurts more (paper: "higher
+  // throughput executions ... lead to more serious degradation").
+  const std::size_t top = grid_->cpu_axis.size() - 1;
+  for (std::size_t j = 1; j < grid_->gpu_axis.size(); ++j) {
+    EXPECT_GE(grid_->cpu_deg[top][j], grid_->cpu_deg[top][j - 1] - 0.02);
+  }
+  EXPECT_GT(grid_->cpu_deg[top].back(), grid_->cpu_deg[top][3]);
+}
+
+TEST_F(DegradationSpaceTest, CpuMostlyMildGpuBroadlyHit) {
+  // Paper: CPU suffers <= 20% in about half the cases; GPU sees 20-40%
+  // over much of the space.
+  int cpu_mild = 0;
+  int gpu_hit = 0;
+  int cells = 0;
+  for (std::size_t i = 0; i < grid_->cpu_axis.size(); ++i) {
+    for (std::size_t j = 0; j < grid_->gpu_axis.size(); ++j) {
+      ++cells;
+      if (grid_->cpu_deg[i][j] <= 0.20) ++cpu_mild;
+      if (grid_->gpu_deg[i][j] >= 0.15) ++gpu_hit;
+    }
+  }
+  EXPECT_GT(cpu_mild, cells / 2);
+  EXPECT_GT(gpu_hit, cells / 5);
+}
+
+TEST_F(DegradationSpaceTest, CpuCollapsesOnlyAtHighJointDemand) {
+  // The >8.5 GB/s corner effect: the worst CPU degradations live where both
+  // demands are high.
+  const std::size_t hi = grid_->cpu_axis.size() - 1;
+  const std::size_t mid = grid_->cpu_axis.size() / 2;
+  EXPECT_GT(grid_->cpu_deg[hi][hi], 2.0 * grid_->cpu_deg[mid][mid]);
+}
+
+TEST_F(DegradationSpaceTest, CsvRoundTrip) {
+  std::ostringstream oss;
+  grid_->write_csv(oss);
+  const auto parsed = DegradationGrid::read_csv(oss.str());
+  ASSERT_TRUE(parsed.has_value());
+  const DegradationGrid& round = parsed.value();
+  ASSERT_TRUE(round.valid());
+  ASSERT_EQ(round.cpu_axis.size(), grid_->cpu_axis.size());
+  for (std::size_t i = 0; i < grid_->cpu_axis.size(); ++i) {
+    for (std::size_t j = 0; j < grid_->gpu_axis.size(); ++j) {
+      EXPECT_NEAR(round.cpu_deg[i][j], grid_->cpu_deg[i][j], 1e-6);
+      EXPECT_NEAR(round.gpu_deg[i][j], grid_->gpu_deg[i][j], 1e-6);
+    }
+  }
+}
+
+TEST(DegradationGrid, MalformedCsvRejected) {
+  EXPECT_FALSE(DegradationGrid::read_csv("cpu_bw,gpu_bw,cpu_deg\n").has_value());
+  EXPECT_FALSE(DegradationGrid::read_csv("").has_value());
+}
+
+TEST(DegradationGrid, ValidityChecks) {
+  DegradationGrid g;
+  EXPECT_FALSE(g.valid());
+  g.cpu_axis = {0.0, 1.0};
+  g.gpu_axis = {0.0};
+  g.cpu_deg = {{0.0}, {0.1}};
+  g.gpu_deg = {{0.0}, {0.1}};
+  EXPECT_TRUE(g.valid());
+  g.cpu_deg.pop_back();
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(DegradationSpaceBuilder, CustomAxesRespected) {
+  const DegradationSpaceBuilder builder(sim::ivy_bridge());
+  const DegradationGrid g = builder.characterize({0.0, 11.0}, {0.0, 5.5, 11.0});
+  ASSERT_TRUE(g.valid());
+  EXPECT_EQ(g.cpu_axis.size(), 2u);
+  EXPECT_EQ(g.gpu_axis.size(), 3u);
+}
+
+TEST(DegradationSpaceBuilder, MeasureCellSymmetryOfZero) {
+  const DegradationSpaceBuilder builder(sim::ivy_bridge());
+  EXPECT_NEAR(builder.measure_cell(sim::DeviceKind::kCpu, 5.0, 0.0), 0.0, 0.01);
+  EXPECT_NEAR(builder.measure_cell(sim::DeviceKind::kGpu, 5.0, 0.0), 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace corun::model

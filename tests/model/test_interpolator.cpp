@@ -1,0 +1,81 @@
+#include "corun/core/model/interpolator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+
+namespace corun::model {
+namespace {
+
+/// Synthetic separable surface deg = 0.01 * cpu_bw * gpu_bw so bilinear
+/// interpolation is exact everywhere — lets us verify the mechanics.
+DegradationGrid synthetic_grid() {
+  DegradationGrid g;
+  g.cpu_axis = {0.0, 4.0, 8.0, 12.0};
+  g.gpu_axis = {0.0, 6.0, 12.0};
+  g.cpu_deg.assign(4, std::vector<double>(3, 0.0));
+  g.gpu_deg.assign(4, std::vector<double>(3, 0.0));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      g.cpu_deg[i][j] = 0.01 * g.cpu_axis[i] * g.gpu_axis[j];
+      g.gpu_deg[i][j] = 0.02 * g.cpu_axis[i] + 0.005 * g.gpu_axis[j];
+    }
+  }
+  return g;
+}
+
+TEST(StagedInterpolator, ExactAtGridPoints) {
+  const StagedInterpolator interp(synthetic_grid());
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(8.0, 6.0), 0.48);
+  EXPECT_DOUBLE_EQ(interp.gpu_degradation(4.0, 12.0), 0.14);
+}
+
+TEST(StagedInterpolator, BilinearBetweenPoints) {
+  const StagedInterpolator interp(synthetic_grid());
+  // Separable bilinear function: interpolation is exact off-grid too.
+  EXPECT_NEAR(interp.cpu_degradation(6.0, 3.0), 0.01 * 6.0 * 3.0, 1e-12);
+  EXPECT_NEAR(interp.gpu_degradation(2.0, 9.0), 0.02 * 2.0 + 0.005 * 9.0,
+              1e-12);
+}
+
+TEST(StagedInterpolator, ClampsOutOfRangeInputs) {
+  const StagedInterpolator interp(synthetic_grid());
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(-5.0, 6.0),
+                   interp.cpu_degradation(0.0, 6.0));
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(20.0, 20.0),
+                   interp.cpu_degradation(12.0, 12.0));
+}
+
+TEST(StagedInterpolator, ZeroCornerIsZero) {
+  const StagedInterpolator interp(synthetic_grid());
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(0.0, 0.0), 0.0);
+}
+
+TEST(StagedInterpolator, SingleCellGrid) {
+  DegradationGrid g;
+  g.cpu_axis = {5.0};
+  g.gpu_axis = {5.0};
+  g.cpu_deg = {{0.3}};
+  g.gpu_deg = {{0.2}};
+  const StagedInterpolator interp(std::move(g));
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(0.0, 100.0), 0.3);
+  EXPECT_DOUBLE_EQ(interp.gpu_degradation(5.0, 5.0), 0.2);
+}
+
+TEST(StagedInterpolator, MalformedGridRejected) {
+  DegradationGrid g;  // invalid: empty
+  EXPECT_THROW(StagedInterpolator{std::move(g)}, corun::ContractViolation);
+}
+
+TEST(StagedInterpolator, MonotoneSurfaceStaysMonotoneAlongAxes) {
+  const StagedInterpolator interp(synthetic_grid());
+  double prev = -1.0;
+  for (double g = 0.0; g <= 12.0; g += 0.5) {
+    const double d = interp.cpu_degradation(10.0, g);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace corun::model

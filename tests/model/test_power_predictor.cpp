@@ -1,0 +1,99 @@
+#include "corun/core/model/power_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+#include "corun/profile/profiler.hpp"
+#include "corun/sim/engine.hpp"
+#include "corun/workload/rodinia.hpp"
+
+namespace corun::model {
+namespace {
+
+class PowerPredictorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new sim::MachineConfig(sim::ivy_bridge());
+    batch_ = new workload::Batch;
+    for (const char* name : {"streamcluster", "hotspot", "lud"}) {
+      batch_->add(workload::rodinia_by_name(name).value(), 42);
+    }
+    profile::Profiler profiler(
+        *config_, profile::ProfilerOptions{.cpu_levels = {0, 7, 15},
+                                           .gpu_levels = {0, 4, 9}});
+    db_ = new profile::ProfileDB(profiler.profile_batch(*batch_));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete batch_;
+    delete config_;
+  }
+
+  static sim::MachineConfig* config_;
+  static workload::Batch* batch_;
+  static profile::ProfileDB* db_;
+};
+
+sim::MachineConfig* PowerPredictorTest::config_ = nullptr;
+workload::Batch* PowerPredictorTest::batch_ = nullptr;
+profile::ProfileDB* PowerPredictorTest::db_ = nullptr;
+
+TEST_F(PowerPredictorTest, StandaloneReadsProfiles) {
+  const PowerPredictor predictor(*db_);
+  EXPECT_DOUBLE_EQ(predictor.standalone("lud", sim::DeviceKind::kCpu, 15),
+                   db_->at("lud", sim::DeviceKind::kCpu, 15).avg_power);
+}
+
+TEST_F(PowerPredictorTest, CoRunPredictionSumsMinusIdle) {
+  const PowerPredictor predictor(*db_);
+  const Watts p = predictor.predict_corun("lud", 15, "hotspot", 9);
+  const Watts expected =
+      db_->at("lud", sim::DeviceKind::kCpu, 15).avg_power +
+      db_->at("hotspot", sim::DeviceKind::kGpu, 9).avg_power -
+      db_->idle_power();
+  EXPECT_DOUBLE_EQ(p, expected);
+}
+
+TEST_F(PowerPredictorTest, PredictionCloseToGroundTruth) {
+  // The Fig. 8 claim: standalone-sum prediction lands within a few percent
+  // of measured co-run package power.
+  const PowerPredictor predictor(*db_);
+  const Watts predicted = predictor.predict_corun("lud", 15, "hotspot", 9);
+
+  sim::EngineOptions eo;
+  eo.record_samples = false;
+  sim::Engine engine(*config_, eo);
+  engine.set_ceilings(15, 9);
+  engine.launch(batch_->job(2).spec, sim::DeviceKind::kCpu);   // lud
+  engine.launch(batch_->job(1).spec, sim::DeviceKind::kGpu);   // hotspot
+  // Measure only the overlap window (while both run).
+  const auto events = engine.run_until_event();
+  ASSERT_FALSE(events.empty());
+  const Watts actual = engine.telemetry().avg_power();
+  EXPECT_NEAR(predicted, actual, actual * 0.08);  // paper: max error 8%
+}
+
+TEST_F(PowerPredictorTest, FeasibilityAgainstCap) {
+  const PowerPredictor predictor(*db_);
+  const Watts corun_power = predictor.predict_corun("lud", 15, "hotspot", 9);
+  EXPECT_FALSE(predictor.corun_feasible("lud", 15, "hotspot", 9,
+                                        corun_power - 1.0));
+  EXPECT_TRUE(predictor.corun_feasible("lud", 15, "hotspot", 9,
+                                       corun_power + 1.0));
+  EXPECT_TRUE(predictor.solo_feasible("lud", sim::DeviceKind::kCpu, 0, 15.0));
+  EXPECT_FALSE(predictor.solo_feasible("lud", sim::DeviceKind::kCpu, 15, 15.0));
+}
+
+TEST_F(PowerPredictorTest, LowerFrequencyPairsDrawLess) {
+  const PowerPredictor predictor(*db_);
+  EXPECT_LT(predictor.predict_corun("lud", 0, "hotspot", 0),
+            predictor.predict_corun("lud", 15, "hotspot", 9));
+}
+
+TEST(PowerPredictor, RequiresIdlePower) {
+  profile::ProfileDB empty;
+  EXPECT_THROW(PowerPredictor{empty}, corun::ContractViolation);
+}
+
+}  // namespace
+}  // namespace corun::model

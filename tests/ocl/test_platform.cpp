@@ -1,0 +1,47 @@
+#include "corun/ocl/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corun::ocl {
+namespace {
+
+TEST(Platform, ExposesBothDevices) {
+  const auto platform = Platform::create_default();
+  ASSERT_EQ(platform->devices().size(), 2u);
+  EXPECT_TRUE(platform->cpu().is_cpu());
+  EXPECT_TRUE(platform->gpu().is_gpu());
+}
+
+TEST(Platform, DeviceInfoReflectsMachine) {
+  const auto platform = Platform::create_default();
+  EXPECT_EQ(platform->cpu().compute_units(), 4);
+  EXPECT_EQ(platform->cpu().max_clock_mhz(), 3600);
+  EXPECT_EQ(platform->cpu().frequency_levels(), 16);
+  EXPECT_EQ(platform->gpu().max_clock_mhz(), 1250);
+  EXPECT_EQ(platform->gpu().frequency_levels(), 10);
+}
+
+TEST(Platform, DeviceNamesNonEmpty) {
+  const auto platform = Platform::create_default();
+  EXPECT_FALSE(platform->cpu().name().empty());
+  EXPECT_FALSE(platform->gpu().name().empty());
+  EXPECT_NE(platform->cpu().name(), platform->gpu().name());
+}
+
+TEST(Platform, OwnsLiveEngine) {
+  const auto platform = Platform::create_default();
+  ASSERT_NE(platform->engine(), nullptr);
+  EXPECT_TRUE(platform->engine()->idle());
+  EXPECT_DOUBLE_EQ(platform->engine()->now(), 0.0);
+}
+
+TEST(Platform, CustomConfigRespected) {
+  sim::MachineConfig config = sim::ivy_bridge();
+  config.cpu_cores = 8;
+  sim::EngineOptions options;
+  const auto platform = Platform::create(config, options);
+  EXPECT_EQ(platform->cpu().compute_units(), 8);
+}
+
+}  // namespace
+}  // namespace corun::ocl

@@ -1,0 +1,93 @@
+#include "corun/ocl/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/ocl/kernel.hpp"
+#include "corun/workload/microbench.hpp"
+
+namespace corun::ocl {
+namespace {
+
+std::shared_ptr<Context> make_context() {
+  return std::make_shared<Context>(Platform::create_default());
+}
+
+std::map<std::string, KernelSource> one_kernel() {
+  const auto desc = workload::micro_kernel(4.0).value();
+  return {{"stress", workload::make_kernel_source(desc, 1)}};
+}
+
+TEST(Program, BuildAndEnumerate) {
+  const auto program = Program::build(make_context(), one_kernel());
+  EXPECT_EQ(program->kernel_names(), std::vector<std::string>{"stress"});
+}
+
+TEST(Program, CreateKnownKernel) {
+  const auto program = Program::build(make_context(), one_kernel());
+  const auto kernel = program->create_kernel("stress");
+  ASSERT_TRUE(kernel.has_value());
+  EXPECT_EQ(kernel.value()->name(), "stress");
+  EXPECT_EQ(kernel.value()->num_args(), 3);  // Figure-4 kernel signature
+}
+
+TEST(Program, UnknownKernelNameFails) {
+  const auto program = Program::build(make_context(), one_kernel());
+  const auto kernel = program->create_kernel("nope");
+  ASSERT_FALSE(kernel.has_value());
+  EXPECT_NE(kernel.error().message.find("INVALID_KERNEL_NAME"),
+            std::string::npos);
+}
+
+TEST(Kernel, ArgBindingLifecycle) {
+  const auto context = make_context();
+  const auto program = Program::build(context, one_kernel());
+  const auto kernel = program->create_kernel("stress").value();
+  EXPECT_FALSE(kernel->args_complete());
+
+  const auto in1 = context->create_buffer(1 << 20, MemFlags::kReadOnly, "in1");
+  const auto in2 = context->create_buffer(1 << 20, MemFlags::kReadOnly, "in2");
+  const auto out = context->create_buffer(1 << 20, MemFlags::kWriteOnly, "out");
+  EXPECT_EQ(kernel->set_arg(0, in1), Status::kSuccess);
+  EXPECT_EQ(kernel->set_arg(1, in2), Status::kSuccess);
+  EXPECT_FALSE(kernel->args_complete());
+  EXPECT_EQ(kernel->set_arg(2, out), Status::kSuccess);
+  EXPECT_TRUE(kernel->args_complete());
+  EXPECT_EQ(kernel->arg(2)->label(), "out");
+}
+
+TEST(Kernel, BadArgIndexReported) {
+  const auto context = make_context();
+  const auto program = Program::build(context, one_kernel());
+  const auto kernel = program->create_kernel("stress").value();
+  const auto buf = context->create_buffer(64, MemFlags::kReadWrite);
+  EXPECT_EQ(kernel->set_arg(3, buf), Status::kInvalidArgIndex);
+  EXPECT_EQ(kernel->set_arg(-1, buf), Status::kInvalidArgIndex);
+  EXPECT_EQ(kernel->set_arg(0, nullptr), Status::kInvalidKernelArgs);
+}
+
+TEST(Context, TracksAllocations) {
+  const auto context = make_context();
+  (void)context->create_buffer(100, MemFlags::kReadOnly);
+  (void)context->create_buffer(200, MemFlags::kWriteOnly);
+  EXPECT_EQ(context->total_allocated(), 300u);
+  EXPECT_EQ(context->buffer_count(), 2u);
+}
+
+TEST(Buffer, FlagsSemantics) {
+  Buffer ro(10, MemFlags::kReadOnly);
+  Buffer wo(10, MemFlags::kWriteOnly);
+  Buffer rw(10, MemFlags::kReadWrite);
+  EXPECT_TRUE(ro.readable());
+  EXPECT_FALSE(ro.writable());
+  EXPECT_FALSE(wo.readable());
+  EXPECT_TRUE(wo.writable());
+  EXPECT_TRUE(rw.readable());
+  EXPECT_TRUE(rw.writable());
+}
+
+TEST(Buffer, ZeroSizeRejected) {
+  EXPECT_THROW(Buffer(0, MemFlags::kReadOnly), corun::ContractViolation);
+}
+
+}  // namespace
+}  // namespace corun::ocl

@@ -1,0 +1,100 @@
+#include "corun/ocl/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/workload/microbench.hpp"
+#include "corun/workload/rodinia.hpp"
+
+namespace corun::ocl {
+namespace {
+
+struct Harness {
+  std::shared_ptr<Platform> platform = Platform::create_default();
+  std::shared_ptr<Context> context = std::make_shared<Context>(platform);
+
+  std::shared_ptr<Kernel> kernel(const std::string& name, double bw,
+                                 Seconds duration = 5.0) {
+    const auto desc = workload::micro_kernel(bw, duration).value();
+    auto program = Program::build(
+        context, {{name, workload::make_kernel_source(desc, 1)}});
+    auto k = program->create_kernel(name).value();
+    for (int i = 0; i < 3; ++i) {
+      k->set_arg(i, context->create_buffer(1 << 20, MemFlags::kReadWrite));
+    }
+    return k;
+  }
+};
+
+TEST(CommandQueue, EnqueueRunsToCompletion) {
+  Harness h;
+  auto queue = CommandQueue::create(h.context, h.platform->gpu());
+  const auto event = queue->enqueue(h.kernel("k", 2.0)).value();
+  event->wait();
+  EXPECT_TRUE(event->complete());
+  EXPECT_NEAR(event->duration(), 5.0, 0.1);
+  EXPECT_GE(event->started_at(), event->queued_at());
+}
+
+TEST(CommandQueue, UnboundArgsRejected) {
+  Harness h;
+  auto queue = CommandQueue::create(h.context, h.platform->cpu());
+  const auto desc = workload::micro_kernel(1.0).value();
+  auto program = Program::build(
+      h.context, {{"k", workload::make_kernel_source(desc, 1)}});
+  auto kernel = program->create_kernel("k").value();  // args unbound
+  const auto result = queue->enqueue(kernel);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("INVALID_KERNEL_ARGS"),
+            std::string::npos);
+}
+
+TEST(CommandQueue, InOrderExecutionOnOneDevice) {
+  Harness h;
+  auto queue = CommandQueue::create(h.context, h.platform->gpu());
+  const auto e1 = queue->enqueue(h.kernel("k1", 0.0, 3.0)).value();
+  const auto e2 = queue->enqueue(h.kernel("k2", 0.0, 3.0)).value();
+  EXPECT_EQ(queue->pending(), 1u);  // k2 waits behind k1
+  queue->finish();
+  EXPECT_TRUE(e1->complete());
+  EXPECT_TRUE(e2->complete());
+  EXPECT_GE(e2->started_at(), e1->finished_at() - 1e-9);
+}
+
+TEST(CommandQueue, TwoQueuesCoRunAndInterfere) {
+  Harness h;
+  auto cpu_q = CommandQueue::create(h.context, h.platform->cpu());
+  auto gpu_q = CommandQueue::create(h.context, h.platform->gpu());
+  // Both memory hogs: co-running must stretch both beyond standalone 5 s.
+  const auto ec = cpu_q->enqueue(h.kernel("c", 11.0)).value();
+  const auto eg = gpu_q->enqueue(h.kernel("g", 11.0)).value();
+  ec->wait();
+  eg->wait();
+  EXPECT_GT(ec->duration(), 5.5);
+  EXPECT_GT(eg->duration(), 5.5);
+}
+
+TEST(CommandQueue, FinishDrainsEverything) {
+  Harness h;
+  auto queue = CommandQueue::create(h.context, h.platform->cpu());
+  std::vector<std::shared_ptr<Event>> events;
+  for (int i = 0; i < 3; ++i) {
+    events.push_back(queue->enqueue(h.kernel("k" + std::to_string(i), 1.0, 2.0))
+                         .value());
+  }
+  queue->finish();
+  for (const auto& e : events) EXPECT_TRUE(e->complete());
+  EXPECT_EQ(queue->pending(), 0u);
+}
+
+TEST(CommandQueue, WaitOnQueuedEventSubmitsPredecessors) {
+  Harness h;
+  auto queue = CommandQueue::create(h.context, h.platform->gpu());
+  (void)queue->enqueue(h.kernel("a", 0.0, 2.0)).value();
+  const auto last = queue->enqueue(h.kernel("b", 0.0, 2.0)).value();
+  last->wait();  // must transparently run "a" first
+  EXPECT_TRUE(last->complete());
+  EXPECT_NEAR(last->finished_at(), 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace corun::ocl

@@ -1,0 +1,142 @@
+// Event wait-list semantics: cross-queue dependencies, the
+// clEnqueueNDRangeKernel(..., num_events_in_wait_list, ...) behaviour.
+#include <gtest/gtest.h>
+
+#include "corun/ocl/queue.hpp"
+#include "corun/workload/microbench.hpp"
+
+namespace corun::ocl {
+namespace {
+
+struct Harness {
+  std::shared_ptr<Platform> platform = Platform::create_default();
+  std::shared_ptr<Context> context = std::make_shared<Context>(platform);
+  std::shared_ptr<CommandQueue> cpu_q =
+      CommandQueue::create(context, platform->cpu());
+  std::shared_ptr<CommandQueue> gpu_q =
+      CommandQueue::create(context, platform->gpu());
+
+  std::shared_ptr<Kernel> kernel(const std::string& name, Seconds duration) {
+    const auto desc = workload::micro_kernel(2.0, duration).value();
+    auto program = Program::build(
+        context, {{name, workload::make_kernel_source(desc, 1)}});
+    auto k = program->create_kernel(name).value();
+    for (int i = 0; i < 3; ++i) {
+      k->set_arg(i, context->create_buffer(1 << 20, MemFlags::kReadWrite));
+    }
+    return k;
+  }
+};
+
+TEST(WaitLists, CrossQueueDependencySerializes) {
+  Harness h;
+  // GPU produces, CPU consumes: the CPU kernel must not start before the
+  // GPU kernel finishes, even though the CPU is idle the whole time.
+  const auto producer = h.gpu_q->enqueue(h.kernel("produce", 4.0)).value();
+  const auto consumer =
+      h.cpu_q->enqueue(h.kernel("consume", 3.0), {producer}).value();
+  consumer->wait();
+  EXPECT_TRUE(producer->complete());
+  EXPECT_GE(consumer->started_at(), producer->finished_at() - 1e-9);
+  EXPECT_NEAR(consumer->finished_at(), 7.0, 0.2);
+}
+
+TEST(WaitLists, IndependentCommandsStillOverlap) {
+  Harness h;
+  const auto a = h.gpu_q->enqueue(h.kernel("a", 4.0)).value();
+  const auto b = h.cpu_q->enqueue(h.kernel("b", 4.0)).value();  // no deps
+  a->wait();
+  b->wait();
+  // Ran concurrently: both end near t=4, not t=8.
+  EXPECT_LT(a->finished_at(), 5.0);
+  EXPECT_LT(b->finished_at(), 5.0);
+}
+
+TEST(WaitLists, DiamondDependency) {
+  Harness h;
+  // a -> {b (GPU), c (CPU)} -> d: d waits on both branches.
+  const auto a = h.gpu_q->enqueue(h.kernel("a", 2.0)).value();
+  const auto b = h.gpu_q->enqueue(h.kernel("b", 3.0), {a}).value();
+  const auto c = h.cpu_q->enqueue(h.kernel("c", 4.0), {a}).value();
+  const auto d = h.gpu_q->enqueue(h.kernel("d", 1.0), {b, c}).value();
+  d->wait();
+  EXPECT_GE(c->started_at(), a->finished_at() - 1e-9);
+  EXPECT_GE(d->started_at(), b->finished_at() - 1e-9);
+  EXPECT_GE(d->started_at(), c->finished_at() - 1e-9);
+  // a(2) then max(b: 2+3, c: 2+4..) -> d starts ~6+, ends ~7+.
+  EXPECT_NEAR(d->finished_at(), 7.0, 0.8);
+}
+
+TEST(WaitLists, FinishDrainsDependentChains) {
+  Harness h;
+  const auto a = h.cpu_q->enqueue(h.kernel("a", 2.0)).value();
+  const auto b = h.gpu_q->enqueue(h.kernel("b", 2.0), {a}).value();
+  (void)h.cpu_q->enqueue(h.kernel("c", 2.0), {b}).value();
+  h.cpu_q->finish();  // must transparently drive the GPU dependency too
+  EXPECT_TRUE(b->complete());
+  EXPECT_EQ(h.cpu_q->pending(), 0u);
+}
+
+TEST(WaitLists, NullEventRejected) {
+  Harness h;
+  const auto result = h.cpu_q->enqueue(h.kernel("x", 1.0), {nullptr});
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(WaitLists, MarkerCompletesWithItsDependencies) {
+  Harness h;
+  const auto a = h.gpu_q->enqueue(h.kernel("a", 2.0)).value();
+  const auto b = h.gpu_q->enqueue(h.kernel("b", 3.0)).value();
+  const auto marker = h.gpu_q->enqueue_marker();  // waits on a and b
+  EXPECT_FALSE(marker->complete());
+  marker->wait();
+  EXPECT_TRUE(a->complete());
+  EXPECT_TRUE(b->complete());
+  EXPECT_NEAR(marker->finished_at(), b->finished_at(), 0.05);
+  EXPECT_EQ(marker->kernel_name(), "(marker)");
+}
+
+TEST(WaitLists, MarkerWithExplicitListIgnoresOtherWork) {
+  Harness h;
+  const auto a = h.gpu_q->enqueue(h.kernel("a", 1.0)).value();
+  const auto long_cpu = h.cpu_q->enqueue(h.kernel("long", 8.0)).value();
+  const auto marker = h.cpu_q->enqueue_marker({a});  // only waits on a
+  marker->wait();
+  EXPECT_TRUE(marker->complete());
+  EXPECT_FALSE(long_cpu->complete());  // marker did not wait for it
+  long_cpu->wait();
+}
+
+TEST(WaitLists, BarrierOrdersSubsequentCommands) {
+  Harness h;
+  const auto a = h.gpu_q->enqueue(h.kernel("a", 2.0)).value();
+  const auto barrier = h.gpu_q->enqueue_barrier();
+  const auto b = h.gpu_q->enqueue(h.kernel("b", 1.0)).value();
+  b->wait();
+  EXPECT_TRUE(barrier->complete());
+  EXPECT_GE(b->started_at(), a->finished_at() - 1e-9);
+  EXPECT_EQ(barrier->kernel_name(), "(barrier)");
+}
+
+TEST(WaitLists, CrossQueueBarrierSynchronizesDevices) {
+  Harness h;
+  // Phase 1 on both devices, then a join marker, then phase 2 gated on it.
+  const auto p1_gpu = h.gpu_q->enqueue(h.kernel("p1g", 3.0)).value();
+  const auto p1_cpu = h.cpu_q->enqueue(h.kernel("p1c", 5.0)).value();
+  const auto join = h.gpu_q->enqueue_marker({p1_gpu, p1_cpu});
+  const auto p2 = h.gpu_q->enqueue(h.kernel("p2", 1.0), {join}).value();
+  p2->wait();
+  EXPECT_GE(p2->started_at(), p1_cpu->finished_at() - 1e-9);
+}
+
+TEST(WaitLists, CompletedDependencyDoesNotDelay) {
+  Harness h;
+  const auto a = h.gpu_q->enqueue(h.kernel("a", 1.0)).value();
+  a->wait();
+  const auto b = h.cpu_q->enqueue(h.kernel("b", 1.0), {a}).value();
+  b->wait();
+  EXPECT_NEAR(b->started_at(), a->finished_at(), 0.1);
+}
+
+}  // namespace
+}  // namespace corun::ocl

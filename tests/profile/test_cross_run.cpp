@@ -1,0 +1,104 @@
+// Cross-run estimation: synthesizing a scaled instance's profile from a
+// measured base profile (the Sec. V-C acquisition path that avoids
+// re-profiling every input).
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+#include "corun/profile/profiler.hpp"
+#include "corun/workload/rodinia.hpp"
+
+namespace corun::profile {
+namespace {
+
+TEST(CrossRun, ScaledInstanceMatchesDirectProfile) {
+  // Profile srad at full size and at 0.7x; the synthesized 0.7x profile
+  // must match the direct measurement (times scale linearly in the
+  // simulator, bandwidth and power are rates).
+  const sim::MachineConfig config = sim::ivy_bridge();
+  workload::Batch batch;
+  const auto base = workload::rodinia_by_name("srad").value();
+  workload::KernelDescriptor small = base;
+  small.input_scale = 0.7;
+  batch.add(base, 42, "srad_base");
+  batch.add(small, 42, "srad_small");
+
+  Profiler profiler(config, ProfilerOptions{.cpu_levels = {0, 10},
+                                            .gpu_levels = {0, 6}});
+  ProfileDB db = profiler.profile_batch(batch);
+  db.add_scaled_instance("srad_base", "srad_est", 0.7);
+
+  for (const sim::DeviceKind d :
+       {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
+    for (const sim::FreqLevel l : db.levels("srad_base", d)) {
+      const ProfileEntry& direct = db.at("srad_small", d, l);
+      const ProfileEntry& estimated = db.at("srad_est", d, l);
+      EXPECT_NEAR(estimated.time, direct.time, direct.time * 0.03)
+          << sim::device_name(d) << " L" << l;
+      EXPECT_NEAR(estimated.avg_bw, direct.avg_bw, 0.5);
+      EXPECT_NEAR(estimated.avg_power, direct.avg_power, 0.5);
+    }
+  }
+}
+
+TEST(CrossRun, ScalingArithmetic) {
+  ProfileDB db;
+  db.set_idle_power(5.0);
+  db.insert("base", sim::DeviceKind::kCpu, 3,
+            ProfileEntry{.time = 10.0, .avg_bw = 4.0, .avg_power = 12.0,
+                         .energy = 120.0});
+  db.add_scaled_instance("base", "double", 2.0);
+  const ProfileEntry& e = db.at("double", sim::DeviceKind::kCpu, 3);
+  EXPECT_DOUBLE_EQ(e.time, 20.0);
+  EXPECT_DOUBLE_EQ(e.energy, 240.0);
+  EXPECT_DOUBLE_EQ(e.avg_bw, 4.0);     // rate: invariant
+  EXPECT_DOUBLE_EQ(e.avg_power, 12.0); // rate: invariant
+}
+
+TEST(CrossRun, InvalidRequestsRejected) {
+  ProfileDB db;
+  db.insert("base", sim::DeviceKind::kCpu, 0,
+            ProfileEntry{.time = 1.0, .avg_bw = 1.0, .avg_power = 1.0});
+  EXPECT_THROW(db.add_scaled_instance("base", "x", 0.0),
+               corun::ContractViolation);
+  EXPECT_THROW(db.add_scaled_instance("base", "base", 0.5),
+               corun::ContractViolation);
+  EXPECT_THROW(db.add_scaled_instance("ghost", "x", 0.5),
+               corun::ContractViolation);
+}
+
+TEST(CrossRun, HalvesSixteenInstanceProfilingCost) {
+  // The Fig. 11 batch is each program twice at different scales; cross-run
+  // estimation profiles only the base instances and synthesizes the rest.
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const workload::Batch batch16 = workload::make_batch_16(42);
+
+  workload::Batch bases;
+  for (std::size_t i = 0; i < batch16.size(); i += 2) {
+    bases.add(batch16.job(i).descriptor, batch16.job(i).seed,
+              batch16.job(i).instance_name);
+  }
+  Profiler profiler(config, ProfilerOptions{.cpu_levels = {0, 10},
+                                            .gpu_levels = {0, 6}});
+  ProfileDB db = profiler.profile_batch(bases);
+  for (std::size_t i = 1; i < batch16.size(); i += 2) {
+    db.add_scaled_instance(batch16.job(i - 1).instance_name,
+                           batch16.job(i).instance_name,
+                           batch16.job(i).descriptor.input_scale /
+                               batch16.job(i - 1).descriptor.input_scale);
+  }
+  // Every instance of the 16-batch is now covered...
+  for (const auto& job : batch16.jobs()) {
+    EXPECT_FALSE(db.levels(job.instance_name, sim::DeviceKind::kGpu).empty())
+        << job.instance_name;
+  }
+  // ...and the estimates agree with the engine (phase traces differ by
+  // seed, so allow the per-instance variation band).
+  const auto direct = profiler.profile_one(batch16.job(1).spec,
+                                           sim::DeviceKind::kGpu, 9);
+  const ProfileEntry& estimated =
+      db.at(batch16.job(1).instance_name, sim::DeviceKind::kGpu, 9);
+  EXPECT_NEAR(estimated.time, direct.time, direct.time * 0.05);
+}
+
+}  // namespace
+}  // namespace corun::profile

@@ -1,0 +1,107 @@
+#include "corun/profile/online_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+#include "corun/common/stats.hpp"
+#include "corun/core/model/corun_predictor.hpp"
+#include "corun/core/model/degradation_space.hpp"
+#include "corun/profile/profiler.hpp"
+#include "corun/workload/microbench.hpp"
+#include "corun/workload/rodinia.hpp"
+
+namespace corun::profile {
+namespace {
+
+workload::Batch two_job_batch() {
+  workload::Batch batch;
+  batch.add(workload::rodinia_by_name("srad").value(), 42);
+  batch.add(workload::rodinia_by_name("lud").value(), 42);
+  return batch;
+}
+
+TEST(OnlineProfiler, SteadyJobEstimatedExactly) {
+  // The micro-benchmark has a single uniform phase, so any window
+  // extrapolates its runtime perfectly.
+  const auto desc = workload::micro_kernel(6.0, 30.0).value();
+  const sim::JobSpec spec = workload::make_job_spec(desc, 1);
+  const OnlineProfiler profiler(sim::ivy_bridge());
+  const ProfileEntry e = profiler.sample_one(spec, sim::DeviceKind::kCpu, 15);
+  EXPECT_NEAR(e.time, 30.0, 0.5);
+  EXPECT_NEAR(e.avg_bw, 6.0, 0.2);
+}
+
+TEST(OnlineProfiler, ShortJobMeasuredNotExtrapolated) {
+  const auto desc = workload::micro_kernel(3.0, 2.0).value();  // 2 s job
+  const sim::JobSpec spec = workload::make_job_spec(desc, 1);
+  const OnlineProfiler profiler(sim::ivy_bridge(),
+                                OnlineProfilerOptions{.sample_seconds = 5.0});
+  const ProfileEntry e = profiler.sample_one(spec, sim::DeviceKind::kGpu, 9);
+  EXPECT_NEAR(e.time, 2.0, 0.05);
+}
+
+TEST(OnlineProfiler, PhaseJitterCreatesBoundedEstimationError) {
+  // Real programs have phases; a 3 s window sees only the first ones. At
+  // reduced frequency the per-phase stretch varies with each phase's
+  // compute mix, so extrapolation is genuinely approximate there (at max
+  // frequency every standalone phase runs at reference rate and the
+  // estimate is exact by construction). The estimate must stay within ~25%
+  // of the truth — the accuracy/overhead trade-off of Sec. V-C.
+  const Profiler exact(sim::ivy_bridge(),
+                       ProfilerOptions{.cpu_levels = {5}, .gpu_levels = {5}});
+  const OnlineProfiler online(sim::ivy_bridge());
+  std::vector<double> errors;
+  for (const auto& desc : workload::rodinia_suite()) {
+    const sim::JobSpec spec = workload::make_job_spec(desc, 42);
+    const ProfileEntry truth = exact.profile_one(spec, sim::DeviceKind::kCpu, 5);
+    const ProfileEntry est = online.sample_one(spec, sim::DeviceKind::kCpu, 5);
+    errors.push_back(relative_error(est.time, truth.time));
+  }
+  EXPECT_LT(percentile(errors, 1.0), 0.30);
+  EXPECT_GT(percentile(errors, 1.0), 0.002);  // genuinely approximate
+}
+
+TEST(OnlineProfiler, BatchCoversSparseLevelsPlusMax) {
+  const OnlineProfiler profiler(sim::ivy_bridge());
+  const ProfileDB db = profiler.profile_batch(two_job_batch());
+  EXPECT_EQ(db.levels("srad", sim::DeviceKind::kCpu),
+            (std::vector<sim::FreqLevel>{0, 8, 15}));
+  EXPECT_EQ(db.levels("srad", sim::DeviceKind::kGpu),
+            (std::vector<sim::FreqLevel>{0, 5, 9}));
+  EXPECT_GT(db.idle_power(), 0.0);
+}
+
+TEST(OnlineProfiler, SamplingCostIsTiny) {
+  // The whole point of online estimation: cost linear in jobs x levels,
+  // far below actually running the batch.
+  const OnlineProfiler profiler(sim::ivy_bridge());
+  const workload::Batch batch = two_job_batch();
+  const Seconds cost = profiler.sampling_cost(batch);
+  Seconds batch_work = 0.0;
+  for (const auto& job : batch.jobs()) {
+    batch_work += job.spec.gpu.total_ref_time();
+  }
+  EXPECT_LT(cost, batch_work);
+  EXPECT_NEAR(cost, 2 * 6 * 3.0, 1e-9);  // 2 jobs x 6 level-samples x 3 s
+}
+
+TEST(OnlineProfiler, EstimatesUsableByPredictorAndScheduler) {
+  // An online-estimated DB must slot into the predictor without issues.
+  const OnlineProfiler profiler(sim::ivy_bridge());
+  const ProfileDB db = profiler.profile_batch(two_job_batch());
+  const model::DegradationSpaceBuilder builder(sim::ivy_bridge());
+  const model::DegradationGrid grid =
+      builder.characterize({0.0, 6.0, 11.0}, {0.0, 6.0, 11.0});
+  const model::CoRunPredictor predictor(db, grid, sim::ivy_bridge());
+  const auto pair = predictor.best_pair_min_makespan("srad", "lud", 15.0);
+  EXPECT_TRUE(pair.has_value());
+}
+
+TEST(OnlineProfiler, InvalidOptionsRejected) {
+  EXPECT_THROW(OnlineProfiler(sim::ivy_bridge(),
+                              OnlineProfilerOptions{.sample_seconds = 0.0}),
+               corun::ContractViolation);
+}
+
+}  // namespace
+}  // namespace corun::profile

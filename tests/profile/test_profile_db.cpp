@@ -1,0 +1,97 @@
+#include "corun/profile/profile_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corun/common/check.hpp"
+
+namespace corun::profile {
+namespace {
+
+ProfileEntry entry(double t, double bw, double p) {
+  return ProfileEntry{.time = t, .avg_bw = bw, .avg_power = p, .energy = t * p};
+}
+
+TEST(ProfileDB, InsertAndLookup) {
+  ProfileDB db;
+  db.insert("job", sim::DeviceKind::kCpu, 3, entry(10.0, 4.0, 12.0));
+  ASSERT_TRUE(db.contains("job", sim::DeviceKind::kCpu, 3));
+  EXPECT_FALSE(db.contains("job", sim::DeviceKind::kGpu, 3));
+  EXPECT_FALSE(db.contains("job", sim::DeviceKind::kCpu, 4));
+  const ProfileEntry& e = db.at("job", sim::DeviceKind::kCpu, 3);
+  EXPECT_DOUBLE_EQ(e.time, 10.0);
+  EXPECT_DOUBLE_EQ(e.avg_power, 12.0);
+}
+
+TEST(ProfileDB, MissingLookupThrowsWithContext) {
+  ProfileDB db;
+  try {
+    (void)db.at("ghost", sim::DeviceKind::kGpu, 1);
+    FAIL();
+  } catch (const corun::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("GPU"), std::string::npos);
+  }
+}
+
+TEST(ProfileDB, JobsAndLevelsEnumerated) {
+  ProfileDB db;
+  db.insert("b", sim::DeviceKind::kCpu, 0, entry(1, 1, 1));
+  db.insert("a", sim::DeviceKind::kCpu, 2, entry(1, 1, 1));
+  db.insert("a", sim::DeviceKind::kCpu, 0, entry(1, 1, 1));
+  db.insert("a", sim::DeviceKind::kGpu, 1, entry(1, 1, 1));
+  EXPECT_EQ(db.jobs(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(db.levels("a", sim::DeviceKind::kCpu),
+            (std::vector<sim::FreqLevel>{0, 2}));
+  EXPECT_EQ(db.levels("a", sim::DeviceKind::kGpu),
+            (std::vector<sim::FreqLevel>{1}));
+}
+
+TEST(ProfileDB, BestTimeUsesHighestLevel) {
+  ProfileDB db;
+  db.insert("a", sim::DeviceKind::kCpu, 0, entry(20.0, 1, 1));
+  db.insert("a", sim::DeviceKind::kCpu, 5, entry(10.0, 1, 1));
+  EXPECT_DOUBLE_EQ(db.best_time("a", sim::DeviceKind::kCpu), 10.0);
+}
+
+TEST(ProfileDB, CsvRoundTrip) {
+  ProfileDB db;
+  db.set_idle_power(5.25);
+  db.insert("alpha", sim::DeviceKind::kCpu, 0, entry(12.5, 3.75, 11.0));
+  db.insert("alpha", sim::DeviceKind::kGpu, 9, entry(6.25, 8.5, 13.0));
+  std::ostringstream oss;
+  db.write_csv(oss);
+  const auto parsed = ProfileDB::read_csv(oss.str());
+  ASSERT_TRUE(parsed.has_value());
+  const ProfileDB& round = parsed.value();
+  EXPECT_DOUBLE_EQ(round.idle_power(), 5.25);
+  EXPECT_NEAR(round.at("alpha", sim::DeviceKind::kCpu, 0).time, 12.5, 1e-6);
+  EXPECT_NEAR(round.at("alpha", sim::DeviceKind::kGpu, 9).avg_bw, 8.5, 1e-6);
+}
+
+TEST(ProfileDB, MalformedCsvRejected) {
+  EXPECT_FALSE(ProfileDB::read_csv("not,a,profile\n1,2,3\n").has_value());
+  EXPECT_FALSE(ProfileDB::read_csv("job,device,level\nx,cpu,0\n").has_value());
+}
+
+TEST(ProfileDB, InvalidInsertRejected) {
+  ProfileDB db;
+  EXPECT_THROW(db.insert("", sim::DeviceKind::kCpu, 0, entry(1, 1, 1)),
+               corun::ContractViolation);
+  EXPECT_THROW(db.insert("x", sim::DeviceKind::kCpu, -1, entry(1, 1, 1)),
+               corun::ContractViolation);
+  EXPECT_THROW(db.insert("x", sim::DeviceKind::kCpu, 0, entry(0, 1, 1)),
+               corun::ContractViolation);
+}
+
+TEST(ProfileDB, OverwriteKeepsLatest) {
+  ProfileDB db;
+  db.insert("x", sim::DeviceKind::kCpu, 0, entry(1, 1, 1));
+  db.insert("x", sim::DeviceKind::kCpu, 0, entry(2, 2, 2));
+  EXPECT_DOUBLE_EQ(db.at("x", sim::DeviceKind::kCpu, 0).time, 2.0);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+}  // namespace
+}  // namespace corun::profile

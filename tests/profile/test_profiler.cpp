@@ -1,0 +1,96 @@
+#include "corun/profile/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/workload/rodinia.hpp"
+
+namespace corun::profile {
+namespace {
+
+workload::Batch small_batch() {
+  workload::Batch batch;
+  batch.add(workload::rodinia_by_name("lud").value(), 42);
+  batch.add(workload::rodinia_by_name("srad").value(), 42);
+  return batch;
+}
+
+TEST(Profiler, SubSampledSweepCoversRequestedLevels) {
+  Profiler profiler(sim::ivy_bridge(),
+                    ProfilerOptions{.seed = 1,
+                                    .cpu_levels = {0, 8},
+                                    .gpu_levels = {0, 5}});
+  const ProfileDB db = profiler.profile_batch(small_batch());
+  // Requested levels plus the always-included max level.
+  EXPECT_EQ(db.levels("lud", sim::DeviceKind::kCpu),
+            (std::vector<sim::FreqLevel>{0, 8, 15}));
+  EXPECT_EQ(db.levels("lud", sim::DeviceKind::kGpu),
+            (std::vector<sim::FreqLevel>{0, 5, 9}));
+  EXPECT_EQ(db.jobs(), (std::vector<std::string>{"lud", "srad"}));
+}
+
+TEST(Profiler, TimesDecreaseWithFrequency) {
+  Profiler profiler(sim::ivy_bridge(),
+                    ProfilerOptions{.cpu_levels = {0, 8}, .gpu_levels = {0, 5}});
+  const ProfileDB db = profiler.profile_batch(small_batch());
+  for (const auto& job : db.jobs()) {
+    EXPECT_GT(db.at(job, sim::DeviceKind::kCpu, 0).time,
+              db.at(job, sim::DeviceKind::kCpu, 8).time);
+    EXPECT_GT(db.at(job, sim::DeviceKind::kCpu, 8).time,
+              db.at(job, sim::DeviceKind::kCpu, 15).time);
+  }
+}
+
+TEST(Profiler, PowerIncreasesWithFrequency) {
+  Profiler profiler(sim::ivy_bridge(),
+                    ProfilerOptions{.cpu_levels = {0}, .gpu_levels = {0}});
+  const ProfileDB db = profiler.profile_batch(small_batch());
+  for (const auto& job : db.jobs()) {
+    EXPECT_LT(db.at(job, sim::DeviceKind::kCpu, 0).avg_power,
+              db.at(job, sim::DeviceKind::kCpu, 15).avg_power);
+    EXPECT_LT(db.at(job, sim::DeviceKind::kGpu, 0).avg_power,
+              db.at(job, sim::DeviceKind::kGpu, 9).avg_power);
+  }
+}
+
+TEST(Profiler, IdlePowerMeasuredAndPlausible) {
+  Profiler profiler(sim::ivy_bridge());
+  const Watts idle = profiler.measure_idle_power();
+  // uncore + two idle domains: comfortably positive, far below active power.
+  EXPECT_GT(idle, 2.0);
+  EXPECT_LT(idle, 8.0);
+  const ProfileDB db = profiler.profile_batch(workload::Batch{});
+  EXPECT_DOUBLE_EQ(db.idle_power(), idle);
+}
+
+TEST(Profiler, StandaloneTimeMatchesTableOne) {
+  Profiler profiler(sim::ivy_bridge(),
+                    ProfilerOptions{.cpu_levels = {15}, .gpu_levels = {9}});
+  workload::Batch batch;
+  batch.add(workload::rodinia_by_name("streamcluster").value(), 42);
+  const ProfileDB db = profiler.profile_batch(batch);
+  EXPECT_NEAR(db.at("streamcluster", sim::DeviceKind::kCpu, 15).time, 59.71,
+              0.7);
+  EXPECT_NEAR(db.at("streamcluster", sim::DeviceKind::kGpu, 9).time, 23.72,
+              0.3);
+}
+
+TEST(Profiler, MemoryBoundJobDrawsLessPowerThanComputeBound) {
+  Profiler profiler(sim::ivy_bridge(),
+                    ProfilerOptions{.cpu_levels = {15}, .gpu_levels = {9}});
+  workload::Batch batch;
+  batch.add(workload::rodinia_by_name("streamcluster").value(), 42);  // memory
+  batch.add(workload::rodinia_by_name("leukocyte").value(), 42);      // compute
+  const ProfileDB db = profiler.profile_batch(batch);
+  EXPECT_LT(db.at("streamcluster", sim::DeviceKind::kCpu, 15).avg_power,
+            db.at("leukocyte", sim::DeviceKind::kCpu, 15).avg_power);
+}
+
+TEST(Profiler, InvalidLevelRejected) {
+  Profiler profiler(sim::ivy_bridge(),
+                    ProfilerOptions{.cpu_levels = {99}});
+  EXPECT_THROW((void)profiler.profile_batch(small_batch()),
+               corun::ContractViolation);
+}
+
+}  // namespace
+}  // namespace corun::profile

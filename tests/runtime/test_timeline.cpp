@@ -1,0 +1,102 @@
+#include "corun/core/runtime/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+#include "corun/core/sched/hcs.hpp"
+
+namespace corun::runtime {
+namespace {
+
+using corun::testing::motivation_fixture;
+
+ExecutionReport sample_report() {
+  const auto& f = motivation_fixture();
+  sched::Schedule s;
+  s.cpu = {{2, 15}, {1, 15}};
+  s.gpu = {{0, 9}, {3, 9}};
+  const CoRunRuntime runtime(f.config, RuntimeOptions{});
+  return runtime.execute(f.batch, s);
+}
+
+TEST(Utilization, BusyTimesBoundedByMakespan) {
+  const ExecutionReport report = sample_report();
+  const UtilizationStats stats = utilization(report);
+  EXPECT_DOUBLE_EQ(stats.makespan, report.makespan);
+  EXPECT_GT(stats.cpu_busy, 0.0);
+  EXPECT_GT(stats.gpu_busy, 0.0);
+  EXPECT_LE(stats.cpu_busy, stats.makespan + 1e-9);
+  EXPECT_LE(stats.gpu_busy, stats.makespan + 1e-9);
+  EXPECT_GT(stats.cpu_utilization(), 0.3);
+  EXPECT_LE(stats.gpu_utilization(), 1.0);
+}
+
+TEST(Utilization, OverlappingOutcomesMergedNotSummed) {
+  // Time-shared CPU jobs overlap; busy time must not double count.
+  const auto& f = motivation_fixture();
+  sched::Schedule s;
+  s.cpu_batch_launch = true;
+  s.cpu = {{1, 15}, {2, 15}, {3, 15}};
+  s.gpu = {{0, 9}};
+  const CoRunRuntime runtime(f.config, RuntimeOptions{});
+  const ExecutionReport report = runtime.execute(f.batch, s);
+  const UtilizationStats stats = utilization(report);
+  EXPECT_LE(stats.cpu_busy, report.makespan + 1e-9);
+}
+
+TEST(Utilization, EmptyReportIsZero) {
+  const ExecutionReport empty;
+  const UtilizationStats stats = utilization(empty);
+  EXPECT_DOUBLE_EQ(stats.cpu_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.gpu_utilization(), 0.0);
+}
+
+TEST(Gantt, RendersRowsAndLegend) {
+  const ExecutionReport report = sample_report();
+  const std::string gantt = render_gantt(report, 40);
+  EXPECT_NE(gantt.find("CPU |"), std::string::npos);
+  EXPECT_NE(gantt.find("GPU |"), std::string::npos);
+  // All four job names appear in the legend.
+  for (const char* name : {"streamcluster", "cfd", "dwt2d", "hotspot"}) {
+    EXPECT_NE(gantt.find(name), std::string::npos) << name;
+  }
+  // Rows have the requested width.
+  const auto cpu_start = gantt.find("CPU |") + 5;
+  EXPECT_EQ(gantt.find('|', cpu_start) - cpu_start, 40u);
+}
+
+TEST(Gantt, JobsPaintDistinctLabels) {
+  const ExecutionReport report = sample_report();
+  const std::string gantt = render_gantt(report, 60);
+  // Jobs 0..3 use labels a..d; each must appear somewhere in a row.
+  for (const char c : {'a', 'b', 'c', 'd'}) {
+    EXPECT_NE(gantt.find(c), std::string::npos) << c;
+  }
+}
+
+TEST(Gantt, PredictedTimelineRendersToo) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(15.0);
+  sched::HcsScheduler hcs;
+  const sched::Schedule s = hcs.plan(ctx);
+  const sched::Evaluation eval = sched::MakespanEvaluator(ctx).evaluate(s);
+  const std::string gantt = render_gantt(eval, ctx.job_names(), 48);
+  EXPECT_NE(gantt.find("CPU |"), std::string::npos);
+  EXPECT_NE(gantt.find("dwt2d"), std::string::npos);
+}
+
+TEST(Gantt, TinyWidthRejected) {
+  EXPECT_THROW((void)render_gantt(ExecutionReport{}, 2),
+               corun::ContractViolation);
+}
+
+TEST(EnergyMetrics, DerivedQuantitiesConsistent) {
+  const ExecutionReport report = sample_report();
+  EXPECT_NEAR(report.energy_delay_product(), report.energy * report.makespan,
+              1e-9);
+  EXPECT_NEAR(report.energy_per_job() * 4.0, report.energy, 1e-9);
+  EXPECT_DOUBLE_EQ(ExecutionReport{}.energy_per_job(), 0.0);
+}
+
+}  // namespace
+}  // namespace corun::runtime

@@ -1,0 +1,91 @@
+#include "corun/core/runtime/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+
+namespace corun::runtime {
+namespace {
+
+std::vector<sim::PowerSample> trace_from(const std::vector<double>& powers) {
+  std::vector<sim::PowerSample> trace;
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    sim::PowerSample s;
+    s.t = static_cast<Seconds>(i);
+    s.measured = powers[i];
+    trace.push_back(s);
+  }
+  return trace;
+}
+
+TEST(TraceAnalysis, EmptyTrace) {
+  const TraceAnalysis a = analyze_trace({}, 15.0);
+  EXPECT_EQ(a.samples, 0u);
+  EXPECT_DOUBLE_EQ(a.under_cap_fraction, 0.0);
+  EXPECT_TRUE(a.episodes.empty());
+}
+
+TEST(TraceAnalysis, AllUnderCap) {
+  const TraceAnalysis a = analyze_trace(trace_from({10, 12, 14, 13}), 15.0);
+  EXPECT_DOUBLE_EQ(a.under_cap_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(a.worst_overshoot, 0.0);
+  EXPECT_TRUE(a.episodes.empty());
+  EXPECT_DOUBLE_EQ(a.max_power, 14.0);
+  EXPECT_NEAR(a.mean_power, 12.25, 1e-12);
+}
+
+TEST(TraceAnalysis, EpisodesSegmentedCorrectly) {
+  // Two violation bursts: samples 2-3 and sample 6.
+  const TraceAnalysis a =
+      analyze_trace(trace_from({14, 14, 16, 17, 14, 14, 15.5, 14}), 15.0);
+  ASSERT_EQ(a.episode_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.episodes[0].start, 2.0);
+  EXPECT_DOUBLE_EQ(a.episodes[0].end, 3.0);
+  EXPECT_DOUBLE_EQ(a.episodes[0].worst_overshoot, 2.0);
+  EXPECT_DOUBLE_EQ(a.episodes[1].start, 6.0);
+  EXPECT_DOUBLE_EQ(a.episodes[1].end, 6.0);
+  EXPECT_NEAR(a.episodes[1].worst_overshoot, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(a.worst_overshoot, 2.0);
+  EXPECT_DOUBLE_EQ(a.under_cap_fraction, 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(a.longest_episode(), 1.0);
+}
+
+TEST(TraceAnalysis, TrailingEpisodeClosed) {
+  const TraceAnalysis a = analyze_trace(trace_from({14, 16, 17}), 15.0);
+  ASSERT_EQ(a.episode_count(), 1u);
+  EXPECT_DOUBLE_EQ(a.episodes[0].end, 2.0);
+}
+
+TEST(TraceAnalysis, ExactlyAtCapCountsAsUnder) {
+  const TraceAnalysis a = analyze_trace(trace_from({15.0, 15.0}), 15.0);
+  EXPECT_DOUBLE_EQ(a.under_cap_fraction, 1.0);
+}
+
+TEST(TraceAnalysis, PercentileAndInvalidCap) {
+  std::vector<double> powers;
+  for (int i = 1; i <= 100; ++i) powers.push_back(static_cast<double>(i));
+  const TraceAnalysis a = analyze_trace(trace_from(powers), 1000.0);
+  EXPECT_NEAR(a.p95_power, 95.05, 0.1);
+  EXPECT_THROW((void)analyze_trace(trace_from(powers), 0.0),
+               corun::ContractViolation);
+}
+
+TEST(SmoothPower, WindowAveragesAndEdges) {
+  const auto trace = trace_from({0, 10, 20, 30, 40});
+  const auto smooth = smooth_power(trace, 1);
+  ASSERT_EQ(smooth.size(), 5u);
+  EXPECT_DOUBLE_EQ(smooth[0], 5.0);    // truncated window {0,10}
+  EXPECT_DOUBLE_EQ(smooth[2], 20.0);   // {10,20,30}
+  EXPECT_DOUBLE_EQ(smooth[4], 35.0);   // {30,40}
+}
+
+TEST(SmoothPower, ZeroRadiusIsIdentity) {
+  const auto trace = trace_from({3, 7, 11});
+  const auto smooth = smooth_power(trace, 0);
+  EXPECT_DOUBLE_EQ(smooth[0], 3.0);
+  EXPECT_DOUBLE_EQ(smooth[1], 7.0);
+  EXPECT_DOUBLE_EQ(smooth[2], 11.0);
+}
+
+}  // namespace
+}  // namespace corun::runtime

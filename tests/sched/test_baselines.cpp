@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../support/fixtures.hpp"
+#include "corun/core/sched/default_scheduler.hpp"
+#include "corun/core/sched/exhaustive.hpp"
+#include "corun/core/sched/hcs.hpp"
+#include "corun/core/sched/makespan_evaluator.hpp"
+#include "corun/core/sched/random_scheduler.hpp"
+
+namespace corun::sched {
+namespace {
+
+using corun::testing::eight_program_fixture;
+using corun::testing::motivation_fixture;
+
+TEST(RandomScheduler, ProducesValidSharedQueue) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  RandomScheduler random(7);
+  const Schedule s = random.plan(ctx);
+  EXPECT_TRUE(s.shared_queue);
+  EXPECT_TRUE(s.cpu.empty() && s.gpu.empty());
+  EXPECT_NO_THROW(s.validate(8));
+}
+
+TEST(RandomScheduler, SeedControlsOrder) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  const Schedule a = RandomScheduler(1).plan(ctx);
+  const Schedule b = RandomScheduler(1).plan(ctx);
+  const Schedule c = RandomScheduler(2).plan(ctx);
+  ASSERT_EQ(a.shared.size(), b.shared.size());
+  for (std::size_t i = 0; i < a.shared.size(); ++i) {
+    EXPECT_EQ(a.shared[i].job, b.shared[i].job);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.shared.size() && !any_diff; ++i) {
+    any_diff = a.shared[i].job != c.shared[i].job;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DefaultScheduler, PartitionRespectsRatioRanking) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  DefaultScheduler def;
+  const Schedule s = def.plan(ctx);
+  EXPECT_NO_THROW(s.validate(8));
+  EXPECT_TRUE(s.cpu_batch_launch);
+  // dwt2d (the most CPU-leaning, lowest cpu/gpu ratio) must be on the CPU.
+  std::set<std::size_t> cpu_jobs;
+  for (const ScheduledJob& j : s.cpu) cpu_jobs.insert(j.job);
+  EXPECT_TRUE(cpu_jobs.count(2));
+  // streamcluster (strongly GPU-leaning) must be on the GPU.
+  std::set<std::size_t> gpu_jobs;
+  for (const ScheduledJob& j : s.gpu) gpu_jobs.insert(j.job);
+  EXPECT_TRUE(gpu_jobs.count(0));
+}
+
+TEST(DefaultScheduler, SplitBalancesPartitions) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  DefaultScheduler def;
+  const Schedule s = def.plan(ctx);
+  const sim::FreqLevel cpu_max = 15;
+  const sim::FreqLevel gpu_max = 9;
+  Seconds cpu_sum = 0.0;
+  Seconds gpu_sum = 0.0;
+  for (const ScheduledJob& j : s.cpu) {
+    cpu_sum += f.predictor->standalone_time(ctx.job_name(j.job),
+                                            sim::DeviceKind::kCpu, cpu_max);
+  }
+  for (const ScheduledJob& j : s.gpu) {
+    gpu_sum += f.predictor->standalone_time(ctx.job_name(j.job),
+                                            sim::DeviceKind::kGpu, gpu_max);
+  }
+  // The longer side must not exceed the total of the other side plus the
+  // largest job (otherwise a better split existed).
+  EXPECT_LT(std::max(cpu_sum, gpu_sum) / std::min(cpu_sum, gpu_sum), 2.0);
+}
+
+TEST(DefaultScheduler, LevelsAreMaxima) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  DefaultScheduler def;
+  const Schedule s = def.plan(ctx);
+  for (const ScheduledJob& j : s.cpu) EXPECT_EQ(j.level, 15);
+  for (const ScheduledJob& j : s.gpu) EXPECT_EQ(j.level, 9);
+}
+
+TEST(Exhaustive, FindsOptimumAtLeastAsGoodAsHcs) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(15.0);
+  const MakespanEvaluator evaluator(ctx);
+  ExhaustiveScheduler exhaustive;
+  const Seconds best = evaluator.makespan(exhaustive.plan(ctx));
+  HcsScheduler hcs;
+  const Seconds heuristic = evaluator.makespan(hcs.plan(ctx));
+  EXPECT_LE(best, heuristic + 1e-9);
+  // HCS should land within 40% of the (model-predicted) optimum here.
+  EXPECT_LT(heuristic, best * 1.4);
+  EXPECT_GT(exhaustive.evaluated(), 100u);  // 2^4 masks x orders
+}
+
+TEST(Exhaustive, RefusesOversizedBatches) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  ExhaustiveScheduler tiny(4);
+  EXPECT_THROW((void)tiny.plan(ctx),
+               corun::ContractViolation);
+}
+
+TEST(SchedulerNames, AreStable) {
+  EXPECT_EQ(RandomScheduler(1).name(), "Random");
+  EXPECT_EQ(DefaultScheduler().name(), "Default");
+  EXPECT_EQ(HcsScheduler().name(), "HCS");
+  EXPECT_EQ(ExhaustiveScheduler().name(), "Exhaustive");
+}
+
+}  // namespace
+}  // namespace corun::sched

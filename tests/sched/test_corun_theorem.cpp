@@ -1,0 +1,119 @@
+#include "corun/core/sched/corun_theorem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sched {
+namespace {
+
+TEST(CoRunTheorem, BeneficialWhenDegradationSmall) {
+  // l1=100 d1=0.1: co-run makespan 110 vs sequential 100+50=150.
+  EXPECT_TRUE(corun_beneficial(100.0, 0.1, 50.0, 0.2));
+}
+
+TEST(CoRunTheorem, NotBeneficialWhenDegradationDominates) {
+  // l1=100 d1=0.6: extra 60s of degradation exceeds the 50s second job.
+  EXPECT_FALSE(corun_beneficial(100.0, 0.6, 50.0, 0.2));
+}
+
+TEST(CoRunTheorem, BoundaryIsStrict) {
+  // l1*d1 == l2 exactly: equal throughput, not an improvement.
+  EXPECT_FALSE(corun_beneficial(100.0, 0.5, 50.0, 0.0));
+}
+
+TEST(CoRunTheorem, OrderingHandledInternally) {
+  // Arguments swapped must give the same verdict.
+  EXPECT_EQ(corun_beneficial(100.0, 0.1, 50.0, 0.2),
+            corun_beneficial(50.0, 0.2, 100.0, 0.1));
+  EXPECT_EQ(corun_beneficial(100.0, 0.6, 50.0, 0.2),
+            corun_beneficial(50.0, 0.2, 100.0, 0.6));
+}
+
+TEST(CoRunTheorem, ZeroDegradationAlwaysBeneficial) {
+  EXPECT_TRUE(corun_beneficial(10.0, 0.0, 10.0, 0.0));
+  EXPECT_TRUE(corun_beneficial(100.0, 0.0, 1.0, 0.0));
+}
+
+TEST(CoRunTheorem, VerdictEqualsFullyDegradedMakespanComparison) {
+  // Property: the theorem's if-and-only-if — the verdict must agree with
+  // comparing the fully-degraded co-run makespan max(l*(1+d)) (the
+  // theorem's own co-run length definition) against sequential execution.
+  const struct {
+    double l1, d1, l2, d2;
+  } cases[] = {{100, 0.1, 50, 0.2}, {100, 0.6, 50, 0.2}, {30, 0.3, 40, 0.3},
+               {20, 0.05, 80, 0.4}, {60, 0.45, 55, 0.5}, {10, 0.2, 10, 0.2},
+               {100, 0.51, 50, 0.0}, {100, 0.49, 50, 0.0}};
+  for (const auto& c : cases) {
+    const double makespan =
+        std::max(c.l1 * (1.0 + c.d1), c.l2 * (1.0 + c.d2));
+    const bool corun_wins = makespan < c.l1 + c.l2;
+    EXPECT_EQ(corun_beneficial(c.l1, c.d1, c.l2, c.d2), corun_wins)
+        << c.l1 << " " << c.d1 << " " << c.l2 << " " << c.d2;
+  }
+}
+
+TEST(CoRunTheorem, PartialOverlapAlmostAlwaysWinsForAPairInIsolation) {
+  // Contrast with the theorem: when the released survivor runs clean, a
+  // single pair's true makespan beats sequential whenever d1*d2 < 1 — the
+  // theorem is deliberately conservative for steady-state queues.
+  const PairLengths pl = corun_pair_lengths(100.0, 0.6, 50.0, 0.2);
+  EXPECT_LT(pl.makespan(), 150.0);
+  EXPECT_FALSE(corun_beneficial(100.0, 0.6, 50.0, 0.2));
+}
+
+TEST(PairLengths, EqualJobsFullyOverlap) {
+  const PairLengths pl = corun_pair_lengths(10.0, 0.2, 10.0, 0.2);
+  EXPECT_DOUBLE_EQ(pl.first, 12.0);
+  EXPECT_DOUBLE_EQ(pl.second, 12.0);
+  EXPECT_DOUBLE_EQ(pl.makespan(), 12.0);
+}
+
+TEST(PairLengths, ShorterJobReleasesLonger) {
+  // Job2 finishes at 5*(1+0.0)=5... use degradations: l1=20 d1=0.5,
+  // l2=5 d2=0.2 -> job2 ends at 6; job1 progressed 6/1.5=4 standalone
+  // seconds; remaining 16 run clean -> total 22.
+  const PairLengths pl = corun_pair_lengths(20.0, 0.5, 5.0, 0.2);
+  EXPECT_DOUBLE_EQ(pl.second, 6.0);
+  EXPECT_DOUBLE_EQ(pl.first, 6.0 + (20.0 - 6.0 / 1.5));
+}
+
+TEST(PairLengths, SymmetricUnderSwap) {
+  const PairLengths a = corun_pair_lengths(20.0, 0.5, 5.0, 0.2);
+  const PairLengths b = corun_pair_lengths(5.0, 0.2, 20.0, 0.5);
+  EXPECT_DOUBLE_EQ(a.first, b.second);
+  EXPECT_DOUBLE_EQ(a.second, b.first);
+}
+
+TEST(PairLengths, NeverShorterThanStandalone) {
+  const struct {
+    double l1, d1, l2, d2;
+  } cases[] = {{10, 0.1, 90, 0.9}, {33, 0.0, 44, 0.5}, {5, 1.5, 5, 1.5}};
+  for (const auto& c : cases) {
+    const PairLengths pl = corun_pair_lengths(c.l1, c.d1, c.l2, c.d2);
+    EXPECT_GE(pl.first, c.l1 - 1e-9);
+    EXPECT_GE(pl.second, c.l2 - 1e-9);
+    // And never longer than fully-degraded execution.
+    EXPECT_LE(pl.first, c.l1 * (1.0 + c.d1) + 1e-9);
+    EXPECT_LE(pl.second, c.l2 * (1.0 + c.d2) + 1e-9);
+  }
+}
+
+TEST(PairLengths, MakespanEqualsLongerFullyDegraded) {
+  // The pair makespan is the fully-degraded time of whichever job ends last.
+  const PairLengths pl = corun_pair_lengths(100.0, 0.3, 10.0, 0.9);
+  EXPECT_DOUBLE_EQ(pl.makespan(), pl.first);
+  EXPECT_LT(pl.first, 130.0);  // partial overlap strictly helps
+}
+
+TEST(PairLengths, InvalidInputsRejected) {
+  EXPECT_THROW((void)corun_pair_lengths(0.0, 0.1, 1.0, 0.1),
+               corun::ContractViolation);
+  EXPECT_THROW((void)corun_pair_lengths(1.0, -0.1, 1.0, 0.1),
+               corun::ContractViolation);
+  EXPECT_THROW((void)corun_beneficial(1.0, 0.1, -1.0, 0.1),
+               corun::ContractViolation);
+}
+
+}  // namespace
+}  // namespace corun::sched

@@ -1,0 +1,75 @@
+#include "corun/core/sched/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+#include "corun/core/sched/exhaustive.hpp"
+#include "corun/core/sched/hcs.hpp"
+#include "corun/core/sched/makespan_evaluator.hpp"
+#include "corun/core/sched/refiner.hpp"
+
+namespace corun::sched {
+namespace {
+
+using corun::testing::eight_program_fixture;
+using corun::testing::motivation_fixture;
+
+TEST(LowerBound, PositiveAndTightAtLeastAsLarge) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  const LowerBoundResult lb = compute_lower_bound(ctx);
+  EXPECT_GT(lb.t_low, 0.0);
+  EXPECT_GE(lb.t_low_tight, lb.t_low);
+}
+
+TEST(LowerBound, BelowEveryAchievableSchedule) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  const LowerBoundResult lb = compute_lower_bound(ctx);
+  const MakespanEvaluator evaluator(ctx);
+  HcsScheduler hcs;
+  const Seconds hcs_makespan = evaluator.makespan(hcs.plan(ctx));
+  EXPECT_LE(lb.t_low_tight, hcs_makespan);
+  const Refiner refiner;
+  EXPECT_LE(lb.t_low_tight, evaluator.makespan(refiner.refine(ctx, hcs.plan(ctx))));
+}
+
+TEST(LowerBound, BelowExhaustiveOptimumOnSmallBatch) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(15.0);
+  const LowerBoundResult lb = compute_lower_bound(ctx);
+  ExhaustiveScheduler exhaustive;
+  const MakespanEvaluator evaluator(ctx);
+  const Seconds optimal = evaluator.makespan(exhaustive.plan(ctx));
+  EXPECT_LE(lb.t_low_tight, optimal + 1e-9);
+  // The bound should also be meaningful, not trivially loose.
+  EXPECT_GT(lb.t_low_tight, optimal * 0.3);
+}
+
+TEST(LowerBound, TighterCapRaisesTheBound) {
+  const auto& f = eight_program_fixture();
+  const LowerBoundResult loose = compute_lower_bound(f.context(20.0));
+  const LowerBoundResult tight = compute_lower_bound(f.context(13.0));
+  EXPECT_GE(tight.t_low, loose.t_low - 1e-9);
+}
+
+TEST(LowerBound, UncappedBoundIsHalfBestWork) {
+  // Without a cap and with a single job, the bound reduces to
+  // min(best co-run occupancy, 2 * best solo) / 2 over devices; with a
+  // one-job batch there is no partner, so it is exactly best solo time * 2/2.
+  const auto& f = eight_program_fixture();
+  workload::Batch single;
+  single.add(workload::rodinia_by_name("srad").value(), 42);
+  SchedulerContext ctx;
+  ctx.batch = &single;
+  ctx.predictor = f.predictor.get();
+  const LowerBoundResult lb = compute_lower_bound(ctx);
+  const Seconds best_solo = std::min(
+      f.predictor->best_solo_time("srad", sim::DeviceKind::kCpu, std::nullopt),
+      f.predictor->best_solo_time("srad", sim::DeviceKind::kGpu, std::nullopt));
+  EXPECT_NEAR(lb.t_low, best_solo, 1e-9);
+  EXPECT_NEAR(lb.t_low_tight, best_solo, 1e-9);
+}
+
+}  // namespace
+}  // namespace corun::sched

@@ -1,0 +1,153 @@
+#include "corun/core/sched/makespan_evaluator.hpp"
+
+#include "corun/core/sched/corun_theorem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+
+namespace corun::sched {
+namespace {
+
+using corun::testing::motivation_fixture;
+
+// Batch order: 0=streamcluster, 1=cfd, 2=dwt2d, 3=hotspot.
+
+TEST(MakespanEvaluator, SingleSoloJobEqualsStandalone) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(std::nullopt);
+  const MakespanEvaluator evaluator(ctx);
+  Schedule s;
+  s.gpu = {{0, 9}};
+  s.cpu = {{1, 15}};
+  s.solo = {{2, sim::DeviceKind::kCpu, 15}, {3, sim::DeviceKind::kGpu, 9}};
+  const Evaluation eval = evaluator.evaluate(s);
+  // Solo jobs contribute their standalone times sequentially at the end.
+  const Seconds dwt = f.predictor->standalone_time("dwt2d", sim::DeviceKind::kCpu, 15);
+  const Seconds hs = f.predictor->standalone_time("hotspot", sim::DeviceKind::kGpu, 9);
+  const Seconds corun_end =
+      std::max(eval.finish_time[0], eval.finish_time[1]);
+  EXPECT_NEAR(eval.makespan, corun_end + dwt + hs, 1e-6);
+}
+
+TEST(MakespanEvaluator, CoRunPairMatchesPairLengthFormula) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(std::nullopt);
+  const MakespanEvaluator evaluator(ctx);
+  Schedule s;
+  s.cpu = {{2, 15}};  // dwt2d on CPU
+  s.gpu = {{0, 9}};   // streamcluster on GPU
+  s.solo = {{1, sim::DeviceKind::kGpu, 9}, {3, sim::DeviceKind::kGpu, 9}};
+  const Evaluation eval = evaluator.evaluate(s);
+
+  const auto p = f.predictor->predict("dwt2d", 15, "streamcluster", 9);
+  const PairLengths pl = corun_pair_lengths(p.cpu_solo_time, p.cpu_degradation,
+                                            p.gpu_solo_time, p.gpu_degradation);
+  EXPECT_NEAR(eval.finish_time[2], pl.first, 1e-6);
+  EXPECT_NEAR(eval.finish_time[0], pl.second, 1e-6);
+}
+
+TEST(MakespanEvaluator, CapEnforcementLowersLevels) {
+  const auto& f = motivation_fixture();
+  const auto capped_ctx = f.context(14.0);
+  const auto free_ctx = f.context(std::nullopt);
+  Schedule s;
+  s.cpu = {{3, 15}};  // hotspot (hot, compute-bound) on CPU
+  s.gpu = {{0, 9}};
+  s.solo = {{1, sim::DeviceKind::kGpu, 9}, {2, sim::DeviceKind::kCpu, 15}};
+  const Seconds capped = MakespanEvaluator(capped_ctx).makespan(s);
+  const Seconds free = MakespanEvaluator(free_ctx).makespan(s);
+  EXPECT_GT(capped, free * 1.02);  // cap costs performance
+  // And the capped timeline must use reduced levels somewhere.
+  const Evaluation eval = MakespanEvaluator(capped_ctx).evaluate(s);
+  bool lowered = false;
+  for (const EvalSegment& seg : eval.timeline) {
+    if (seg.cpu_job && seg.levels.cpu < 15) lowered = true;
+  }
+  EXPECT_TRUE(lowered);
+}
+
+TEST(MakespanEvaluator, PolicyChangesWhichDomainSacrifices) {
+  const auto& f = motivation_fixture();
+  auto gpu_ctx = f.context(14.0);
+  gpu_ctx.policy = sim::GovernorPolicy::kGpuBiased;
+  auto cpu_ctx = f.context(14.0);
+  cpu_ctx.policy = sim::GovernorPolicy::kCpuBiased;
+  Schedule s;
+  s.cpu = {{3, 15}};
+  s.gpu = {{0, 9}};
+  s.solo = {{1, sim::DeviceKind::kGpu, 9}, {2, sim::DeviceKind::kCpu, 15}};
+  const Evaluation g = MakespanEvaluator(gpu_ctx).evaluate(s);
+  const Evaluation c = MakespanEvaluator(cpu_ctx).evaluate(s);
+  // GPU-biased keeps the GPU level higher than CPU-biased does.
+  EXPECT_GE(g.timeline[0].levels.gpu, c.timeline[0].levels.gpu);
+  EXPECT_LE(g.timeline[0].levels.cpu, c.timeline[0].levels.cpu);
+}
+
+TEST(MakespanEvaluator, SharedQueueDrainsEverything) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(std::nullopt);
+  Schedule s;
+  s.shared_queue = true;
+  s.shared = {{0, 15}, {1, 15}, {2, 15}, {3, 15}};
+  const Evaluation eval = MakespanEvaluator(ctx).evaluate(s);
+  for (const Seconds t : eval.finish_time) {
+    EXPECT_GT(t, 0.0);
+  }
+  EXPECT_GT(eval.makespan, 0.0);
+}
+
+TEST(MakespanEvaluator, TimelineIsContiguousAndOrdered) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(15.0);
+  Schedule s;
+  s.cpu = {{2, 10}, {3, 10}};
+  s.gpu = {{0, 9}, {1, 9}};
+  const Evaluation eval = MakespanEvaluator(ctx).evaluate(s);
+  ASSERT_FALSE(eval.timeline.empty());
+  EXPECT_DOUBLE_EQ(eval.timeline.front().start, 0.0);
+  for (std::size_t i = 1; i < eval.timeline.size(); ++i) {
+    EXPECT_NEAR(eval.timeline[i].start, eval.timeline[i - 1].end, 1e-9);
+    EXPECT_GT(eval.timeline[i].end, eval.timeline[i].start);
+  }
+  EXPECT_NEAR(eval.timeline.back().end, eval.makespan, 1e-9);
+}
+
+TEST(MakespanEvaluator, FinishTimesCoverEveryJob) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(std::nullopt);
+  Schedule s;
+  s.cpu = {{2, 15}, {1, 15}};
+  s.gpu = {{0, 9}, {3, 9}};
+  const Evaluation eval = MakespanEvaluator(ctx).evaluate(s);
+  ASSERT_EQ(eval.finish_time.size(), 4u);
+  Seconds latest = 0.0;
+  for (const Seconds t : eval.finish_time) {
+    EXPECT_GT(t, 0.0);
+    latest = std::max(latest, t);
+  }
+  EXPECT_DOUBLE_EQ(eval.makespan, latest);
+}
+
+TEST(MakespanEvaluator, BatchLaunchStretchesCpuPartition) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(std::nullopt);
+  Schedule seq;
+  seq.cpu = {{2, 15}, {1, 15}, {3, 15}};
+  seq.gpu = {{0, 9}};
+  Schedule batch = seq;
+  batch.cpu_batch_launch = true;
+  EXPECT_GT(MakespanEvaluator(ctx).makespan(batch),
+            MakespanEvaluator(ctx).makespan(seq));
+}
+
+TEST(MakespanEvaluator, InvalidScheduleRejected) {
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(std::nullopt);
+  Schedule s;  // empty: misses all four jobs
+  EXPECT_THROW((void)MakespanEvaluator(ctx).evaluate(s),
+               corun::ContractViolation);
+}
+
+}  // namespace
+}  // namespace corun::sched

@@ -1,0 +1,104 @@
+#include "corun/core/sched/refiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+#include "corun/core/sched/hcs.hpp"
+
+namespace corun::sched {
+namespace {
+
+using corun::testing::eight_program_fixture;
+
+TEST(Refiner, NeverWorsensTheSchedule) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  const MakespanEvaluator evaluator(ctx);
+  HcsScheduler hcs;
+  const Schedule base = hcs.plan(ctx);
+  const Refiner refiner;
+  const Schedule refined = refiner.refine(ctx, base);
+  EXPECT_LE(evaluator.makespan(refined), evaluator.makespan(base) + 1e-9);
+  EXPECT_LE(refiner.last_stats().final_makespan,
+            refiner.last_stats().initial_makespan + 1e-9);
+}
+
+TEST(Refiner, RefinedScheduleStillValid) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  HcsScheduler hcs;
+  const Refiner refiner;
+  const Schedule refined = refiner.refine(ctx, hcs.plan(ctx));
+  EXPECT_NO_THROW(refined.validate(8));
+}
+
+TEST(Refiner, ImprovesADeliberatelyBadOrder) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  const MakespanEvaluator evaluator(ctx);
+  // Pathological: dwt2d (CPU-preferred) on GPU and the worst pairings up
+  // front. Refinement's cross-swaps should claw much of this back.
+  Schedule bad;
+  bad.gpu = {{2, 9}, {5, 9}, {6, 9}, {7, 9}};
+  bad.cpu = {{0, 15}, {1, 15}, {3, 15}, {4, 15}};
+  const Seconds before = evaluator.makespan(bad);
+  const Refiner refiner(RefinerOptions{.random_swap_samples = 64,
+                                       .cross_swap_samples = 64});
+  const Schedule better = refiner.refine(ctx, bad);
+  const Seconds after = evaluator.makespan(better);
+  EXPECT_LT(after, before * 0.97);
+  const RefinerStats& stats = refiner.last_stats();
+  EXPECT_GT(stats.adjacent_improvements + stats.random_improvements +
+                stats.cross_improvements,
+            0);
+}
+
+TEST(Refiner, DeterministicForFixedSeed) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  HcsScheduler hcs;
+  const Schedule base = hcs.plan(ctx);
+  const Refiner r1(RefinerOptions{.seed = 99});
+  const Refiner r2(RefinerOptions{.seed = 99});
+  const MakespanEvaluator evaluator(ctx);
+  EXPECT_DOUBLE_EQ(evaluator.makespan(r1.refine(ctx, base)),
+                   evaluator.makespan(r2.refine(ctx, base)));
+}
+
+TEST(Refiner, ZeroSamplesMeansAdjacentOnly) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  HcsScheduler hcs;
+  const Refiner refiner(RefinerOptions{.random_swap_samples = 0,
+                                       .cross_swap_samples = 0});
+  const Schedule refined = refiner.refine(ctx, hcs.plan(ctx));
+  EXPECT_EQ(refiner.last_stats().random_improvements, 0);
+  EXPECT_EQ(refiner.last_stats().cross_improvements, 0);
+  EXPECT_NO_THROW(refined.validate(8));
+}
+
+TEST(Refiner, RejectsSharedQueueSchedules) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  Schedule shared;
+  shared.shared_queue = true;
+  for (std::size_t i = 0; i < 8; ++i) shared.shared.push_back({i, 0});
+  const Refiner refiner;
+  EXPECT_THROW((void)refiner.refine(ctx, shared), corun::ContractViolation);
+}
+
+TEST(HcsPlus, PlanMatchesRefinedHcs) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  const MakespanEvaluator evaluator(ctx);
+  HcsScheduler hcs;
+  const Refiner refiner;  // default options match HcsPlusScheduler's
+  const Seconds manual = evaluator.makespan(refiner.refine(ctx, hcs.plan(ctx)));
+  HcsPlusScheduler plus;
+  const Seconds packaged = evaluator.makespan(plus.plan(ctx));
+  EXPECT_DOUBLE_EQ(manual, packaged);
+  EXPECT_EQ(plus.name(), "HCS+");
+}
+
+}  // namespace
+}  // namespace corun::sched

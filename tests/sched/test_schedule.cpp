@@ -1,0 +1,88 @@
+#include "corun/core/sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sched {
+namespace {
+
+TEST(Schedule, ValidateAcceptsExactCover) {
+  Schedule s;
+  s.cpu = {{0, 5}, {2, 3}};
+  s.gpu = {{1, 9}};
+  s.solo = {{3, sim::DeviceKind::kGpu, 4}};
+  EXPECT_NO_THROW(s.validate(4));
+}
+
+TEST(Schedule, ValidateRejectsMissingJob) {
+  Schedule s;
+  s.cpu = {{0, 0}};
+  EXPECT_THROW(s.validate(2), corun::ContractViolation);
+}
+
+TEST(Schedule, ValidateRejectsDuplicates) {
+  Schedule s;
+  s.cpu = {{0, 0}};
+  s.gpu = {{0, 0}, {1, 0}};
+  EXPECT_THROW(s.validate(2), corun::ContractViolation);
+}
+
+TEST(Schedule, ValidateRejectsOutOfRange) {
+  Schedule s;
+  s.cpu = {{5, 0}};
+  EXPECT_THROW(s.validate(2), corun::ContractViolation);
+}
+
+TEST(Schedule, SharedQueueMutuallyExclusiveWithSequences) {
+  Schedule s;
+  s.shared_queue = true;
+  s.shared = {{0, 0}};
+  s.cpu = {{1, 0}};
+  EXPECT_THROW(s.validate(2), corun::ContractViolation);
+
+  Schedule ok;
+  ok.shared_queue = true;
+  ok.shared = {{0, 0}, {1, 0}};
+  EXPECT_NO_THROW(ok.validate(2));
+
+  Schedule stray;
+  stray.shared = {{0, 0}};  // shared entries without the flag
+  EXPECT_THROW(stray.validate(1), corun::ContractViolation);
+}
+
+TEST(Schedule, JobCountSumsAllLists) {
+  Schedule s;
+  s.cpu = {{0, 0}};
+  s.gpu = {{1, 0}, {2, 0}};
+  s.solo = {{3, sim::DeviceKind::kCpu, 0}};
+  EXPECT_EQ(s.job_count(), 4u);
+}
+
+TEST(Schedule, ToStringNamesJobsAndLevels) {
+  Schedule s;
+  s.cpu = {{0, 5}};
+  s.gpu = {{1, 9}};
+  s.solo = {{2, sim::DeviceKind::kGpu, 4}};
+  const std::string str = s.to_string({"alpha", "beta", "gamma"});
+  EXPECT_NE(str.find("alpha@L5"), std::string::npos);
+  EXPECT_NE(str.find("beta@L9"), std::string::npos);
+  EXPECT_NE(str.find("gamma/GPU@L4"), std::string::npos);
+}
+
+TEST(Schedule, ToStringSharedQueue) {
+  Schedule s;
+  s.shared_queue = true;
+  s.shared = {{1, 0}, {0, 0}};
+  const std::string str = s.to_string({"a", "b"});
+  EXPECT_NE(str.find("shared: b a"), std::string::npos);
+}
+
+TEST(Schedule, ToStringFallsBackToIndices) {
+  Schedule s;
+  s.cpu = {{7, 1}};
+  EXPECT_NE(s.to_string({}).find("#7@L1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corun::sched

@@ -1,0 +1,79 @@
+#include "corun/sim/frequency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sim {
+namespace {
+
+TEST(FrequencyLadder, IvyBridgeCpuMatchesPaperPlatform) {
+  const FrequencyLadder cpu = ivy_bridge_cpu_ladder();
+  EXPECT_EQ(cpu.size(), 16u);  // 16 CPU levels (Sec. III)
+  EXPECT_DOUBLE_EQ(cpu.min_ghz(), 1.2);
+  EXPECT_DOUBLE_EQ(cpu.max_ghz(), 3.6);
+}
+
+TEST(FrequencyLadder, IvyBridgeGpuMatchesPaperPlatform) {
+  const FrequencyLadder gpu = ivy_bridge_gpu_ladder();
+  EXPECT_EQ(gpu.size(), 10u);  // 10 GPU levels (Sec. III)
+  EXPECT_DOUBLE_EQ(gpu.min_ghz(), 0.35);
+  EXPECT_DOUBLE_EQ(gpu.max_ghz(), 1.25);
+}
+
+TEST(FrequencyLadder, SearchSpaceIs160Pairs) {
+  // The paper's 4-program example counts 10 * 16 frequency combinations.
+  EXPECT_EQ(ivy_bridge_cpu_ladder().size() * ivy_bridge_gpu_ladder().size(),
+            160u);
+}
+
+TEST(FrequencyLadder, LinearSpacing) {
+  const FrequencyLadder l = FrequencyLadder::linear(1.0, 2.0, 5);
+  EXPECT_DOUBLE_EQ(l.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(l.at(2), 1.5);
+  EXPECT_DOUBLE_EQ(l.at(4), 2.0);
+}
+
+TEST(FrequencyLadder, FractionOfMax) {
+  const FrequencyLadder l = FrequencyLadder::linear(1.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(l.fraction(l.max_level()), 1.0);
+  EXPECT_DOUBLE_EQ(l.fraction(0), 0.25);
+}
+
+TEST(FrequencyLadder, ClampBehaviour) {
+  const FrequencyLadder l = FrequencyLadder::linear(1.0, 2.0, 3);
+  EXPECT_EQ(l.clamp(-5), 0);
+  EXPECT_EQ(l.clamp(99), 2);
+  EXPECT_EQ(l.clamp(1), 1);
+}
+
+TEST(FrequencyLadder, LevelAtOrBelow) {
+  const FrequencyLadder l = FrequencyLadder::linear(1.0, 2.0, 5);  // step .25
+  EXPECT_EQ(l.level_at_or_below(1.6), 2);
+  EXPECT_EQ(l.level_at_or_below(2.5), 4);
+  EXPECT_EQ(l.level_at_or_below(0.5), 0);
+}
+
+TEST(FrequencyLadder, RejectsMalformed) {
+  EXPECT_THROW(FrequencyLadder({}), corun::ContractViolation);
+  EXPECT_THROW(FrequencyLadder({2.0, 1.0}), corun::ContractViolation);
+  EXPECT_THROW(FrequencyLadder({1.0, 1.0}), corun::ContractViolation);
+  EXPECT_THROW((void)FrequencyLadder::linear(2.0, 1.0, 3),
+               corun::ContractViolation);
+}
+
+TEST(FrequencyLadder, AtRejectsOutOfRange) {
+  const FrequencyLadder l = FrequencyLadder::linear(1.0, 2.0, 3);
+  EXPECT_THROW((void)l.at(-1), corun::ContractViolation);
+  EXPECT_THROW((void)l.at(3), corun::ContractViolation);
+}
+
+TEST(DeviceKind, OtherDeviceFlips) {
+  EXPECT_EQ(other_device(DeviceKind::kCpu), DeviceKind::kGpu);
+  EXPECT_EQ(other_device(DeviceKind::kGpu), DeviceKind::kCpu);
+  EXPECT_STREQ(device_name(DeviceKind::kCpu), "CPU");
+  EXPECT_STREQ(device_name(DeviceKind::kGpu), "GPU");
+}
+
+}  // namespace
+}  // namespace corun::sim

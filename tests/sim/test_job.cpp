@@ -1,0 +1,101 @@
+#include "corun/sim/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sim {
+namespace {
+
+DeviceProfile two_phase_profile() {
+  return DeviceProfile({Phase{.dur_ref = 10.0, .compute_frac = 0.8, .mem_bw = 4.0},
+                        Phase{.dur_ref = 30.0, .compute_frac = 0.4, .mem_bw = 8.0}});
+}
+
+TEST(DeviceProfile, AggregatesAreDurationWeighted) {
+  const DeviceProfile p = two_phase_profile();
+  EXPECT_DOUBLE_EQ(p.total_ref_time(), 40.0);
+  EXPECT_DOUBLE_EQ(p.avg_compute_frac(), (0.8 * 10.0 + 0.4 * 30.0) / 40.0);
+  // GB = bw * (1 - cf) * dur per phase.
+  EXPECT_DOUBLE_EQ(p.total_gb(), 4.0 * 0.2 * 10.0 + 8.0 * 0.6 * 30.0);
+  EXPECT_DOUBLE_EQ(p.avg_bandwidth_ref(), p.total_gb() / 40.0);
+}
+
+TEST(DeviceProfile, RejectsMalformedPhases) {
+  EXPECT_THROW(DeviceProfile(std::vector<Phase>{}), corun::ContractViolation);
+  EXPECT_THROW(DeviceProfile({Phase{.dur_ref = 0.0}}), corun::ContractViolation);
+  EXPECT_THROW(DeviceProfile({Phase{.dur_ref = 1.0, .compute_frac = 1.5}}),
+               corun::ContractViolation);
+  EXPECT_THROW(
+      DeviceProfile({Phase{.dur_ref = 1.0, .compute_frac = 0.5, .mem_bw = -1.0}}),
+      corun::ContractViolation);
+}
+
+TEST(PhaseStretch, UnityAtMaxFreqNoContention) {
+  const Phase ph{.dur_ref = 1.0, .compute_frac = 0.6, .mem_bw = 5.0};
+  EXPECT_DOUBLE_EQ(phase_stretch(ph, 1.0, 1.0, 0.3), 1.0);
+}
+
+TEST(PhaseStretch, ComputeScalesWithFrequency) {
+  const Phase pure_compute{.dur_ref = 1.0, .compute_frac = 1.0, .mem_bw = 0.0};
+  EXPECT_DOUBLE_EQ(phase_stretch(pure_compute, 0.5, 1.0, 0.3), 2.0);
+  EXPECT_DOUBLE_EQ(phase_stretch(pure_compute, 0.25, 1.0, 0.3), 4.0);
+}
+
+TEST(PhaseStretch, MemoryScalesWithContentionNotFrequency) {
+  const Phase pure_mem{.dur_ref = 1.0, .compute_frac = 0.0, .mem_bw = 8.0};
+  // Contention slowdown stretches linearly.
+  EXPECT_DOUBLE_EQ(phase_stretch(pure_mem, 1.0, 2.0, 0.0), 2.0);
+  // With zero issue sensitivity, frequency does not matter for memory.
+  EXPECT_DOUBLE_EQ(phase_stretch(pure_mem, 0.5, 1.0, 0.0), 1.0);
+  // With sensitivity, lower clock issues requests slower -> mild stretch.
+  EXPECT_GT(phase_stretch(pure_mem, 0.5, 1.0, 0.3), 1.0);
+  EXPECT_LT(phase_stretch(pure_mem, 0.5, 1.0, 0.3), 2.0);
+}
+
+TEST(PhaseDemand, MatchesBytesOverTime) {
+  const Phase ph{.dur_ref = 1.0, .compute_frac = 0.5, .mem_bw = 8.0};
+  // At reference conditions: 0.5s memory at 8 GB/s in 1s wall -> 4 GB/s.
+  EXPECT_DOUBLE_EQ(phase_demand(ph, 1.0, 1.0, 0.3), 4.0);
+}
+
+TEST(PhaseDemand, HigherFrequencyRaisesDemand) {
+  // The paper's interplay: faster clock compresses compute time, so the
+  // program offers more bandwidth per wall second.
+  const Phase ph{.dur_ref = 1.0, .compute_frac = 0.5, .mem_bw = 8.0};
+  const GBps slow = phase_demand(ph, 0.5, 1.0, 0.3);
+  const GBps fast = phase_demand(ph, 1.0, 1.0, 0.3);
+  EXPECT_GT(fast, slow);
+}
+
+TEST(PhaseDemand, ContentionLowersOfferedLoad) {
+  const Phase ph{.dur_ref = 1.0, .compute_frac = 0.5, .mem_bw = 8.0};
+  EXPECT_LT(phase_demand(ph, 1.0, 2.0, 0.3), phase_demand(ph, 1.0, 1.0, 0.3));
+}
+
+TEST(StandaloneTime, SumsPhaseStretches) {
+  const DeviceProfile p = two_phase_profile();
+  EXPECT_DOUBLE_EQ(standalone_time(p, 1.0, 0.3), 40.0);
+  // Half frequency: compute doubles, memory mildly stretched.
+  const Seconds t_half = standalone_time(p, 0.5, 0.3);
+  EXPECT_GT(t_half, 40.0);
+  EXPECT_LT(t_half, 80.0);
+}
+
+TEST(JobSpec, ProfileSelectsDevice) {
+  JobSpec spec;
+  spec.name = "j";
+  spec.cpu = two_phase_profile();
+  spec.gpu = DeviceProfile({Phase{.dur_ref = 5.0, .compute_frac = 0.5, .mem_bw = 1.0}});
+  EXPECT_DOUBLE_EQ(spec.profile(DeviceKind::kCpu).total_ref_time(), 40.0);
+  EXPECT_DOUBLE_EQ(spec.profile(DeviceKind::kGpu).total_ref_time(), 5.0);
+}
+
+TEST(PhaseStretch, ContractsEnforced) {
+  const Phase ph{.dur_ref = 1.0, .compute_frac = 0.5, .mem_bw = 1.0};
+  EXPECT_THROW((void)phase_stretch(ph, 0.0, 1.0, 0.3), corun::ContractViolation);
+  EXPECT_THROW((void)phase_stretch(ph, 1.0, 0.5, 0.3), corun::ContractViolation);
+}
+
+}  // namespace
+}  // namespace corun::sim

@@ -1,0 +1,121 @@
+#include "corun/sim/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sim {
+namespace {
+
+class MemorySystemTest : public ::testing::Test {
+ protected:
+  MemorySystem mem_{MemorySystemParams{}};
+  const MemorySystemParams& p_ = mem_.params();
+};
+
+TEST_F(MemorySystemTest, NoTrafficNoSlowdown) {
+  const ContentionResult r = mem_.resolve({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.cpu_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(r.gpu_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+}
+
+TEST_F(MemorySystemTest, StandaloneIsUndegraded) {
+  // A single device's offered load, however high, is by definition its
+  // standalone achieved rate: slowdown 1.
+  const ContentionResult cpu_only = mem_.resolve({11.0, 0.0});
+  EXPECT_DOUBLE_EQ(cpu_only.cpu_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(cpu_only.cpu_achieved, 11.0);
+  const ContentionResult gpu_only = mem_.resolve({0.0, 11.0});
+  EXPECT_DOUBLE_EQ(gpu_only.gpu_slowdown, 1.0);
+}
+
+TEST_F(MemorySystemTest, BelowSaturationOnlyLatencyInflation) {
+  const ContentionResult r = mem_.resolve({3.0, 3.0});
+  EXPECT_GT(r.cpu_slowdown, 1.0);
+  EXPECT_GT(r.gpu_slowdown, 1.0);
+  // Achieved bandwidth only mildly reduced.
+  EXPECT_GT(r.cpu_achieved, 2.5);
+  EXPECT_GT(r.gpu_achieved, 2.5);
+}
+
+TEST_F(MemorySystemTest, SaturationCorner_CpuLosesMoreThanGpu) {
+  // The paper's headline asymmetry (Figs. 5-6): at the 11+11 GB/s corner
+  // the CPU-side slowdown clearly exceeds the GPU-side one.
+  const ContentionResult r = mem_.resolve({11.0, 11.0});
+  EXPECT_GT(r.cpu_slowdown, r.gpu_slowdown);
+  EXPECT_GT(r.cpu_slowdown, 1.5);  // ~65% program-level degradation
+  EXPECT_GT(r.gpu_slowdown, 1.3);  // ~45%
+  EXPECT_LT(r.gpu_slowdown, r.cpu_slowdown);
+}
+
+TEST_F(MemorySystemTest, SaturationConservesBandwidth) {
+  const ContentionResult r = mem_.resolve({11.0, 11.0});
+  EXPECT_LE(r.cpu_achieved + r.gpu_achieved, p_.saturation_bw * 1.0001);
+  EXPECT_GT(r.utilization, 0.9);  // controller nearly fully utilized
+}
+
+TEST_F(MemorySystemTest, GpuWinsArbitration) {
+  // Equal offered loads above saturation: the GPU's achieved share exceeds
+  // the CPU's by the arbitration weight ratio.
+  const ContentionResult r = mem_.resolve({10.0, 10.0});
+  EXPECT_GT(r.gpu_achieved, r.cpu_achieved);
+  EXPECT_NEAR(r.gpu_achieved / r.cpu_achieved,
+              p_.gpu_share_weight / p_.cpu_share_weight, 0.05);
+}
+
+TEST_F(MemorySystemTest, SlowdownMonotoneInPartnerLoad) {
+  double prev_cpu = 0.0;
+  for (double g = 0.0; g <= 11.0; g += 1.0) {
+    const ContentionResult r = mem_.resolve({8.0, g});
+    EXPECT_GE(r.cpu_slowdown, prev_cpu - 1e-12);
+    prev_cpu = r.cpu_slowdown;
+  }
+}
+
+TEST_F(MemorySystemTest, AchievedConsistentWithSlowdown) {
+  const ContentionResult r = mem_.resolve({9.0, 7.0});
+  EXPECT_NEAR(r.cpu_achieved, 9.0 / r.cpu_slowdown, 0.5);
+  EXPECT_NEAR(r.gpu_achieved, 7.0 / r.gpu_slowdown, 0.5);
+}
+
+TEST_F(MemorySystemTest, NegativeDemandRejected) {
+  EXPECT_THROW((void)mem_.resolve({-1.0, 0.0}), corun::ContractViolation);
+}
+
+TEST_F(MemorySystemTest, MalformedParamsRejected) {
+  MemorySystemParams bad;
+  bad.saturation_bw = 0.0;
+  EXPECT_THROW(MemorySystem{bad}, corun::ContractViolation);
+  MemorySystemParams bad2;
+  bad2.gpu_share_weight = -1.0;
+  EXPECT_THROW(MemorySystem{bad2}, corun::ContractViolation);
+}
+
+// Property sweep: slowdowns are always >= 1 and achieved <= demand.
+class MemorySystemPropertyTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(MemorySystemPropertyTest, SlownessAndConservation) {
+  const MemorySystem mem{MemorySystemParams{}};
+  const auto [c, g] = GetParam();
+  const ContentionResult r = mem.resolve({c, g});
+  EXPECT_GE(r.cpu_slowdown, 1.0);
+  EXPECT_GE(r.gpu_slowdown, 1.0);
+  EXPECT_LE(r.cpu_achieved, c + 1e-9);
+  EXPECT_LE(r.gpu_achieved, g + 1e-9);
+  EXPECT_LE(r.cpu_achieved + r.gpu_achieved,
+            mem.params().saturation_bw + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MemorySystemPropertyTest,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{1.0, 1.0},
+                      std::pair{5.5, 5.5}, std::pair{11.0, 11.0},
+                      std::pair{0.0, 11.0}, std::pair{11.0, 0.0},
+                      std::pair{2.2, 8.8}, std::pair{8.8, 2.2},
+                      std::pair{11.0, 5.5}, std::pair{5.5, 11.0},
+                      std::pair{20.0, 20.0}));
+
+}  // namespace
+}  // namespace corun::sim

@@ -1,0 +1,101 @@
+#include "corun/sim/power_model.hpp"
+
+#include "corun/common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/sim/machine.hpp"
+
+namespace corun::sim {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  MachineConfig config_ = ivy_bridge();
+  PowerModel model_{config_.power, config_.cpu_ladder, config_.gpu_ladder};
+  FreqLevel cpu_max_ = config_.cpu_ladder.max_level();
+  FreqLevel gpu_max_ = config_.gpu_ladder.max_level();
+};
+
+TEST_F(PowerModelTest, IdleDeviceUsesIdlePowerOnly) {
+  const DeviceActivity idle{};
+  const Watts p = model_.device_power(DeviceKind::kCpu, cpu_max_, idle);
+  EXPECT_DOUBLE_EQ(p, config_.power.cpu.leakage + config_.power.cpu.idle);
+}
+
+TEST_F(PowerModelTest, PowerIncreasesWithFrequency) {
+  const DeviceActivity busy{.busy = true, .compute_share = 1.0};
+  Watts prev = 0.0;
+  for (FreqLevel l = 0; l <= cpu_max_; ++l) {
+    const Watts p = model_.device_power(DeviceKind::kCpu, l, busy);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST_F(PowerModelTest, StalledExecutionDrawsLessThanCompute) {
+  const DeviceActivity compute{.busy = true, .compute_share = 1.0};
+  const DeviceActivity stalled{.busy = true, .memory_share = 1.0};
+  EXPECT_LT(model_.device_power(DeviceKind::kCpu, cpu_max_, stalled),
+            model_.device_power(DeviceKind::kCpu, cpu_max_, compute));
+  EXPECT_LT(model_.device_power(DeviceKind::kGpu, gpu_max_, stalled),
+            model_.device_power(DeviceKind::kGpu, gpu_max_, compute));
+}
+
+TEST_F(PowerModelTest, PackageSumsDomainsAndUncore) {
+  const DeviceActivity busy{.busy = true, .compute_share = 1.0};
+  const DeviceActivity idle{};
+  const Watts pkg = model_.package_power(cpu_max_, 0, busy, idle);
+  const Watts expected = config_.power.uncore +
+                         model_.device_power(DeviceKind::kCpu, cpu_max_, busy) +
+                         model_.device_power(DeviceKind::kGpu, 0, idle);
+  EXPECT_DOUBLE_EQ(pkg, expected);
+}
+
+TEST_F(PowerModelTest, CalibratedEnvelopeMatchesDesign) {
+  // Design targets: the CPU domain alone at full tilt must exceed a 15 W
+  // cap (so DVFS decisions matter), and both domains at max must land far
+  // above any studied cap (~29 W).
+  const Watts cpu_full = model_.package_power_full(cpu_max_, 0) -
+                         model_.device_power_full(DeviceKind::kGpu, 0) +
+                         config_.power.gpu.leakage + config_.power.gpu.idle;
+  EXPECT_GT(cpu_full, 15.0);
+  const Watts both_full = model_.package_power_full(cpu_max_, gpu_max_);
+  EXPECT_GT(both_full, 25.0);
+  EXPECT_LT(both_full, 35.0);
+}
+
+TEST_F(PowerModelTest, LowestLevelsFitUnderTightCap) {
+  // Even a 10 W cap must admit some operating point, or no schedule exists.
+  const Watts floor_power = model_.package_power_full(0, 0);
+  EXPECT_LT(floor_power, 15.0);
+}
+
+TEST_F(PowerModelTest, FullActivityHelpersAgree) {
+  const DeviceActivity full{.busy = true, .compute_share = 1.0};
+  EXPECT_DOUBLE_EQ(model_.device_power_full(DeviceKind::kGpu, gpu_max_),
+                   model_.device_power(DeviceKind::kGpu, gpu_max_, full));
+}
+
+TEST_F(PowerModelTest, ActivityContractsEnforced) {
+  const DeviceActivity bad{.busy = true, .compute_share = 0.7,
+                           .memory_share = 0.5};
+  EXPECT_THROW((void)model_.device_power(DeviceKind::kCpu, 0, bad),
+               corun::ContractViolation);
+}
+
+// Voltage scaling property: dynamic power must grow superlinearly in
+// frequency (f * V(f)^2 with V increasing), so equal frequency steps cost
+// more watts at the top of the ladder than at the bottom.
+TEST_F(PowerModelTest, SuperlinearFrequencyCost) {
+  const DeviceActivity busy{.busy = true, .compute_share = 1.0};
+  const Watts low_step = model_.device_power(DeviceKind::kCpu, 1, busy) -
+                         model_.device_power(DeviceKind::kCpu, 0, busy);
+  const Watts high_step =
+      model_.device_power(DeviceKind::kCpu, cpu_max_, busy) -
+      model_.device_power(DeviceKind::kCpu, cpu_max_ - 1, busy);
+  EXPECT_GT(high_step, low_step);
+}
+
+}  // namespace
+}  // namespace corun::sim

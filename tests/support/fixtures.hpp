@@ -1,0 +1,67 @@
+// Shared, lazily-built test fixtures.
+//
+// Building model artifacts (profiles + degradation grid) is the expensive
+// part of most scheduler tests; these singletons build each configuration
+// once per test binary. Everything is deterministic (fixed seeds).
+#pragma once
+
+#include <memory>
+
+#include "corun/core/model/corun_predictor.hpp"
+#include "corun/core/runtime/experiment.hpp"
+#include "corun/core/sched/scheduler.hpp"
+#include "corun/sim/machine.hpp"
+#include "corun/workload/batch.hpp"
+#include "corun/workload/rodinia.hpp"
+
+namespace corun::testing {
+
+struct Fixture {
+  sim::MachineConfig config;
+  workload::Batch batch;
+  runtime::ModelArtifacts artifacts;
+  std::unique_ptr<model::CoRunPredictor> predictor;
+
+  sched::SchedulerContext context(std::optional<Watts> cap) const {
+    sched::SchedulerContext ctx;
+    ctx.batch = &batch;
+    ctx.predictor = predictor.get();
+    ctx.cap = cap;
+    return ctx;
+  }
+};
+
+/// Builds a fixture over `batch` with sub-sampled profiling (4 CPU levels,
+/// 4 GPU levels) and a 4x4 degradation grid — accurate enough for behaviour
+/// tests, ~10x cheaper than the full paper configuration.
+inline std::unique_ptr<Fixture> make_fixture(workload::Batch batch) {
+  auto f = std::make_unique<Fixture>();
+  f->config = sim::ivy_bridge();
+  f->batch = std::move(batch);
+  runtime::ArtifactOptions options;
+  options.seed = 42;
+  options.cpu_levels = {0, 5, 10};        // max level auto-included
+  options.gpu_levels = {0, 3, 6};
+  options.grid_axis = {0.0, 4.0, 8.0, 11.0};
+  f->artifacts = runtime::build_artifacts(f->config, f->batch, options);
+  f->predictor = std::make_unique<model::CoRunPredictor>(
+      f->artifacts.db, f->artifacts.grid, f->config);
+  return f;
+}
+
+/// Four-program motivation batch fixture (streamcluster, cfd, dwt2d,
+/// hotspot), shared by the scheduler unit tests.
+inline const Fixture& motivation_fixture() {
+  static const std::unique_ptr<Fixture> f =
+      make_fixture(workload::make_batch_motivation(42));
+  return *f;
+}
+
+/// The full 8-program batch fixture for integration-level tests.
+inline const Fixture& eight_program_fixture() {
+  static const std::unique_ptr<Fixture> f =
+      make_fixture(workload::make_batch_8(42));
+  return *f;
+}
+
+}  // namespace corun::testing

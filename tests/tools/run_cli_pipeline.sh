@@ -1,0 +1,61 @@
+#!/bin/sh
+# End-to-end smoke test of the command-line pipeline:
+#   profile (offline + online) -> characterize -> schedule (+plan file,
+#   +explain) -> run (scheduler and saved plan, with gantt + trace).
+# Usage: run_cli_pipeline.sh <tools-dir>
+set -eu
+
+TOOLS="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+cat > batch.csv <<EOF
+instance,program,input_scale,seed
+sc,streamcluster,1.0,42
+dwt,dwt2d,1.0,43
+lud,lud,0.9,44
+stress,micro:7.7,1.0,45
+EOF
+
+echo "== corun-profile (offline, sparse) =="
+"$TOOLS/corun-profile" --batch batch.csv --out profiles.csv \
+    --cpu-levels 0,5,10 --gpu-levels 0,4
+test -s profiles.csv
+
+echo "== corun-profile (online) =="
+"$TOOLS/corun-profile" --batch batch.csv --out profiles_online.csv --online \
+    --sample-seconds 2.0
+test -s profiles_online.csv
+
+echo "== corun-characterize =="
+"$TOOLS/corun-characterize" --out grid.csv --axis-points 4
+test -s grid.csv
+
+echo "== corun-schedule (hcs+, save plan, explain) =="
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler hcs --explain \
+    --save-plan plan.csv | tee schedule.out
+test -s plan.csv
+grep -q "decision trace" schedule.out
+grep -q "lower bound" schedule.out
+
+echo "== corun-schedule rejects bad input =="
+if "$TOOLS/corun-schedule" --batch batch.csv --grid grid.csv 2>/dev/null; then
+  echo "expected usage error for missing --profiles" >&2
+  exit 1
+fi
+
+echo "== corun-run (plan file, gantt, trace) =="
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --plan plan.csv --gantt --trace trace.csv | tee run.out
+test -s trace.csv
+grep -q "makespan=" run.out
+grep -q "utilization" run.out
+grep -q "plan file" run.out
+
+echo "== corun-run (online profiles, bnb scheduler) =="
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles_online.csv \
+    --grid grid.csv --cap 15 --scheduler bnb | grep -q "scheduler: BnB"
+
+echo "CLI pipeline OK"

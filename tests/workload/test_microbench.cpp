@@ -1,0 +1,84 @@
+#include "corun/workload/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corun/sim/machine.hpp"
+
+namespace corun::workload {
+namespace {
+
+TEST(MicroBench, GridLevelsCoverZeroToEleven) {
+  const auto levels = micro_grid_levels();
+  ASSERT_EQ(levels.size(), 11u);  // 11 settings (Sec. V-B)
+  EXPECT_DOUBLE_EQ(levels.front(), 0.0);
+  EXPECT_DOUBLE_EQ(levels.back(), 11.0);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_NEAR(levels[i] - levels[i - 1], 1.1, 1e-12);  // even spacing
+  }
+}
+
+TEST(MicroBench, ZeroTargetIsPureCompute) {
+  const auto desc = micro_kernel(0.0).value();
+  EXPECT_DOUBLE_EQ(desc.cpu.compute_frac, 1.0);
+  EXPECT_DOUBLE_EQ(desc.cpu.mem_bw, 0.0);
+}
+
+TEST(MicroBench, OutOfRangeTargetFails) {
+  EXPECT_FALSE(micro_kernel(-1.0).has_value());
+  EXPECT_FALSE(micro_kernel(kMicroStreamBw + 0.1).has_value());
+}
+
+TEST(MicroBench, StressorIsSteady) {
+  // A controllable stressor must not have phase jitter.
+  const auto desc = micro_kernel(6.0).value();
+  EXPECT_DOUBLE_EQ(desc.phase_variability, 0.0);
+  EXPECT_EQ(desc.phase_count, 1u);
+}
+
+// The core calibration property: measured standalone bandwidth equals the
+// requested target on both devices (Sec. V-B needs the axes to be truthful).
+class MicroBandwidthTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MicroBandwidthTest, AchievedEqualsTarget) {
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const double target = GetParam();
+  const auto desc = micro_kernel(target).value();
+  const GBps cpu = measure_micro_bandwidth(config, desc, sim::DeviceKind::kCpu);
+  const GBps gpu = measure_micro_bandwidth(config, desc, sim::DeviceKind::kGpu);
+  EXPECT_NEAR(cpu, target, 0.05 + target * 0.01);
+  EXPECT_NEAR(gpu, target, 0.05 + target * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(GridLevels, MicroBandwidthTest,
+                         ::testing::Values(0.0, 1.1, 2.2, 3.3, 5.5, 7.7, 9.9,
+                                           11.0));
+
+TEST(MicroSource, RoundTripThroughSourceParams) {
+  for (const double target : {1.1, 4.4, 8.8, 11.0}) {
+    const auto params = micro_source_for(target);
+    ASSERT_TRUE(params.has_value());
+    EXPECT_NEAR(micro_bandwidth_of(params.value()), target, 0.15) << target;
+  }
+}
+
+TEST(MicroSource, MoreComputeLowersBandwidth) {
+  MicroSourceParams a{.j_max = 10};
+  MicroSourceParams b{.j_max = 10000};
+  EXPECT_GT(micro_bandwidth_of(a), micro_bandwidth_of(b));
+}
+
+TEST(MicroSource, HighTargetMeansShortComputeLoop) {
+  const auto near_peak = micro_source_for(11.0).value();
+  const auto low = micro_source_for(1.1).value();
+  EXPECT_LT(near_peak.j_max, low.j_max);
+}
+
+TEST(MicroBench, DurationScalesTrace) {
+  const auto short_desc = micro_kernel(5.0, 10.0).value();
+  const auto long_desc = micro_kernel(5.0, 40.0).value();
+  EXPECT_DOUBLE_EQ(short_desc.cpu.base_time, 10.0);
+  EXPECT_DOUBLE_EQ(long_desc.cpu.base_time, 40.0);
+}
+
+}  // namespace
+}  // namespace corun::workload

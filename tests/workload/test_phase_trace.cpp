@@ -1,0 +1,122 @@
+#include "corun/workload/phase_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "corun/common/check.hpp"
+
+namespace corun::workload {
+namespace {
+
+TraceParams base_params() {
+  return TraceParams{.total_time = 30.0,
+                     .compute_frac = 0.4,
+                     .mem_bw = 7.0,
+                     .phase_count = 12,
+                     .variability = 0.25};
+}
+
+TEST(PhaseTrace, TotalTimeExact) {
+  const auto profile = make_phase_trace(base_params(), Rng(1));
+  EXPECT_NEAR(profile.total_ref_time(), 30.0, 1e-9);
+  EXPECT_EQ(profile.phases().size(), 12u);
+}
+
+TEST(PhaseTrace, AverageComputeFractionOnTarget) {
+  const auto profile = make_phase_trace(base_params(), Rng(2));
+  EXPECT_NEAR(profile.avg_compute_frac(), 0.4, 0.02);
+}
+
+TEST(PhaseTrace, ZeroVariabilityIsSinglePhase) {
+  TraceParams p = base_params();
+  p.variability = 0.0;
+  const auto profile = make_phase_trace(p, Rng(3));
+  ASSERT_EQ(profile.phases().size(), 1u);
+  EXPECT_DOUBLE_EQ(profile.phases()[0].dur_ref, 30.0);
+  EXPECT_DOUBLE_EQ(profile.phases()[0].compute_frac, 0.4);
+  EXPECT_DOUBLE_EQ(profile.phases()[0].mem_bw, 7.0);
+}
+
+TEST(PhaseTrace, DeterministicForSameRng) {
+  const auto a = make_phase_trace(base_params(), Rng(7));
+  const auto b = make_phase_trace(base_params(), Rng(7));
+  ASSERT_EQ(a.phases().size(), b.phases().size());
+  for (std::size_t i = 0; i < a.phases().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.phases()[i].dur_ref, b.phases()[i].dur_ref);
+    EXPECT_DOUBLE_EQ(a.phases()[i].compute_frac, b.phases()[i].compute_frac);
+    EXPECT_DOUBLE_EQ(a.phases()[i].mem_bw, b.phases()[i].mem_bw);
+  }
+}
+
+TEST(PhaseTrace, DifferentSeedsGiveDifferentTraces) {
+  const auto a = make_phase_trace(base_params(), Rng(1));
+  const auto b = make_phase_trace(base_params(), Rng(2));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.phases().size() && !any_diff; ++i) {
+    any_diff = a.phases()[i].dur_ref != b.phases()[i].dur_ref;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PhaseTrace, PhasesActuallyVary) {
+  const auto profile = make_phase_trace(base_params(), Rng(5));
+  double min_cf = 1.0;
+  double max_cf = 0.0;
+  for (const auto& ph : profile.phases()) {
+    min_cf = std::min(min_cf, ph.compute_frac);
+    max_cf = std::max(max_cf, ph.compute_frac);
+  }
+  EXPECT_GT(max_cf - min_cf, 0.05);  // heterogeneity the predictor can't see
+}
+
+TEST(PhaseTrace, AllPhasesWellFormed) {
+  const auto profile = make_phase_trace(base_params(), Rng(9));
+  for (const auto& ph : profile.phases()) {
+    EXPECT_GT(ph.dur_ref, 0.0);
+    EXPECT_GE(ph.compute_frac, 0.0);
+    EXPECT_LE(ph.compute_frac, 1.0);
+    EXPECT_GE(ph.mem_bw, 0.0);
+  }
+}
+
+TEST(PhaseTrace, InvalidParamsRejected) {
+  TraceParams p = base_params();
+  p.total_time = 0.0;
+  EXPECT_THROW((void)make_phase_trace(p, Rng(1)), corun::ContractViolation);
+  p = base_params();
+  p.compute_frac = 1.5;
+  EXPECT_THROW((void)make_phase_trace(p, Rng(1)), corun::ContractViolation);
+  p = base_params();
+  p.phase_count = 0;
+  EXPECT_THROW((void)make_phase_trace(p, Rng(1)), corun::ContractViolation);
+  p = base_params();
+  p.variability = 1.5;
+  EXPECT_THROW((void)make_phase_trace(p, Rng(1)), corun::ContractViolation);
+}
+
+// Property sweep over targets: totals and averages always land on target.
+class PhaseTraceProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, unsigned>> {};
+
+TEST_P(PhaseTraceProperty, TargetsHeld) {
+  const auto [cf, bw, phases] = GetParam();
+  TraceParams p{.total_time = 25.0,
+                .compute_frac = cf,
+                .mem_bw = bw,
+                .phase_count = phases,
+                .variability = 0.3};
+  const auto profile = make_phase_trace(p, Rng(11));
+  EXPECT_NEAR(profile.total_ref_time(), 25.0, 1e-9);
+  EXPECT_NEAR(profile.avg_compute_frac(), cf, 0.05);
+  EXPECT_EQ(profile.phases().size(), phases);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PhaseTraceProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 0.9),
+                       ::testing::Values(2.0, 11.0),
+                       ::testing::Values(2u, 14u, 40u)));
+
+}  // namespace
+}  // namespace corun::workload

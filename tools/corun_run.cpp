@@ -1,0 +1,143 @@
+// corun-run: plan AND execute a batch on the simulated machine, reporting
+// ground truth (makespan, energy, cap statistics, per-job outcomes) and
+// optionally dumping the power trace as CSV.
+//
+//   corun-run --batch batch.csv --profiles profiles.csv --grid grid.csv
+//             [--cap 15] [--scheduler hcs+|hcs|default|random|bnb]
+//             [--policy gpu|cpu] [--seed 42] [--trace trace.csv]
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "corun/common/csv.hpp"
+#include "corun/common/flags.hpp"
+#include "corun/core/runtime/runtime.hpp"
+#include "corun/core/runtime/timeline.hpp"
+#include "corun/core/sched/registry.hpp"
+#include "corun/core/sched/scheduler.hpp"
+#include "tool_io.hpp"
+
+namespace {
+const char kUsage[] =
+    "corun-run --batch batch.csv --profiles profiles.csv --grid grid.csv "
+    "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
+    "[--plan plan.csv] [--policy gpu|cpu] [--seed 42] [--trace trace.csv] "
+    "[--gantt]";
+}
+
+int main(int argc, char** argv) {
+  using namespace corun;
+  const auto flags = Flags::parse(argc, argv,
+                                  {"batch", "profiles", "grid", "cap",
+                                   "scheduler", "policy", "seed", "trace",
+                                   "plan"},
+                                  {"gantt"});
+  if (!flags.has_value()) {
+    return tools::usage_error(flags.error().message, kUsage);
+  }
+  const Flags& f = flags.value();
+  for (const char* required : {"batch", "profiles", "grid"}) {
+    if (!f.has(required)) {
+      return tools::usage_error(std::string("--") + required + " is required",
+                                kUsage);
+    }
+  }
+
+  const auto batch_text = tools::read_file(f.get("batch", ""));
+  const auto profile_text = tools::read_file(f.get("profiles", ""));
+  const auto grid_text = tools::read_file(f.get("grid", ""));
+  for (const auto* t : {&batch_text, &profile_text, &grid_text}) {
+    if (!t->has_value()) return tools::usage_error(t->error().message, kUsage);
+  }
+  const auto batch = workload::batch_from_csv(batch_text.value());
+  if (!batch.has_value()) return tools::usage_error(batch.error().message, kUsage);
+  const auto db = profile::ProfileDB::read_csv(profile_text.value());
+  if (!db.has_value()) return tools::usage_error(db.error().message, kUsage);
+  const auto grid = model::DegradationGrid::read_csv(grid_text.value());
+  if (!grid.has_value()) return tools::usage_error(grid.error().message, kUsage);
+
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const model::CoRunPredictor predictor(db.value(), grid.value(), config);
+
+  sched::SchedulerContext ctx;
+  ctx.batch = &batch.value();
+  ctx.predictor = &predictor;
+  if (f.has("cap")) ctx.cap = f.get_double("cap", 15.0);
+  const sim::GovernorPolicy policy = f.get("policy", "gpu") == "cpu"
+                                         ? sim::GovernorPolicy::kCpuBiased
+                                         : sim::GovernorPolicy::kGpuBiased;
+  ctx.policy = policy;
+
+  const std::string which = f.get("scheduler", "hcs+");
+  const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 42));
+
+  sched::Schedule schedule;
+  std::string plan_source;
+  if (f.has("plan")) {
+    const auto plan_text = tools::read_file(f.get("plan", ""));
+    if (!plan_text.has_value()) {
+      return tools::usage_error(plan_text.error().message, kUsage);
+    }
+    auto loaded = sched::schedule_from_csv(plan_text.value(), ctx.job_names());
+    if (!loaded.has_value()) {
+      return tools::usage_error(loaded.error().message, kUsage);
+    }
+    schedule = std::move(loaded).value();
+    plan_source = "plan file " + f.get("plan", "");
+  } else {
+    auto scheduler = sched::make_scheduler(which, seed);
+    if (scheduler == nullptr) {
+      return tools::usage_error("unknown scheduler '" + which + "'", kUsage);
+    }
+    schedule = scheduler->plan(ctx);
+    plan_source = scheduler->name();
+  }
+  runtime::RuntimeOptions rt;
+  rt.cap = ctx.cap;
+  rt.policy = policy;
+  rt.seed = seed;
+  rt.predictor = &predictor;
+  const runtime::CoRunRuntime runner(config, rt);
+  const runtime::ExecutionReport report =
+      runner.execute(batch.value(), schedule);
+
+  std::printf("scheduler: %s\n", plan_source.c_str());
+  std::printf("plan:      %s\n", schedule.to_string(ctx.job_names()).c_str());
+  std::printf("result:    %s\n", report.summary().c_str());
+  std::printf("%-18s %-4s %10s %10s %10s\n", "job", "dev", "start", "finish",
+              "runtime");
+  for (const runtime::JobOutcome& j : report.jobs) {
+    std::printf("%-18s %-4s %10.2f %10.2f %10.2f\n", j.name.c_str(),
+                sim::device_name(j.device), j.start, j.finish, j.runtime());
+  }
+
+  if (f.has("gantt")) {
+    const runtime::UtilizationStats util = runtime::utilization(report);
+    std::printf("\n%s", runtime::render_gantt(report).c_str());
+    std::printf("utilization: CPU %.0f%%  GPU %.0f%%\n",
+                util.cpu_utilization() * 100.0,
+                util.gpu_utilization() * 100.0);
+  }
+
+  if (f.has("trace")) {
+    std::ostringstream oss;
+    CsvWriter writer(oss);
+    writer.write_row({"t_s", "measured_w", "true_w", "cpu_level", "gpu_level",
+                      "cpu_bw", "gpu_bw"});
+    for (const sim::PowerSample& s : report.power_trace) {
+      writer.write_row({std::to_string(s.t), std::to_string(s.measured),
+                        std::to_string(s.true_power),
+                        std::to_string(s.cpu_level),
+                        std::to_string(s.gpu_level), std::to_string(s.cpu_bw),
+                        std::to_string(s.gpu_bw)});
+    }
+    if (!tools::write_file(f.get("trace", ""), oss.str())) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   f.get("trace", "").c_str());
+      return 1;
+    }
+    std::printf("wrote power trace to %s (%zu samples)\n",
+                f.get("trace", "").c_str(), report.power_trace.size());
+  }
+  return 0;
+}

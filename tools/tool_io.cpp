@@ -1,0 +1,31 @@
+#include "tool_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace corun::tools {
+
+Expected<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open '" + path + "' for reading");
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  if (in.bad()) return fail("read error on '" + path + "'");
+  return oss.str();
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+int usage_error(const std::string& message, const std::string& usage) {
+  std::fprintf(stderr, "error: %s\n\nusage: %s\n", message.c_str(),
+               usage.c_str());
+  return 2;
+}
+
+}  // namespace corun::tools

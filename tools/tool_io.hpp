@@ -1,0 +1,19 @@
+// Shared file IO and usage plumbing for the corun command-line tools.
+#pragma once
+
+#include <string>
+
+#include "corun/common/expected.hpp"
+
+namespace corun::tools {
+
+/// Reads a whole file; fails with a readable message on IO errors.
+[[nodiscard]] Expected<std::string> read_file(const std::string& path);
+
+/// Writes text to a file (truncating); returns false on IO failure.
+bool write_file(const std::string& path, const std::string& text);
+
+/// Prints `message` and the usage string to stderr; returns 2 (usage error).
+int usage_error(const std::string& message, const std::string& usage);
+
+}  // namespace corun::tools
