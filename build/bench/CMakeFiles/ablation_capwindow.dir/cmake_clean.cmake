@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_capwindow.dir/ablation_capwindow.cpp.o"
+  "CMakeFiles/ablation_capwindow.dir/ablation_capwindow.cpp.o.d"
+  "CMakeFiles/ablation_capwindow.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_capwindow.dir/bench_util.cpp.o.d"
+  "ablation_capwindow"
+  "ablation_capwindow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capwindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gridsize.dir/ablation_gridsize.cpp.o"
+  "CMakeFiles/ablation_gridsize.dir/ablation_gridsize.cpp.o.d"
+  "CMakeFiles/ablation_gridsize.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_gridsize.dir/bench_util.cpp.o.d"
+  "ablation_gridsize"
+  "ablation_gridsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gridsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

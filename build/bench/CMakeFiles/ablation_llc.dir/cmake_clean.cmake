@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_llc.dir/ablation_llc.cpp.o"
+  "CMakeFiles/ablation_llc.dir/ablation_llc.cpp.o.d"
+  "CMakeFiles/ablation_llc.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_llc.dir/bench_util.cpp.o.d"
+  "ablation_llc"
+  "ablation_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_machines.dir/ablation_machines.cpp.o"
+  "CMakeFiles/ablation_machines.dir/ablation_machines.cpp.o.d"
+  "CMakeFiles/ablation_machines.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_machines.dir/bench_util.cpp.o.d"
+  "ablation_machines"
+  "ablation_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_online_profiling.dir/ablation_online_profiling.cpp.o"
+  "CMakeFiles/ablation_online_profiling.dir/ablation_online_profiling.cpp.o.d"
+  "CMakeFiles/ablation_online_profiling.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_online_profiling.dir/bench_util.cpp.o.d"
+  "ablation_online_profiling"
+  "ablation_online_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_online_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policies.dir/ablation_policies.cpp.o"
+  "CMakeFiles/ablation_policies.dir/ablation_policies.cpp.o.d"
+  "CMakeFiles/ablation_policies.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_policies.dir/bench_util.cpp.o.d"
+  "ablation_policies"
+  "ablation_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

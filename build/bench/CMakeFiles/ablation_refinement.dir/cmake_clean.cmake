@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_refinement.dir/ablation_refinement.cpp.o"
+  "CMakeFiles/ablation_refinement.dir/ablation_refinement.cpp.o.d"
+  "CMakeFiles/ablation_refinement.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_refinement.dir/bench_util.cpp.o.d"
+  "ablation_refinement"
+  "ablation_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scale.dir/ablation_scale.cpp.o"
+  "CMakeFiles/ablation_scale.dir/ablation_scale.cpp.o.d"
+  "CMakeFiles/ablation_scale.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_scale.dir/bench_util.cpp.o.d"
+  "ablation_scale"
+  "ablation_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_theorem.dir/ablation_theorem.cpp.o"
+  "CMakeFiles/ablation_theorem.dir/ablation_theorem.cpp.o.d"
+  "CMakeFiles/ablation_theorem.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_theorem.dir/bench_util.cpp.o.d"
+  "ablation_theorem"
+  "ablation_theorem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_theorem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

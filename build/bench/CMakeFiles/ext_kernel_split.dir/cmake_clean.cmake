@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_kernel_split.dir/bench_util.cpp.o"
+  "CMakeFiles/ext_kernel_split.dir/bench_util.cpp.o.d"
+  "CMakeFiles/ext_kernel_split.dir/ext_kernel_split.cpp.o"
+  "CMakeFiles/ext_kernel_split.dir/ext_kernel_split.cpp.o.d"
+  "ext_kernel_split"
+  "ext_kernel_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_kernel_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_standalone.dir/bench_util.cpp.o"
+  "CMakeFiles/fig02_standalone.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig02_standalone.dir/fig02_standalone.cpp.o"
+  "CMakeFiles/fig02_standalone.dir/fig02_standalone.cpp.o.d"
+  "fig02_standalone"
+  "fig02_standalone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_standalone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_spectrum.dir/bench_util.cpp.o"
+  "CMakeFiles/fig05_06_spectrum.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig05_06_spectrum.dir/fig05_06_spectrum.cpp.o"
+  "CMakeFiles/fig05_06_spectrum.dir/fig05_06_spectrum.cpp.o.d"
+  "fig05_06_spectrum"
+  "fig05_06_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

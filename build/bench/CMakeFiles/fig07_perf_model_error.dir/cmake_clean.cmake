@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_perf_model_error.dir/bench_util.cpp.o"
+  "CMakeFiles/fig07_perf_model_error.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig07_perf_model_error.dir/fig07_perf_model_error.cpp.o"
+  "CMakeFiles/fig07_perf_model_error.dir/fig07_perf_model_error.cpp.o.d"
+  "fig07_perf_model_error"
+  "fig07_perf_model_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_perf_model_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_power_model_error.dir/bench_util.cpp.o"
+  "CMakeFiles/fig08_power_model_error.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig08_power_model_error.dir/fig08_power_model_error.cpp.o"
+  "CMakeFiles/fig08_power_model_error.dir/fig08_power_model_error.cpp.o.d"
+  "fig08_power_model_error"
+  "fig08_power_model_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_power_model_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

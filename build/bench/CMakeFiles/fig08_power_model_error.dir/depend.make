@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_power_model_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_power_trace.dir/bench_util.cpp.o"
+  "CMakeFiles/fig09_power_trace.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig09_power_trace.dir/fig09_power_trace.cpp.o"
+  "CMakeFiles/fig09_power_trace.dir/fig09_power_trace.cpp.o.d"
+  "fig09_power_trace"
+  "fig09_power_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig0x_motivation.dir/bench_util.cpp.o"
+  "CMakeFiles/fig0x_motivation.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig0x_motivation.dir/fig0x_motivation.cpp.o"
+  "CMakeFiles/fig0x_motivation.dir/fig0x_motivation.cpp.o.d"
+  "fig0x_motivation"
+  "fig0x_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig0x_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig0x_motivation.
+# This may be replaced when dependencies are built.

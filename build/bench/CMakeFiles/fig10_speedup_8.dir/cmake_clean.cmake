@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_speedup_8.dir/bench_util.cpp.o"
+  "CMakeFiles/fig10_speedup_8.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig10_speedup_8.dir/fig10_speedup_8.cpp.o"
+  "CMakeFiles/fig10_speedup_8.dir/fig10_speedup_8.cpp.o.d"
+  "fig10_speedup_8"
+  "fig10_speedup_8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_speedup_8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

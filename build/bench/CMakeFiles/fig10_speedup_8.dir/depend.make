@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_speedup_8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_speedup_16.dir/bench_util.cpp.o"
+  "CMakeFiles/fig11_speedup_16.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig11_speedup_16.dir/fig11_speedup_16.cpp.o"
+  "CMakeFiles/fig11_speedup_16.dir/fig11_speedup_16.cpp.o.d"
+  "fig11_speedup_16"
+  "fig11_speedup_16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speedup_16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

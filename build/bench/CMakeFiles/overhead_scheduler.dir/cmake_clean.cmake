@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_scheduler.dir/bench_util.cpp.o"
+  "CMakeFiles/overhead_scheduler.dir/bench_util.cpp.o.d"
+  "CMakeFiles/overhead_scheduler.dir/overhead_scheduler.cpp.o"
+  "CMakeFiles/overhead_scheduler.dir/overhead_scheduler.cpp.o.d"
+  "overhead_scheduler"
+  "overhead_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

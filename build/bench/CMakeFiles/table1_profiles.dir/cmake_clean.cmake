@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_profiles.dir/bench_util.cpp.o"
+  "CMakeFiles/table1_profiles.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table1_profiles.dir/table1_profiles.cpp.o"
+  "CMakeFiles/table1_profiles.dir/table1_profiles.cpp.o.d"
+  "table1_profiles"
+  "table1_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

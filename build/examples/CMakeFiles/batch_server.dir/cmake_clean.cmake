@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_server.dir/batch_server.cpp.o"
+  "CMakeFiles/batch_server.dir/batch_server.cpp.o.d"
+  "batch_server"
+  "batch_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opencl_api_tour.dir/opencl_api_tour.cpp.o"
+  "CMakeFiles/opencl_api_tour.dir/opencl_api_tour.cpp.o.d"
+  "opencl_api_tour"
+  "opencl_api_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opencl_api_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for opencl_api_tour.
+# This may be replaced when dependencies are built.

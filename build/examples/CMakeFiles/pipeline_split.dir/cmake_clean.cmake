@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_split.dir/pipeline_split.cpp.o"
+  "CMakeFiles/pipeline_split.dir/pipeline_split.cpp.o.d"
+  "pipeline_split"
+  "pipeline_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

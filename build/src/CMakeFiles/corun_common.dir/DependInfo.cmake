@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corun/common/check.cpp" "src/CMakeFiles/corun_common.dir/corun/common/check.cpp.o" "gcc" "src/CMakeFiles/corun_common.dir/corun/common/check.cpp.o.d"
+  "/root/repo/src/corun/common/csv.cpp" "src/CMakeFiles/corun_common.dir/corun/common/csv.cpp.o" "gcc" "src/CMakeFiles/corun_common.dir/corun/common/csv.cpp.o.d"
+  "/root/repo/src/corun/common/flags.cpp" "src/CMakeFiles/corun_common.dir/corun/common/flags.cpp.o" "gcc" "src/CMakeFiles/corun_common.dir/corun/common/flags.cpp.o.d"
+  "/root/repo/src/corun/common/histogram.cpp" "src/CMakeFiles/corun_common.dir/corun/common/histogram.cpp.o" "gcc" "src/CMakeFiles/corun_common.dir/corun/common/histogram.cpp.o.d"
+  "/root/repo/src/corun/common/log.cpp" "src/CMakeFiles/corun_common.dir/corun/common/log.cpp.o" "gcc" "src/CMakeFiles/corun_common.dir/corun/common/log.cpp.o.d"
+  "/root/repo/src/corun/common/rng.cpp" "src/CMakeFiles/corun_common.dir/corun/common/rng.cpp.o" "gcc" "src/CMakeFiles/corun_common.dir/corun/common/rng.cpp.o.d"
+  "/root/repo/src/corun/common/stats.cpp" "src/CMakeFiles/corun_common.dir/corun/common/stats.cpp.o" "gcc" "src/CMakeFiles/corun_common.dir/corun/common/stats.cpp.o.d"
+  "/root/repo/src/corun/common/table.cpp" "src/CMakeFiles/corun_common.dir/corun/common/table.cpp.o" "gcc" "src/CMakeFiles/corun_common.dir/corun/common/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

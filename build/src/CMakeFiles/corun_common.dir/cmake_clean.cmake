@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_common.dir/corun/common/check.cpp.o"
+  "CMakeFiles/corun_common.dir/corun/common/check.cpp.o.d"
+  "CMakeFiles/corun_common.dir/corun/common/csv.cpp.o"
+  "CMakeFiles/corun_common.dir/corun/common/csv.cpp.o.d"
+  "CMakeFiles/corun_common.dir/corun/common/flags.cpp.o"
+  "CMakeFiles/corun_common.dir/corun/common/flags.cpp.o.d"
+  "CMakeFiles/corun_common.dir/corun/common/histogram.cpp.o"
+  "CMakeFiles/corun_common.dir/corun/common/histogram.cpp.o.d"
+  "CMakeFiles/corun_common.dir/corun/common/log.cpp.o"
+  "CMakeFiles/corun_common.dir/corun/common/log.cpp.o.d"
+  "CMakeFiles/corun_common.dir/corun/common/rng.cpp.o"
+  "CMakeFiles/corun_common.dir/corun/common/rng.cpp.o.d"
+  "CMakeFiles/corun_common.dir/corun/common/stats.cpp.o"
+  "CMakeFiles/corun_common.dir/corun/common/stats.cpp.o.d"
+  "CMakeFiles/corun_common.dir/corun/common/table.cpp.o"
+  "CMakeFiles/corun_common.dir/corun/common/table.cpp.o.d"
+  "libcorun_common.a"
+  "libcorun_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

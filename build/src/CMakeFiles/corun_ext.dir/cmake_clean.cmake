@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_ext.dir/corun/ext/kernel_split.cpp.o"
+  "CMakeFiles/corun_ext.dir/corun/ext/kernel_split.cpp.o.d"
+  "libcorun_ext.a"
+  "libcorun_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcorun_ext.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for corun_ext.
+# This may be replaced when dependencies are built.

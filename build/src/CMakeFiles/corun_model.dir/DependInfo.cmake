@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corun/core/model/corun_predictor.cpp" "src/CMakeFiles/corun_model.dir/corun/core/model/corun_predictor.cpp.o" "gcc" "src/CMakeFiles/corun_model.dir/corun/core/model/corun_predictor.cpp.o.d"
+  "/root/repo/src/corun/core/model/degradation_space.cpp" "src/CMakeFiles/corun_model.dir/corun/core/model/degradation_space.cpp.o" "gcc" "src/CMakeFiles/corun_model.dir/corun/core/model/degradation_space.cpp.o.d"
+  "/root/repo/src/corun/core/model/interpolator.cpp" "src/CMakeFiles/corun_model.dir/corun/core/model/interpolator.cpp.o" "gcc" "src/CMakeFiles/corun_model.dir/corun/core/model/interpolator.cpp.o.d"
+  "/root/repo/src/corun/core/model/power_predictor.cpp" "src/CMakeFiles/corun_model.dir/corun/core/model/power_predictor.cpp.o" "gcc" "src/CMakeFiles/corun_model.dir/corun/core/model/power_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

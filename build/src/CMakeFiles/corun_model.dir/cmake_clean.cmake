@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_model.dir/corun/core/model/corun_predictor.cpp.o"
+  "CMakeFiles/corun_model.dir/corun/core/model/corun_predictor.cpp.o.d"
+  "CMakeFiles/corun_model.dir/corun/core/model/degradation_space.cpp.o"
+  "CMakeFiles/corun_model.dir/corun/core/model/degradation_space.cpp.o.d"
+  "CMakeFiles/corun_model.dir/corun/core/model/interpolator.cpp.o"
+  "CMakeFiles/corun_model.dir/corun/core/model/interpolator.cpp.o.d"
+  "CMakeFiles/corun_model.dir/corun/core/model/power_predictor.cpp.o"
+  "CMakeFiles/corun_model.dir/corun/core/model/power_predictor.cpp.o.d"
+  "libcorun_model.a"
+  "libcorun_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corun/ocl/buffer.cpp" "src/CMakeFiles/corun_ocl.dir/corun/ocl/buffer.cpp.o" "gcc" "src/CMakeFiles/corun_ocl.dir/corun/ocl/buffer.cpp.o.d"
+  "/root/repo/src/corun/ocl/context.cpp" "src/CMakeFiles/corun_ocl.dir/corun/ocl/context.cpp.o" "gcc" "src/CMakeFiles/corun_ocl.dir/corun/ocl/context.cpp.o.d"
+  "/root/repo/src/corun/ocl/device.cpp" "src/CMakeFiles/corun_ocl.dir/corun/ocl/device.cpp.o" "gcc" "src/CMakeFiles/corun_ocl.dir/corun/ocl/device.cpp.o.d"
+  "/root/repo/src/corun/ocl/event.cpp" "src/CMakeFiles/corun_ocl.dir/corun/ocl/event.cpp.o" "gcc" "src/CMakeFiles/corun_ocl.dir/corun/ocl/event.cpp.o.d"
+  "/root/repo/src/corun/ocl/kernel.cpp" "src/CMakeFiles/corun_ocl.dir/corun/ocl/kernel.cpp.o" "gcc" "src/CMakeFiles/corun_ocl.dir/corun/ocl/kernel.cpp.o.d"
+  "/root/repo/src/corun/ocl/platform.cpp" "src/CMakeFiles/corun_ocl.dir/corun/ocl/platform.cpp.o" "gcc" "src/CMakeFiles/corun_ocl.dir/corun/ocl/platform.cpp.o.d"
+  "/root/repo/src/corun/ocl/program.cpp" "src/CMakeFiles/corun_ocl.dir/corun/ocl/program.cpp.o" "gcc" "src/CMakeFiles/corun_ocl.dir/corun/ocl/program.cpp.o.d"
+  "/root/repo/src/corun/ocl/queue.cpp" "src/CMakeFiles/corun_ocl.dir/corun/ocl/queue.cpp.o" "gcc" "src/CMakeFiles/corun_ocl.dir/corun/ocl/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

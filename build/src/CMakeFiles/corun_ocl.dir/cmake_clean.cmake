@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_ocl.dir/corun/ocl/buffer.cpp.o"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/buffer.cpp.o.d"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/context.cpp.o"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/context.cpp.o.d"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/device.cpp.o"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/device.cpp.o.d"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/event.cpp.o"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/event.cpp.o.d"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/kernel.cpp.o"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/kernel.cpp.o.d"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/platform.cpp.o"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/platform.cpp.o.d"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/program.cpp.o"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/program.cpp.o.d"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/queue.cpp.o"
+  "CMakeFiles/corun_ocl.dir/corun/ocl/queue.cpp.o.d"
+  "libcorun_ocl.a"
+  "libcorun_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for corun_ocl.
+# This may be replaced when dependencies are built.

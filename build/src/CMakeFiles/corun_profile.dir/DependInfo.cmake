@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corun/profile/online_profiler.cpp" "src/CMakeFiles/corun_profile.dir/corun/profile/online_profiler.cpp.o" "gcc" "src/CMakeFiles/corun_profile.dir/corun/profile/online_profiler.cpp.o.d"
+  "/root/repo/src/corun/profile/profile_db.cpp" "src/CMakeFiles/corun_profile.dir/corun/profile/profile_db.cpp.o" "gcc" "src/CMakeFiles/corun_profile.dir/corun/profile/profile_db.cpp.o.d"
+  "/root/repo/src/corun/profile/profiler.cpp" "src/CMakeFiles/corun_profile.dir/corun/profile/profiler.cpp.o" "gcc" "src/CMakeFiles/corun_profile.dir/corun/profile/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_profile.dir/corun/profile/online_profiler.cpp.o"
+  "CMakeFiles/corun_profile.dir/corun/profile/online_profiler.cpp.o.d"
+  "CMakeFiles/corun_profile.dir/corun/profile/profile_db.cpp.o"
+  "CMakeFiles/corun_profile.dir/corun/profile/profile_db.cpp.o.d"
+  "CMakeFiles/corun_profile.dir/corun/profile/profiler.cpp.o"
+  "CMakeFiles/corun_profile.dir/corun/profile/profiler.cpp.o.d"
+  "libcorun_profile.a"
+  "libcorun_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

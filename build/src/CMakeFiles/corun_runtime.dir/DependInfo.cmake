@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corun/core/runtime/experiment.cpp" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/experiment.cpp.o" "gcc" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/experiment.cpp.o.d"
+  "/root/repo/src/corun/core/runtime/report.cpp" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/report.cpp.o" "gcc" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/report.cpp.o.d"
+  "/root/repo/src/corun/core/runtime/runtime.cpp" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/runtime.cpp.o.d"
+  "/root/repo/src/corun/core/runtime/timeline.cpp" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/timeline.cpp.o" "gcc" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/timeline.cpp.o.d"
+  "/root/repo/src/corun/core/runtime/trace_analysis.cpp" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/trace_analysis.cpp.o" "gcc" "src/CMakeFiles/corun_runtime.dir/corun/core/runtime/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

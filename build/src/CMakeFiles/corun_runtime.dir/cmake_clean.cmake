@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/experiment.cpp.o"
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/experiment.cpp.o.d"
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/report.cpp.o"
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/report.cpp.o.d"
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/runtime.cpp.o"
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/runtime.cpp.o.d"
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/timeline.cpp.o"
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/timeline.cpp.o.d"
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/trace_analysis.cpp.o"
+  "CMakeFiles/corun_runtime.dir/corun/core/runtime/trace_analysis.cpp.o.d"
+  "libcorun_runtime.a"
+  "libcorun_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corun/core/sched/branch_and_bound.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/branch_and_bound.cpp.o.d"
+  "/root/repo/src/corun/core/sched/corun_theorem.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/corun_theorem.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/corun_theorem.cpp.o.d"
+  "/root/repo/src/corun/core/sched/default_scheduler.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/default_scheduler.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/default_scheduler.cpp.o.d"
+  "/root/repo/src/corun/core/sched/exhaustive.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/exhaustive.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/exhaustive.cpp.o.d"
+  "/root/repo/src/corun/core/sched/hcs.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/hcs.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/hcs.cpp.o.d"
+  "/root/repo/src/corun/core/sched/lower_bound.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/lower_bound.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/lower_bound.cpp.o.d"
+  "/root/repo/src/corun/core/sched/makespan_evaluator.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/makespan_evaluator.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/makespan_evaluator.cpp.o.d"
+  "/root/repo/src/corun/core/sched/random_scheduler.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/random_scheduler.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/random_scheduler.cpp.o.d"
+  "/root/repo/src/corun/core/sched/refiner.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/refiner.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/refiner.cpp.o.d"
+  "/root/repo/src/corun/core/sched/registry.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/registry.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/registry.cpp.o.d"
+  "/root/repo/src/corun/core/sched/schedule.cpp" "src/CMakeFiles/corun_sched.dir/corun/core/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/corun_sched.dir/corun/core/sched/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_sched.dir/corun/core/sched/branch_and_bound.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/branch_and_bound.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/corun_theorem.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/corun_theorem.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/default_scheduler.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/default_scheduler.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/exhaustive.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/exhaustive.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/hcs.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/hcs.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/lower_bound.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/lower_bound.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/makespan_evaluator.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/makespan_evaluator.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/random_scheduler.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/random_scheduler.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/refiner.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/refiner.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/registry.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/registry.cpp.o.d"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/schedule.cpp.o"
+  "CMakeFiles/corun_sched.dir/corun/core/sched/schedule.cpp.o.d"
+  "libcorun_sched.a"
+  "libcorun_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

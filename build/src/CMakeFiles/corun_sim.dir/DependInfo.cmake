@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corun/sim/engine.cpp" "src/CMakeFiles/corun_sim.dir/corun/sim/engine.cpp.o" "gcc" "src/CMakeFiles/corun_sim.dir/corun/sim/engine.cpp.o.d"
+  "/root/repo/src/corun/sim/frequency.cpp" "src/CMakeFiles/corun_sim.dir/corun/sim/frequency.cpp.o" "gcc" "src/CMakeFiles/corun_sim.dir/corun/sim/frequency.cpp.o.d"
+  "/root/repo/src/corun/sim/governor.cpp" "src/CMakeFiles/corun_sim.dir/corun/sim/governor.cpp.o" "gcc" "src/CMakeFiles/corun_sim.dir/corun/sim/governor.cpp.o.d"
+  "/root/repo/src/corun/sim/job.cpp" "src/CMakeFiles/corun_sim.dir/corun/sim/job.cpp.o" "gcc" "src/CMakeFiles/corun_sim.dir/corun/sim/job.cpp.o.d"
+  "/root/repo/src/corun/sim/machine.cpp" "src/CMakeFiles/corun_sim.dir/corun/sim/machine.cpp.o" "gcc" "src/CMakeFiles/corun_sim.dir/corun/sim/machine.cpp.o.d"
+  "/root/repo/src/corun/sim/memory_system.cpp" "src/CMakeFiles/corun_sim.dir/corun/sim/memory_system.cpp.o" "gcc" "src/CMakeFiles/corun_sim.dir/corun/sim/memory_system.cpp.o.d"
+  "/root/repo/src/corun/sim/power_meter.cpp" "src/CMakeFiles/corun_sim.dir/corun/sim/power_meter.cpp.o" "gcc" "src/CMakeFiles/corun_sim.dir/corun/sim/power_meter.cpp.o.d"
+  "/root/repo/src/corun/sim/power_model.cpp" "src/CMakeFiles/corun_sim.dir/corun/sim/power_model.cpp.o" "gcc" "src/CMakeFiles/corun_sim.dir/corun/sim/power_model.cpp.o.d"
+  "/root/repo/src/corun/sim/telemetry.cpp" "src/CMakeFiles/corun_sim.dir/corun/sim/telemetry.cpp.o" "gcc" "src/CMakeFiles/corun_sim.dir/corun/sim/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_sim.dir/corun/sim/engine.cpp.o"
+  "CMakeFiles/corun_sim.dir/corun/sim/engine.cpp.o.d"
+  "CMakeFiles/corun_sim.dir/corun/sim/frequency.cpp.o"
+  "CMakeFiles/corun_sim.dir/corun/sim/frequency.cpp.o.d"
+  "CMakeFiles/corun_sim.dir/corun/sim/governor.cpp.o"
+  "CMakeFiles/corun_sim.dir/corun/sim/governor.cpp.o.d"
+  "CMakeFiles/corun_sim.dir/corun/sim/job.cpp.o"
+  "CMakeFiles/corun_sim.dir/corun/sim/job.cpp.o.d"
+  "CMakeFiles/corun_sim.dir/corun/sim/machine.cpp.o"
+  "CMakeFiles/corun_sim.dir/corun/sim/machine.cpp.o.d"
+  "CMakeFiles/corun_sim.dir/corun/sim/memory_system.cpp.o"
+  "CMakeFiles/corun_sim.dir/corun/sim/memory_system.cpp.o.d"
+  "CMakeFiles/corun_sim.dir/corun/sim/power_meter.cpp.o"
+  "CMakeFiles/corun_sim.dir/corun/sim/power_meter.cpp.o.d"
+  "CMakeFiles/corun_sim.dir/corun/sim/power_model.cpp.o"
+  "CMakeFiles/corun_sim.dir/corun/sim/power_model.cpp.o.d"
+  "CMakeFiles/corun_sim.dir/corun/sim/telemetry.cpp.o"
+  "CMakeFiles/corun_sim.dir/corun/sim/telemetry.cpp.o.d"
+  "libcorun_sim.a"
+  "libcorun_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

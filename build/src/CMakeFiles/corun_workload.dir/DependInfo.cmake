@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corun/workload/batch.cpp" "src/CMakeFiles/corun_workload.dir/corun/workload/batch.cpp.o" "gcc" "src/CMakeFiles/corun_workload.dir/corun/workload/batch.cpp.o.d"
+  "/root/repo/src/corun/workload/kernel_descriptor.cpp" "src/CMakeFiles/corun_workload.dir/corun/workload/kernel_descriptor.cpp.o" "gcc" "src/CMakeFiles/corun_workload.dir/corun/workload/kernel_descriptor.cpp.o.d"
+  "/root/repo/src/corun/workload/microbench.cpp" "src/CMakeFiles/corun_workload.dir/corun/workload/microbench.cpp.o" "gcc" "src/CMakeFiles/corun_workload.dir/corun/workload/microbench.cpp.o.d"
+  "/root/repo/src/corun/workload/phase_trace.cpp" "src/CMakeFiles/corun_workload.dir/corun/workload/phase_trace.cpp.o" "gcc" "src/CMakeFiles/corun_workload.dir/corun/workload/phase_trace.cpp.o.d"
+  "/root/repo/src/corun/workload/rodinia.cpp" "src/CMakeFiles/corun_workload.dir/corun/workload/rodinia.cpp.o" "gcc" "src/CMakeFiles/corun_workload.dir/corun/workload/rodinia.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_workload.dir/corun/workload/batch.cpp.o"
+  "CMakeFiles/corun_workload.dir/corun/workload/batch.cpp.o.d"
+  "CMakeFiles/corun_workload.dir/corun/workload/kernel_descriptor.cpp.o"
+  "CMakeFiles/corun_workload.dir/corun/workload/kernel_descriptor.cpp.o.d"
+  "CMakeFiles/corun_workload.dir/corun/workload/microbench.cpp.o"
+  "CMakeFiles/corun_workload.dir/corun/workload/microbench.cpp.o.d"
+  "CMakeFiles/corun_workload.dir/corun/workload/phase_trace.cpp.o"
+  "CMakeFiles/corun_workload.dir/corun/workload/phase_trace.cpp.o.d"
+  "CMakeFiles/corun_workload.dir/corun/workload/rodinia.cpp.o"
+  "CMakeFiles/corun_workload.dir/corun/workload/rodinia.cpp.o.d"
+  "libcorun_workload.a"
+  "libcorun_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_check.cpp" "tests/CMakeFiles/test_common.dir/common/test_check.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_check.cpp.o.d"
+  "/root/repo/tests/common/test_csv.cpp" "tests/CMakeFiles/test_common.dir/common/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_csv.cpp.o.d"
+  "/root/repo/tests/common/test_expected.cpp" "tests/CMakeFiles/test_common.dir/common/test_expected.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_expected.cpp.o.d"
+  "/root/repo/tests/common/test_flags.cpp" "tests/CMakeFiles/test_common.dir/common/test_flags.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_flags.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_check.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_check.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_csv.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_csv.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_expected.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_expected.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_flags.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_flags.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

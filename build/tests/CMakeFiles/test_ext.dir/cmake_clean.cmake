@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ext.dir/ext/test_kernel_split.cpp.o"
+  "CMakeFiles/test_ext.dir/ext/test_kernel_split.cpp.o.d"
+  "test_ext"
+  "test_ext.pdb"
+  "test_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

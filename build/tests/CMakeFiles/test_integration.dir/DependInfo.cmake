@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_calibration.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_calibration.cpp.o.d"
+  "/root/repo/tests/integration/test_calibration_snapshot.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_calibration_snapshot.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_calibration_snapshot.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_fuzz_consistency.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_fuzz_consistency.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_fuzz_consistency.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_claims.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/integration/test_random_workloads.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_random_workloads.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_random_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

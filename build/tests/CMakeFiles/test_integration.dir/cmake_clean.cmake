@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_calibration.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_calibration.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_calibration_snapshot.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_calibration_snapshot.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fuzz_consistency.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_fuzz_consistency.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_paper_claims.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_paper_claims.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_random_workloads.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_random_workloads.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

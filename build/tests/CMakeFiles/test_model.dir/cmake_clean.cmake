@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_corun_predictor.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_corun_predictor.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_degradation_space.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_degradation_space.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_interpolator.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_interpolator.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_power_predictor.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_power_predictor.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocl.dir/ocl/test_platform.cpp.o"
+  "CMakeFiles/test_ocl.dir/ocl/test_platform.cpp.o.d"
+  "CMakeFiles/test_ocl.dir/ocl/test_program.cpp.o"
+  "CMakeFiles/test_ocl.dir/ocl/test_program.cpp.o.d"
+  "CMakeFiles/test_ocl.dir/ocl/test_queue.cpp.o"
+  "CMakeFiles/test_ocl.dir/ocl/test_queue.cpp.o.d"
+  "CMakeFiles/test_ocl.dir/ocl/test_wait_lists.cpp.o"
+  "CMakeFiles/test_ocl.dir/ocl/test_wait_lists.cpp.o.d"
+  "test_ocl"
+  "test_ocl.pdb"
+  "test_ocl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile.dir/profile/test_cross_run.cpp.o"
+  "CMakeFiles/test_profile.dir/profile/test_cross_run.cpp.o.d"
+  "CMakeFiles/test_profile.dir/profile/test_online_profiler.cpp.o"
+  "CMakeFiles/test_profile.dir/profile/test_online_profiler.cpp.o.d"
+  "CMakeFiles/test_profile.dir/profile/test_profile_db.cpp.o"
+  "CMakeFiles/test_profile.dir/profile/test_profile_db.cpp.o.d"
+  "CMakeFiles/test_profile.dir/profile/test_profiler.cpp.o"
+  "CMakeFiles/test_profile.dir/profile/test_profiler.cpp.o.d"
+  "test_profile"
+  "test_profile.pdb"
+  "test_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

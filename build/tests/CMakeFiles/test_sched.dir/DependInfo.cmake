@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/test_baselines.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o.d"
+  "/root/repo/tests/sched/test_branch_and_bound.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_branch_and_bound.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_branch_and_bound.cpp.o.d"
+  "/root/repo/tests/sched/test_corun_theorem.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_corun_theorem.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_corun_theorem.cpp.o.d"
+  "/root/repo/tests/sched/test_hcs.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_hcs.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_hcs.cpp.o.d"
+  "/root/repo/tests/sched/test_lower_bound.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_lower_bound.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_lower_bound.cpp.o.d"
+  "/root/repo/tests/sched/test_makespan_evaluator.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_makespan_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_makespan_evaluator.cpp.o.d"
+  "/root/repo/tests/sched/test_model_dvfs.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_model_dvfs.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_model_dvfs.cpp.o.d"
+  "/root/repo/tests/sched/test_refiner.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_refiner.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_refiner.cpp.o.d"
+  "/root/repo/tests/sched/test_registry_and_csv.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_registry_and_csv.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_registry_and_csv.cpp.o.d"
+  "/root/repo/tests/sched/test_schedule.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_schedule.cpp.o.d"
+  "/root/repo/tests/sched/test_steal_gate.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_steal_gate.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_steal_gate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

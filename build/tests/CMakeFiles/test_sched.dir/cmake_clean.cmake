@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_branch_and_bound.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_branch_and_bound.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_corun_theorem.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_corun_theorem.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_hcs.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_hcs.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_lower_bound.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_lower_bound.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_makespan_evaluator.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_makespan_evaluator.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_model_dvfs.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_model_dvfs.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_refiner.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_refiner.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_registry_and_csv.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_registry_and_csv.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_schedule.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_schedule.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_steal_gate.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_steal_gate.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

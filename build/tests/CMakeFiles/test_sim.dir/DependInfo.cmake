@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cap_window.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_cap_window.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cap_window.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_engine_properties.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_engine_properties.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_engine_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_frequency.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_frequency.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_frequency.cpp.o.d"
+  "/root/repo/tests/sim/test_governor.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_governor.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_governor.cpp.o.d"
+  "/root/repo/tests/sim/test_job.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_job.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_job.cpp.o.d"
+  "/root/repo/tests/sim/test_llc.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_llc.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_llc.cpp.o.d"
+  "/root/repo/tests/sim/test_machines.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_machines.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machines.cpp.o.d"
+  "/root/repo/tests/sim/test_memory_system.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_memory_system.cpp.o.d"
+  "/root/repo/tests/sim/test_power_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_power_model.cpp.o.d"
+  "/root/repo/tests/sim/test_telemetry.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_telemetry.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cap_window.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cap_window.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine_properties.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine_properties.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_frequency.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_frequency.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_governor.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_governor.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_job.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_job.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_llc.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_llc.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machines.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_machines.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_memory_system.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_memory_system.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_power_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_power_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_telemetry.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_telemetry.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

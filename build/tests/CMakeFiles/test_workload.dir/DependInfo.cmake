@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_batch.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_batch.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_batch.cpp.o.d"
+  "/root/repo/tests/workload/test_batch_csv.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_batch_csv.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_batch_csv.cpp.o.d"
+  "/root/repo/tests/workload/test_microbench.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_microbench.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_microbench.cpp.o.d"
+  "/root/repo/tests/workload/test_phase_trace.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_phase_trace.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_phase_trace.cpp.o.d"
+  "/root/repo/tests/workload/test_rodinia.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_rodinia.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_rodinia.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/corun_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

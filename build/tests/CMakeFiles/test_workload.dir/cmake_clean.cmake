@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_batch.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_batch.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_batch_csv.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_batch_csv.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_microbench.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_microbench.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_phase_trace.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_phase_trace.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_rodinia.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_rodinia.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/corun_characterize.cpp" "tools/CMakeFiles/corun-characterize.dir/corun_characterize.cpp.o" "gcc" "tools/CMakeFiles/corun-characterize.dir/corun_characterize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/corun_tool_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/corun_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

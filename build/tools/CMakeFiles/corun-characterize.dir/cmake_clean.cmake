@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun-characterize.dir/corun_characterize.cpp.o"
+  "CMakeFiles/corun-characterize.dir/corun_characterize.cpp.o.d"
+  "corun-characterize"
+  "corun-characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun-characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun-profile.dir/corun_profile.cpp.o"
+  "CMakeFiles/corun-profile.dir/corun_profile.cpp.o.d"
+  "corun-profile"
+  "corun-profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun-profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun-run.dir/corun_run.cpp.o"
+  "CMakeFiles/corun-run.dir/corun_run.cpp.o.d"
+  "corun-run"
+  "corun-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun-schedule.dir/corun_schedule.cpp.o"
+  "CMakeFiles/corun-schedule.dir/corun_schedule.cpp.o.d"
+  "corun-schedule"
+  "corun-schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun-schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_tool_io.dir/tool_io.cpp.o"
+  "CMakeFiles/corun_tool_io.dir/tool_io.cpp.o.d"
+  "libcorun_tool_io.a"
+  "libcorun_tool_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_tool_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
