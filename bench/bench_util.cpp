@@ -3,12 +3,17 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "corun/common/task_pool.hpp"
+
 namespace corun::bench {
 
 void banner(const std::string& figure, const std::string& description) {
+  const std::size_t jobs = init_jobs();
   std::printf("\n=== %s ===\n%s\n", figure.c_str(), description.c_str());
   std::printf("(reproduction of: Zhu et al., \"Co-Run Scheduling with Power "
-              "Cap on Integrated CPU-GPU Systems\", IPDPS 2017)\n\n");
+              "Cap on Integrated CPU-GPU Systems\", IPDPS 2017; "
+              "%zu worker threads, set CORUN_JOBS to override)\n\n",
+              jobs);
 }
 
 runtime::ModelArtifacts full_artifacts(const sim::MachineConfig& config,
@@ -33,6 +38,14 @@ runtime::ModelArtifacts quick_artifacts(const sim::MachineConfig& config,
 bool quick_mode() {
   const char* env = std::getenv("CORUN_QUICK");
   return env != nullptr && env[0] == '1';
+}
+
+std::size_t init_jobs() {
+  if (const char* env = std::getenv("CORUN_JOBS")) {
+    const long jobs = std::strtol(env, nullptr, 10);
+    common::set_default_jobs(jobs > 0 ? static_cast<std::size_t>(jobs) : 0);
+  }
+  return common::default_jobs();
 }
 
 std::string pct(double fraction) { return Table::pct(fraction); }

@@ -29,6 +29,11 @@ runtime::ModelArtifacts quick_artifacts(const sim::MachineConfig& config,
 /// True when the harness should run in reduced fidelity (env CORUN_QUICK=1).
 bool quick_mode();
 
+/// Applies the CORUN_JOBS environment variable (unset or 0 = one worker per
+/// hardware thread) to the library task pool and returns the resolved
+/// worker count. Called by banner(), so every harness honours it.
+std::size_t init_jobs();
+
 /// Formats "12.3%".
 std::string pct(double fraction);
 

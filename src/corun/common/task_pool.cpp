@@ -1,0 +1,190 @@
+#include "corun/common/task_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "corun/common/check.hpp"
+
+namespace corun::common {
+
+namespace {
+
+std::atomic<std::size_t> g_default_jobs{0};  // 0 = hardware concurrency
+
+// Set while a thread executes a pool task; the nested-use guard.
+thread_local bool tl_on_worker = false;
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  return jobs;
+}
+
+}  // namespace
+
+void set_default_jobs(std::size_t jobs) { g_default_jobs.store(jobs); }
+
+std::size_t default_jobs() { return resolve_jobs(g_default_jobs.load()); }
+
+std::uint64_t task_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // splitmix64 finalizer over base + golden-ratio-spaced index. Distinct
+  // (base, index) pairs give well-separated streams.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct TaskPool::State {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable span_done;
+  bool stop = false;
+
+  // The published span. `epoch` bumps once per parallel_for_index; workers
+  // sleeping on `work_ready` join the span whose epoch they haven't seen.
+  std::uint64_t epoch = 0;
+  std::size_t span_size = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t workers_active = 0;
+
+  // Deterministic exception choice: lowest task index wins.
+  std::exception_ptr error;
+  std::size_t error_index = 0;
+};
+
+TaskPool::TaskPool(std::size_t jobs)
+    : jobs_(resolve_jobs(jobs)), state_(new State) {
+  // jobs_ includes the calling thread, so spawn jobs_ - 1 workers.
+  workers_.reserve(jobs_ - 1);
+  for (std::size_t i = 0; i + 1 < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->work_ready.notify_all();
+  for (std::thread& t : workers_) t.join();
+  delete state_;
+}
+
+bool TaskPool::on_worker_thread() noexcept { return tl_on_worker; }
+
+void TaskPool::record_error(std::size_t index, std::exception_ptr error) {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->error == nullptr || index < state_->error_index) {
+    state_->error = std::move(error);
+    state_->error_index = index;
+  }
+}
+
+void TaskPool::run_span(std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  tl_on_worker = true;
+  for (std::size_t i = state_->next.fetch_add(1); i < n;
+       i = state_->next.fetch_add(1)) {
+    try {
+      fn(i);
+    } catch (...) {
+      record_error(i, std::current_exception());
+    }
+  }
+  tl_on_worker = false;
+}
+
+void TaskPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->work_ready.wait(lock, [&] {
+        return state_->stop || state_->epoch != seen_epoch;
+      });
+      if (state_->stop) return;
+      seen_epoch = state_->epoch;
+      // The caller may have drained and retired the span before this worker
+      // woke; joining is only valid while the span is still published.
+      if (state_->fn == nullptr) continue;
+      fn = state_->fn;
+      n = state_->span_size;
+      ++state_->workers_active;
+    }
+    run_span(n, *fn);
+    {
+      const std::lock_guard<std::mutex> lock(state_->mutex);
+      --state_->workers_active;
+    }
+    state_->span_done.notify_all();
+  }
+}
+
+void TaskPool::parallel_for_index(std::size_t n,
+                                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Inline paths: a 1-job pool, a single task, or a nested call from inside
+  // a pool task (the workers are busy with the outer span — handing them
+  // more work would deadlock, and serial inline keeps determinism trivially).
+  if (jobs_ == 1 || n == 1 || tl_on_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    CORUN_CHECK_MSG(state_->fn == nullptr,
+                    "TaskPool::parallel_for_index is not reentrant from "
+                    "outside the pool; use one pool per concurrent caller");
+    state_->fn = &fn;
+    state_->span_size = n;
+    state_->next.store(0);
+    state_->error = nullptr;
+    state_->error_index = 0;
+    ++state_->epoch;
+  }
+  state_->work_ready.notify_all();
+
+  // The caller is worker number jobs_; it drains indices too.
+  run_span(n, fn);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->span_done.wait(lock, [&] {
+      return state_->workers_active == 0 &&
+             state_->next.load() >= state_->span_size;
+    });
+    state_->fn = nullptr;
+    error = state_->error;
+    state_->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+TaskPool& TaskPool::shared() {
+  static std::mutex mutex;
+  static std::unique_ptr<TaskPool> pool;
+  const std::lock_guard<std::mutex> lock(mutex);
+  const std::size_t want = default_jobs();
+  if (pool == nullptr || pool->jobs() != want) {
+    pool = std::make_unique<TaskPool>(want);
+  }
+  return *pool;
+}
+
+void parallel_for_index(std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  TaskPool::shared().parallel_for_index(n, fn);
+}
+
+}  // namespace corun::common

@@ -1,0 +1,100 @@
+// Deterministic task-parallel sweep engine.
+//
+// Every expensive stage of the pipeline — the device x frequency standalone
+// profiling sweep, the 2*N*N co-run characterization grid, the exact
+// schedule searches, the ablation benches — is embarrassingly parallel
+// across independent `sim::Engine` instances. TaskPool is the one primitive
+// they all share: a fixed-size worker pool with
+//
+//   * `parallel_for_index(n, fn)` — fn(0..n-1) on the workers, the calling
+//     thread participating; returns after all indices complete;
+//   * `parallel_map(n, fn)` — same, collecting fn's results *ordered by
+//     index*, so downstream CSV artifacts are byte-identical to serial runs
+//     regardless of which worker ran which index;
+//   * deterministic exception propagation — if several tasks throw, the one
+//     with the lowest index wins (what a serial loop would have thrown
+//     first) and is rethrown on the caller;
+//   * a nested-use guard — a parallel_for issued from inside a pool worker
+//     runs inline on that worker (serial), so composed layers (a parallel
+//     scheduler over a parallel profiler) cannot deadlock the pool.
+//
+// Determinism contract: tasks must derive any randomness from their *index*
+// (see `task_seed`), never from thread identity or completion order. All
+// library sweeps follow this, which is why `--jobs N` output is bit-identical
+// to `--jobs 1`.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace corun::common {
+
+/// Process-wide worker-count default used by `TaskPool::shared()`.
+/// 0 = one worker per hardware thread. Tools set this from `--jobs`;
+/// benches from the CORUN_JOBS environment variable.
+void set_default_jobs(std::size_t jobs);
+[[nodiscard]] std::size_t default_jobs();
+
+/// Mixes a base seed with a task index into an independent per-task seed
+/// (splitmix64 finalizer). Seeding from the index — never from scheduling
+/// order — is what keeps parallel sweeps replayable.
+[[nodiscard]] std::uint64_t task_seed(std::uint64_t base,
+                                      std::uint64_t index) noexcept;
+
+class TaskPool {
+ public:
+  /// `jobs` = total concurrency including the calling thread; 0 = one per
+  /// hardware thread. A pool of 1 runs everything inline.
+  explicit TaskPool(std::size_t jobs = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Runs fn(i) for i in [0, n). Blocks until every index finished. The
+  /// lowest-index exception (if any) is rethrown here. Reentrant calls from
+  /// a worker thread run inline (see the nested-use guard above).
+  void parallel_for_index(std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
+
+  /// Ordered fan-out: returns {fn(0), fn(1), ..., fn(n-1)}. T must be
+  /// default-constructible and movable.
+  template <typename T>
+  [[nodiscard]] std::vector<T> parallel_map(
+      std::size_t n, const std::function<T(std::size_t)>& fn) {
+    std::vector<T> results(n);
+    parallel_for_index(n, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  /// True on a thread currently executing a pool task (any pool).
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  /// The process-wide pool, sized by `default_jobs()`. Re-created (when
+  /// idle) if the default changed since the last call.
+  [[nodiscard]] static TaskPool& shared();
+
+ private:
+  void worker_loop();
+  void run_span(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void record_error(std::size_t index, std::exception_ptr error);
+
+  std::size_t jobs_ = 1;
+  std::vector<std::thread> workers_;
+
+  // Guarded by mutex_ (see .cpp): the currently published span, the epoch
+  // counter that wakes workers, and the winning (lowest-index) exception.
+  struct State;
+  State* state_ = nullptr;
+};
+
+/// Convenience: `parallel_for_index` on the shared pool.
+void parallel_for_index(std::size_t n,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace corun::common

@@ -172,8 +172,11 @@ std::optional<FreqPair> CoRunPredictor::best_pair_weighted(
       cap ? static_cast<long long>(std::llround(*cap * 100.0)) : -1LL);
   key += '|';
   key += std::to_string(bucket);
-  if (const auto it = pair_cache_.find(key); it != pair_cache_.end()) {
-    return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+    if (const auto it = pair_cache_.find(key); it != pair_cache_.end()) {
+      return it->second;
+    }
   }
   const double cpu_weight_q = wc;
   const double gpu_weight_q = wg;
@@ -195,7 +198,10 @@ std::optional<FreqPair> CoRunPredictor::best_pair_weighted(
       }
     }
   }
-  pair_cache_.emplace(std::move(key), best);
+  {
+    const std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+    pair_cache_.emplace(std::move(key), best);
+  }
   return best;
 }
 

@@ -10,6 +10,7 @@
 // operating points, best co-run frequency pairs — lives here.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -139,8 +140,11 @@ class CoRunPredictor {
   // (scaling both weights scales the whole metric), so the cache keys on
   // the log-ratio quantized to quarter-octaves — schedulers issue the same
   // queries thousands of times during refinement. The cache is a pure
-  // function of (jobs, cap, ratio bucket); thread-compatible, not
-  // thread-safe (as the rest of the predictor).
+  // function of (jobs, cap, ratio bucket), so concurrent fills from the
+  // parallel schedule searches always agree on the value; the mutex only
+  // protects the map structure (lookups and inserts are brief, the search
+  // itself runs unlocked and may rarely be duplicated).
+  mutable std::mutex pair_cache_mutex_;
   mutable std::unordered_map<std::string, std::optional<FreqPair>> pair_cache_;
 };
 

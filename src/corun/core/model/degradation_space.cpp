@@ -6,6 +6,7 @@
 
 #include "corun/common/check.hpp"
 #include "corun/common/csv.hpp"
+#include "corun/common/task_pool.hpp"
 #include "corun/sim/engine.hpp"
 #include "corun/workload/microbench.hpp"
 
@@ -172,14 +173,19 @@ DegradationGrid DegradationSpaceBuilder::characterize(
   grid.cpu_deg.assign(grid.cpu_axis.size(),
                       std::vector<double>(grid.gpu_axis.size(), 0.0));
   grid.gpu_deg = grid.cpu_deg;
-  for (std::size_t i = 0; i < grid.cpu_axis.size(); ++i) {
-    for (std::size_t j = 0; j < grid.gpu_axis.size(); ++j) {
-      grid.cpu_deg[i][j] = measure_cell(sim::DeviceKind::kCpu, grid.cpu_axis[i],
-                                        grid.gpu_axis[j]);
-      grid.gpu_deg[i][j] = measure_cell(sim::DeviceKind::kGpu, grid.gpu_axis[j],
-                                        grid.cpu_axis[i]);
-    }
-  }
+  // One task per grid cell (two co-runs each). Every cell is a fixed-seed
+  // simulation writing its own pair of slots, so the grid — and the CSV
+  // artifact — is byte-identical whatever the worker count.
+  const std::size_t cols = grid.gpu_axis.size();
+  common::TaskPool::shared().parallel_for_index(
+      grid.cpu_axis.size() * cols, [&](std::size_t cell) {
+        const std::size_t i = cell / cols;
+        const std::size_t j = cell % cols;
+        grid.cpu_deg[i][j] = measure_cell(sim::DeviceKind::kCpu,
+                                          grid.cpu_axis[i], grid.gpu_axis[j]);
+        grid.gpu_deg[i][j] = measure_cell(sim::DeviceKind::kGpu,
+                                          grid.gpu_axis[j], grid.cpu_axis[i]);
+      });
   return grid;
 }
 

@@ -1,9 +1,12 @@
 #include "corun/core/sched/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 #include <limits>
 
 #include "corun/common/check.hpp"
+#include "corun/common/task_pool.hpp"
 #include "corun/core/sched/makespan_evaluator.hpp"
 #include "corun/core/sched/refiner.hpp"
 
@@ -19,6 +22,14 @@ struct SearchState {
   Seconds remaining = 0.0; ///< sum of unplaced jobs' best-device times
 };
 
+/// Lock-free monotone minimum for the shared incumbent bound.
+void atomic_min(std::atomic<double>& target, double value) {
+  double observed = target.load();
+  while (value < observed &&
+         !target.compare_exchange_weak(observed, value)) {
+  }
+}
+
 }  // namespace
 
 BranchAndBoundScheduler::BranchAndBoundScheduler(BranchAndBoundOptions options)
@@ -29,11 +40,6 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
   CORUN_CHECK_MSG(n <= options_.max_jobs,
                   "branch-and-bound limited to " +
                       std::to_string(options_.max_jobs) + " jobs");
-  nodes_ = 0;
-  pruned_ = 0;
-  leaves_ = 0;
-  budget_exhausted_ = false;
-
   const model::CoRunPredictor& m = ctx.model();
   const MakespanEvaluator evaluator(ctx);
 
@@ -56,7 +62,7 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
   // runs out before anything better turns up).
   HcsPlusScheduler seed;
   Schedule best_schedule = seed.plan(ctx);
-  Seconds best = evaluator.makespan(best_schedule);
+  Seconds seed_makespan = evaluator.makespan(best_schedule);
 
   auto leaf_schedule = [&](const SearchState& s) {
     Schedule schedule;
@@ -76,47 +82,19 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
     return schedule;
   };
 
-  // Depth-first with the admissible load bound.
+  // Admissible load bound on any completion of a partial placement.
   auto bound = [&](const SearchState& s) {
     return std::max({s.cpu_load, s.gpu_load,
                      (s.cpu_load + s.gpu_load + s.remaining) / 2.0});
   };
 
-  SearchState root;
-  root.placed.assign(n, false);
-  for (std::size_t i = 0; i < n; ++i) {
-    root.remaining += std::min(t_cpu[i], t_gpu[i]);
-  }
-
-  // Iterative DFS with an explicit stack of (state, next branch index).
-  std::vector<SearchState> stack{root};
-  while (!stack.empty()) {
-    if (nodes_ >= options_.node_budget) {
-      budget_exhausted_ = true;
-      break;
-    }
-    const SearchState s = std::move(stack.back());
-    stack.pop_back();
-    ++nodes_;
-
-    if (s.cpu.size() + s.gpu.size() == n) {
-      ++leaves_;
-      const Schedule candidate = leaf_schedule(s);
-      const Seconds makespan = evaluator.makespan(candidate);
-      if (makespan < best) {
-        best = makespan;
-        best_schedule = candidate;
-      }
-      continue;
-    }
-    if (bound(s) >= best) {
-      ++pruned_;
-      continue;
-    }
-
-    // Branch: place each unplaced job on each feasible device. Pushing the
-    // CPU branch last makes the DFS explore GPU-first placements first,
-    // which tends to find good incumbents early for this GPU-leaning suite.
+  // Children of a state: the first unplaced job on each feasible device.
+  // Branching on the first unplaced job only enumerates every *placement*
+  // (2^n assignments) exactly once, with per-device order fixed to index
+  // order; order is polished by local refinement at the end — placement
+  // dominates the makespan, order is a local matter. GPU-first child order
+  // tends to find good incumbents early for this GPU-leaning suite.
+  auto expand = [&](const SearchState& s, auto&& emit) {
     for (std::size_t job = 0; job < n; ++job) {
       if (s.placed[job]) continue;
       if (t_cpu[job] < 1e18) {
@@ -125,7 +103,7 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
         next.cpu.push_back(job);
         next.cpu_load += t_cpu[job];
         next.remaining -= std::min(t_cpu[job], t_gpu[job]);
-        stack.push_back(std::move(next));
+        emit(std::move(next));
       }
       if (t_gpu[job] < 1e18) {
         SearchState next = s;
@@ -133,15 +111,116 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
         next.gpu.push_back(job);
         next.gpu_load += t_gpu[job];
         next.remaining -= std::min(t_cpu[job], t_gpu[job]);
-        stack.push_back(std::move(next));
+        emit(std::move(next));
       }
-      // Branch on the first unplaced job only: this enumerates every
-      // *placement* (2^n assignments) exactly once, with per-device order
-      // fixed to index order. Order is then polished by local refinement
-      // below — placement dominates the makespan, order is a local matter.
       break;
     }
+  };
+
+  SearchState root;
+  root.placed.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    root.remaining += std::min(t_cpu[i], t_gpu[i]);
   }
+
+  // Shared search telemetry. The incumbent *value* is shared across
+  // subtree tasks so every task prunes against the best schedule found
+  // anywhere; incumbent *schedules* stay task-local and are reduced in
+  // frontier order below, which keeps the returned plan deterministic (the
+  // strict `bound > incumbent` pruning test can never cut a subtree's path
+  // to its own minimum when that minimum ties the global one).
+  std::atomic<double> incumbent{seed_makespan};
+  std::atomic<std::size_t> nodes{0};
+  std::atomic<std::size_t> pruned{0};
+  std::atomic<std::size_t> leaves{0};
+  std::atomic<bool> budget_exhausted{false};
+
+  // Breadth-first root expansion into a frontier of independent subtrees —
+  // the top-level fan-out. The target is a constant (not the worker count)
+  // so the frontier — and therefore tie-breaking between equal-makespan
+  // leaves — is identical for every --jobs setting.
+  constexpr std::size_t fanout_target = 32;
+  std::deque<SearchState> frontier{root};
+  std::vector<std::pair<Seconds, Schedule>> early;  // leaves met while fanning
+  while (!frontier.empty() && frontier.size() < fanout_target) {
+    if (nodes.load() >= options_.node_budget) {
+      budget_exhausted.store(true);
+      break;
+    }
+    const SearchState s = std::move(frontier.front());
+    frontier.pop_front();
+    ++nodes;
+    if (s.cpu.size() + s.gpu.size() == n) {
+      ++leaves;
+      Schedule candidate = leaf_schedule(s);
+      const Seconds makespan = evaluator.makespan(candidate);
+      early.emplace_back(makespan, std::move(candidate));
+      atomic_min(incumbent, makespan);
+      continue;
+    }
+    if (bound(s) > incumbent.load()) {
+      ++pruned;
+      continue;
+    }
+    expand(s, [&](SearchState next) { frontier.push_back(std::move(next)); });
+  }
+
+  // Depth-first search of one subtree; returns the subtree's best leaf.
+  auto search_subtree = [&](SearchState subtree_root) {
+    std::pair<Seconds, Schedule> local{
+        std::numeric_limits<Seconds>::infinity(), Schedule{}};
+    std::vector<SearchState> stack{std::move(subtree_root)};
+    while (!stack.empty()) {
+      if (nodes.load() >= options_.node_budget) {
+        budget_exhausted.store(true);
+        break;
+      }
+      const SearchState s = std::move(stack.back());
+      stack.pop_back();
+      ++nodes;
+      if (s.cpu.size() + s.gpu.size() == n) {
+        ++leaves;
+        Schedule candidate = leaf_schedule(s);
+        const Seconds makespan = evaluator.makespan(candidate);
+        if (makespan < local.first) {
+          local = {makespan, std::move(candidate)};
+          atomic_min(incumbent, makespan);
+        }
+        continue;
+      }
+      if (bound(s) > incumbent.load()) {
+        ++pruned;
+        continue;
+      }
+      expand(s, [&](SearchState next) { stack.push_back(std::move(next)); });
+    }
+    return local;
+  };
+
+  std::vector<std::pair<Seconds, Schedule>> subtree_best(frontier.size());
+  std::vector<SearchState> roots(frontier.begin(), frontier.end());
+  common::TaskPool::shared().parallel_for_index(
+      roots.size(), [&](std::size_t i) {
+        subtree_best[i] = search_subtree(std::move(roots[i]));
+      });
+
+  // Deterministic reduction: the HCS+ seed first, then leaves met during
+  // fan-out, then subtrees in frontier order — strict improvement only,
+  // matching the serial search's first-found tie-breaking.
+  Seconds best = seed_makespan;
+  for (auto& group : {std::ref(early), std::ref(subtree_best)}) {
+    for (auto& [makespan, schedule] : group.get()) {
+      if (makespan < best) {
+        best = makespan;
+        best_schedule = std::move(schedule);
+      }
+    }
+  }
+
+  nodes_ = nodes.load();
+  pruned_ = pruned.load();
+  leaves_ = leaves.load();
+  budget_exhausted_ = budget_exhausted.load();
 
   // Polish the winning placement's per-device order.
   const Refiner refiner;

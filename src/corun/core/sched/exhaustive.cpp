@@ -1,10 +1,12 @@
 #include "corun/core/sched/exhaustive.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <numeric>
 
 #include "corun/common/check.hpp"
+#include "corun/common/task_pool.hpp"
 #include "corun/core/sched/makespan_evaluator.hpp"
 
 namespace corun::sched {
@@ -21,13 +23,20 @@ Schedule ExhaustiveScheduler::plan(const SchedulerContext& ctx) {
   const sim::FreqLevel cpu_max = ctx.model().machine().cpu_ladder.max_level();
   const sim::FreqLevel gpu_max = ctx.model().machine().gpu_ladder.max_level();
 
-  evaluated_ = 0;
-  Schedule best;
-  Seconds best_makespan = std::numeric_limits<Seconds>::infinity();
-
-  // Enumerate device assignments by bitmask (bit set = GPU), then all
-  // orders of each side.
-  for (std::size_t mask = 0; mask < (1ull << n); ++mask) {
+  // Device assignments (bit set = GPU) are independent subproblems: one
+  // task per mask enumerates all orders of each side serially, exactly as
+  // the serial loop nest did. Per-mask winners are reduced in ascending
+  // mask order with a strict improvement test, which reproduces the serial
+  // first-strictly-better tie-breaking bit for bit.
+  struct MaskBest {
+    Seconds makespan = std::numeric_limits<Seconds>::infinity();
+    Schedule schedule;
+    std::size_t evaluated = 0;
+  };
+  const std::size_t masks = 1ull << n;
+  std::vector<MaskBest> per_mask(masks);
+  common::TaskPool::shared().parallel_for_index(masks, [&](std::size_t mask) {
+    MaskBest local;
     std::vector<std::size_t> cpu_jobs;
     std::vector<std::size_t> gpu_jobs;
     for (std::size_t i = 0; i < n; ++i) {
@@ -50,13 +59,25 @@ Schedule ExhaustiveScheduler::plan(const SchedulerContext& ctx) {
           candidate.gpu.push_back({job, gpu_max});
         }
         const Seconds makespan = evaluator.makespan(candidate);
-        ++evaluated_;
-        if (makespan < best_makespan) {
-          best_makespan = makespan;
-          best = std::move(candidate);
+        ++local.evaluated;
+        if (makespan < local.makespan) {
+          local.makespan = makespan;
+          local.schedule = std::move(candidate);
         }
       } while (std::next_permutation(gpu_perm.begin(), gpu_perm.end()));
     } while (std::next_permutation(cpu_jobs.begin(), cpu_jobs.end()));
+    per_mask[mask] = std::move(local);
+  });
+
+  evaluated_ = 0;
+  Schedule best;
+  Seconds best_makespan = std::numeric_limits<Seconds>::infinity();
+  for (MaskBest& candidate : per_mask) {
+    evaluated_ += candidate.evaluated;
+    if (candidate.makespan < best_makespan) {
+      best_makespan = candidate.makespan;
+      best = std::move(candidate.schedule);
+    }
   }
 
   best.validate(n);

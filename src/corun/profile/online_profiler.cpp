@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "corun/common/check.hpp"
+#include "corun/common/task_pool.hpp"
 #include "corun/sim/engine.hpp"
 
 namespace corun::profile {
@@ -66,14 +67,31 @@ ProfileDB OnlineProfiler::profile_batch(const workload::Batch& batch) const {
     engine.run_for(1.0);
     db.set_idle_power(engine.telemetry().avg_power());
   }
+  // Same deterministic fan-out as the offline profiler: each sampling
+  // window is an independent engine run, collected in task-index order.
+  struct Task {
+    const workload::BatchJob* job;
+    sim::DeviceKind device;
+    sim::FreqLevel level;
+  };
+  std::vector<Task> tasks;
   for (const workload::BatchJob& job : batch.jobs()) {
     for (const sim::DeviceKind device :
          {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
       for (const sim::FreqLevel level : level_set(device)) {
-        db.insert(job.instance_name, device, level,
-                  sample_one(job.spec, device, level));
+        tasks.push_back({&job, device, level});
       }
     }
+  }
+  const std::vector<ProfileEntry> entries =
+      common::TaskPool::shared().parallel_map<ProfileEntry>(
+          tasks.size(), [&](std::size_t i) {
+            const Task& t = tasks[i];
+            return sample_one(t.job->spec, t.device, t.level);
+          });
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    db.insert(tasks[i].job->instance_name, tasks[i].device, tasks[i].level,
+              entries[i]);
   }
   return db;
 }

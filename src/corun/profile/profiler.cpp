@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "corun/common/check.hpp"
+#include "corun/common/task_pool.hpp"
 
 namespace corun::profile {
 
@@ -49,14 +50,35 @@ ProfileEntry Profiler::profile_one(const sim::JobSpec& spec,
 ProfileDB Profiler::profile_batch(const workload::Batch& batch) const {
   ProfileDB db;
   db.set_idle_power(measure_idle_power());
+
+  // Flatten the job x device x level sweep into an index space and fan it
+  // out: every measurement is an independent standalone simulation seeded
+  // from options_, so parallel and serial sweeps measure identical numbers.
+  // Results are inserted in task-index order after the barrier, keeping the
+  // DB (and its CSV) byte-identical to a serial sweep.
+  struct Task {
+    const workload::BatchJob* job;
+    sim::DeviceKind device;
+    sim::FreqLevel level;
+  };
+  std::vector<Task> tasks;
   for (const workload::BatchJob& job : batch.jobs()) {
     for (const sim::DeviceKind device :
          {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
       for (const sim::FreqLevel level : level_set(device)) {
-        db.insert(job.instance_name, device, level,
-                  profile_one(job.spec, device, level));
+        tasks.push_back({&job, device, level});
       }
     }
+  }
+  const std::vector<ProfileEntry> entries =
+      common::TaskPool::shared().parallel_map<ProfileEntry>(
+          tasks.size(), [&](std::size_t i) {
+            const Task& t = tasks[i];
+            return profile_one(t.job->spec, t.device, t.level);
+          });
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    db.insert(tasks[i].job->instance_name, tasks[i].device, tasks[i].level,
+              entries[i]);
   }
   return db;
 }

@@ -1,0 +1,122 @@
+#include "corun/common/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "corun/common/check.hpp"
+
+namespace corun::common {
+namespace {
+
+TEST(TaskPool, RunsEveryIndexExactlyOnce) {
+  TaskPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for_index(hits.size(),
+                          [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, ParallelMapCollectsResultsInIndexOrder) {
+  TaskPool pool(4);
+  const std::vector<std::size_t> out = pool.parallel_map<std::size_t>(
+      100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TaskPool, SingleJobPoolRunsInline) {
+  TaskPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for_index(8, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(TaskPool, ZeroTasksIsANoOp) {
+  TaskPool pool(4);
+  pool.parallel_for_index(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(TaskPool, PropagatesTheLowestIndexException) {
+  TaskPool pool(4);
+  // Several tasks throw; the serial-equivalent (lowest-index) exception
+  // must win regardless of completion order.
+  try {
+    pool.parallel_for_index(64, [](std::size_t i) {
+      if (i % 7 == 3) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+  // The pool survives a throwing span and runs the next one.
+  std::atomic<int> count{0};
+  pool.parallel_for_index(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(TaskPool, NestedUseRunsInlineWithoutDeadlock) {
+  TaskPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for_index(8, [&](std::size_t) {
+    EXPECT_TRUE(TaskPool::on_worker_thread());
+    // A nested span must complete inline on this worker, not wait for the
+    // (busy) pool — waiting would deadlock.
+    pool.parallel_for_index(4, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_FALSE(TaskPool::on_worker_thread());
+}
+
+TEST(TaskPool, NestedExceptionPropagatesThroughBothLayers) {
+  TaskPool pool(2);
+  EXPECT_THROW(pool.parallel_for_index(
+                   4,
+                   [&](std::size_t) {
+                     pool.parallel_for_index(2, [](std::size_t) {
+                       throw std::runtime_error("inner");
+                     });
+                   }),
+               std::runtime_error);
+}
+
+TEST(TaskPool, DefaultJobsControlsSharedPool) {
+  const std::size_t before = default_jobs();
+  set_default_jobs(3);
+  EXPECT_EQ(default_jobs(), 3u);
+  EXPECT_EQ(TaskPool::shared().jobs(), 3u);
+  set_default_jobs(2);
+  EXPECT_EQ(TaskPool::shared().jobs(), 2u);  // re-created on size change
+  set_default_jobs(0);
+  EXPECT_EQ(default_jobs(), before);
+}
+
+TEST(TaskPool, TaskSeedIsPureAndWellSeparated) {
+  EXPECT_EQ(task_seed(42, 7), task_seed(42, 7));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {0ull, 1ull, 42ull}) {
+    for (std::uint64_t i = 0; i < 100; ++i) seeds.insert(task_seed(base, i));
+  }
+  EXPECT_EQ(seeds.size(), 300u);  // no collisions across bases or indices
+}
+
+TEST(TaskPool, ManyMoreTasksThanWorkersStillSumCorrectly) {
+  TaskPool pool(3);
+  std::vector<std::atomic<long>> partial(3000);
+  pool.parallel_for_index(partial.size(), [&](std::size_t i) {
+    partial[i].store(static_cast<long>(i));
+  });
+  long total = 0;
+  for (const auto& p : partial) total += p.load();
+  EXPECT_EQ(total, 2999L * 3000L / 2);
+}
+
+}  // namespace
+}  // namespace corun::common

@@ -29,8 +29,17 @@ echo "== corun-profile (online) =="
 test -s profiles_online.csv
 
 echo "== corun-characterize =="
-"$TOOLS/corun-characterize" --out grid.csv --axis-points 4
+"$TOOLS/corun-characterize" --out grid.csv --axis-points 4 --jobs 1
 test -s grid.csv
+
+echo "== corun-characterize --jobs N is byte-identical to --jobs 1 =="
+"$TOOLS/corun-characterize" --out grid_par.csv --axis-points 4 --jobs 4
+cmp grid.csv grid_par.csv
+
+echo "== corun-profile --jobs N is byte-identical to --jobs 1 =="
+"$TOOLS/corun-profile" --batch batch.csv --out profiles_par.csv \
+    --cpu-levels 0,5,10 --gpu-levels 0,4 --jobs 4
+cmp profiles.csv profiles_par.csv
 
 echo "== corun-schedule (hcs+, save plan, explain) =="
 "$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \

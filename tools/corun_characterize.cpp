@@ -14,13 +14,13 @@
 namespace {
 const char kUsage[] =
     "corun-characterize --out grid.csv [--axis-points 11] [--max-bw 11.0] "
-    "[--seed 42]";
+    "[--seed 42] [--jobs N]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags =
-      Flags::parse(argc, argv, {"out", "axis-points", "max-bw", "seed"});
+      Flags::parse(argc, argv, {"out", "axis-points", "max-bw", "seed", "jobs"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
   }
@@ -42,9 +42,10 @@ int main(int argc, char** argv) {
 
   model::CharacterizationOptions options;
   options.seed = static_cast<std::uint64_t>(f.get_int("seed", 42));
+  const std::size_t jobs = tools::configure_jobs(f);
   const model::DegradationSpaceBuilder builder(sim::ivy_bridge(), options);
-  std::printf("characterizing %zux%zu grid (%zu co-runs)...\n", points, points,
-              2 * points * points);
+  std::printf("characterizing %zux%zu grid (%zu co-runs, %zu jobs)...\n",
+              points, points, 2 * points * points, jobs);
   const model::DegradationGrid grid = builder.characterize(axis, axis);
 
   std::ostringstream oss;

@@ -16,7 +16,8 @@ namespace {
 
 const char kUsage[] =
     "corun-profile --batch batch.csv --out profiles.csv [--online] "
-    "[--sample-seconds 3.0] [--seed 42] [--cpu-levels 0,8] [--gpu-levels 0,5]";
+    "[--sample-seconds 3.0] [--seed 42] [--cpu-levels 0,8] [--gpu-levels 0,5] "
+    "[--jobs N]";
 
 std::vector<corun::sim::FreqLevel> parse_levels(const std::string& csv) {
   std::vector<corun::sim::FreqLevel> levels;
@@ -34,7 +35,8 @@ int main(int argc, char** argv) {
   using namespace corun;
   const auto flags = Flags::parse(
       argc, argv,
-      {"batch", "out", "sample-seconds", "seed", "cpu-levels", "gpu-levels"},
+      {"batch", "out", "sample-seconds", "seed", "cpu-levels", "gpu-levels",
+       "jobs"},
       {"online"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
 
   const sim::MachineConfig config = sim::ivy_bridge();
   const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 42));
+  (void)tools::configure_jobs(f);
 
   profile::ProfileDB db;
   if (f.has("online")) {

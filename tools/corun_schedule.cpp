@@ -20,14 +20,15 @@ namespace {
 const char kUsage[] =
     "corun-schedule --batch batch.csv --profiles profiles.csv --grid grid.csv "
     "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
-    "[--policy gpu|cpu] [--seed 42] [--save-plan plan.csv] [--explain]";
+    "[--policy gpu|cpu] [--seed 42] [--save-plan plan.csv] [--explain] "
+    "[--jobs N]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags = Flags::parse(
       argc, argv, {"batch", "profiles", "grid", "cap", "scheduler", "policy",
-                   "seed", "save-plan"},
+                   "seed", "save-plan", "jobs"},
       {"explain"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
 
   const sim::MachineConfig config = sim::ivy_bridge();
   const model::CoRunPredictor predictor(db.value(), grid.value(), config);
+  (void)tools::configure_jobs(f);
 
   sched::SchedulerContext ctx;
   ctx.batch = &batch.value();

@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "corun/common/check.hpp"
+#include "corun/common/task_pool.hpp"
+
 namespace corun::tools {
 
 Expected<std::string> read_file(const std::string& path) {
@@ -26,6 +29,13 @@ int usage_error(const std::string& message, const std::string& usage) {
   std::fprintf(stderr, "error: %s\n\nusage: %s\n", message.c_str(),
                usage.c_str());
   return 2;
+}
+
+std::size_t configure_jobs(const Flags& flags) {
+  const std::int64_t jobs = flags.get_int("jobs", 0);
+  CORUN_CHECK_MSG(jobs >= 0, "--jobs must be >= 0");
+  common::set_default_jobs(static_cast<std::size_t>(jobs));
+  return common::default_jobs();
 }
 
 }  // namespace corun::tools

@@ -1,9 +1,11 @@
-// Shared file IO and usage plumbing for the corun command-line tools.
+// Shared file IO, usage, and parallelism plumbing for the corun
+// command-line tools.
 #pragma once
 
 #include <string>
 
 #include "corun/common/expected.hpp"
+#include "corun/common/flags.hpp"
 
 namespace corun::tools {
 
@@ -15,5 +17,11 @@ bool write_file(const std::string& path, const std::string& text);
 
 /// Prints `message` and the usage string to stderr; returns 2 (usage error).
 int usage_error(const std::string& message, const std::string& usage);
+
+/// Applies the shared `--jobs N` flag (default 0 = one worker per hardware
+/// thread) to the library's task pool and returns the resolved worker
+/// count. Every sweep is deterministic by construction, so any N produces
+/// byte-identical artifacts; N only changes wall-clock time.
+std::size_t configure_jobs(const Flags& flags);
 
 }  // namespace corun::tools
