@@ -61,7 +61,7 @@ Expected<std::vector<std::vector<std::string>>> parse_csv(const std::string& tex
     switch (c) {
       case '"':
         if (cell_started && !cell.empty()) {
-          return fail("quote inside unquoted cell at offset " + std::to_string(i));
+          return fail("quote inside unquoted cell at offset " + std::to_string(i), ErrorCategory::kParse);
         }
         in_quotes = true;
         cell_started = true;
@@ -80,7 +80,7 @@ Expected<std::vector<std::vector<std::string>>> parse_csv(const std::string& tex
         break;
     }
   }
-  if (in_quotes) return fail("unterminated quoted cell");
+  if (in_quotes) return fail("unterminated quoted cell", ErrorCategory::kParse);
   if (cell_started || !row.empty()) flush_row();
   return rows;
 }

@@ -12,9 +12,36 @@
 
 namespace corun {
 
+/// Coarse classification of a recoverable error — what *kind* of failure it
+/// is, independent of the message text. Callers branch on this (retry on
+/// kIo, report a usage line on kInvalidArgument, ...) without parsing
+/// strings.
+enum class ErrorCategory {
+  kGeneric,          ///< unclassified (the default)
+  kIo,               ///< filesystem / stream failure
+  kParse,            ///< malformed input that was read successfully
+  kNotFound,         ///< a named entity does not exist
+  kInvalidArgument,  ///< caller-supplied value out of range / unknown
+};
+
+[[nodiscard]] constexpr const char* error_category_name(
+    ErrorCategory c) noexcept {
+  switch (c) {
+    case ErrorCategory::kGeneric: return "generic";
+    case ErrorCategory::kIo: return "io";
+    case ErrorCategory::kParse: return "parse";
+    case ErrorCategory::kNotFound: return "not-found";
+    case ErrorCategory::kInvalidArgument: return "invalid-argument";
+  }
+  return "?";
+}
+
 /// Lightweight error payload: a category tag plus a human-readable message.
+/// `message` stays the first member so existing `Error{"text"}` aggregate
+/// initialization keeps compiling (category defaults to kGeneric).
 struct Error {
   std::string message;
+  ErrorCategory category = ErrorCategory::kGeneric;
 
   friend bool operator==(const Error&, const Error&) = default;
 };
@@ -59,7 +86,11 @@ class Expected {
   std::variant<T, Error> storage_;
 };
 
-/// Convenience maker so call sites read `return fail("...");`
-inline Error fail(std::string message) { return Error{std::move(message)}; }
+/// Convenience maker so call sites read `return fail("...")` or
+/// `return fail("...", ErrorCategory::kParse)`.
+inline Error fail(std::string message,
+                  ErrorCategory category = ErrorCategory::kGeneric) {
+  return Error{std::move(message), category};
+}
 
 }  // namespace corun

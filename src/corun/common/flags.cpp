@@ -25,15 +25,15 @@ Expected<Flags> Flags::parse(int argc, const char* const* argv,
       has_value = true;
     }
     if (!known.count(name) && !boolean.count(name)) {
-      return fail("unknown flag --" + name);
+      return fail("unknown flag --" + name, ErrorCategory::kInvalidArgument);
     }
     if (boolean.count(name)) {
-      if (has_value) return fail("flag --" + name + " takes no value");
+      if (has_value) return fail("flag --" + name + " takes no value", ErrorCategory::kInvalidArgument);
       flags.values_[name] = "1";
       continue;
     }
     if (!has_value) {
-      if (i + 1 >= argc) return fail("flag --" + name + " needs a value");
+      if (i + 1 >= argc) return fail("flag --" + name + " needs a value", ErrorCategory::kInvalidArgument);
       value = argv[++i];
     }
     flags.values_[name] = value;

@@ -68,15 +68,15 @@ Expected<DegradationGrid> DegradationGrid::read_csv(const std::string& text) {
       header = false;
       continue;
     }
-    if (row.size() != 4) return fail("grid CSV row arity != 4");
+    if (row.size() != 4) return fail("grid CSV row arity != 4", ErrorCategory::kParse);
     try {
       cells.emplace_back(std::stod(row[0]), std::stod(row[1]),
                          std::stod(row[2]), std::stod(row[3]));
     } catch (const std::exception& ex) {
-      return fail(std::string("grid CSV parse error: ") + ex.what());
+      return fail(std::string("grid CSV parse error: ") + ex.what(), ErrorCategory::kParse);
     }
   }
-  if (cells.empty()) return fail("grid CSV has no cells");
+  if (cells.empty()) return fail("grid CSV has no cells", ErrorCategory::kParse);
   for (const auto& [cb, gb, cd, gd] : cells) {
     if (grid.cpu_axis.empty() || grid.cpu_axis.back() != cb) {
       if (std::find(grid.cpu_axis.begin(), grid.cpu_axis.end(), cb) ==
@@ -102,12 +102,12 @@ Expected<DegradationGrid> DegradationGrid::read_csv(const std::string& text) {
     const std::size_t i = index_of(grid.cpu_axis, cb);
     const std::size_t j = index_of(grid.gpu_axis, gb);
     if (i >= grid.cpu_axis.size() || j >= grid.gpu_axis.size()) {
-      return fail("grid CSV inconsistent axes");
+      return fail("grid CSV inconsistent axes", ErrorCategory::kParse);
     }
     grid.cpu_deg[i][j] = cd;
     grid.gpu_deg[i][j] = gd;
   }
-  if (!grid.valid()) return fail("grid CSV did not form a full grid");
+  if (!grid.valid()) return fail("grid CSV did not form a full grid", ErrorCategory::kParse);
   return grid;
 }
 
@@ -137,11 +137,12 @@ double DegradationSpaceBuilder::measure_cell(sim::DeviceKind subject_device,
   // Standalone reference at max frequency.
   const sim::StandaloneResult solo = sim::run_standalone(
       config_, subject, subject_device, config_.cpu_ladder.max_level(),
-      config_.gpu_ladder.max_level(), options_.seed);
+      config_.gpu_ladder.max_level(), options_.seed, options_.engine_mode);
 
   // Contended run: partner outlives the subject, so the subject is under
   // co-run pressure for its entire execution.
   sim::EngineOptions engine_options;
+  engine_options.mode = options_.engine_mode;
   engine_options.seed = options_.seed;
   engine_options.record_samples = false;
   sim::Engine engine(config_, engine_options);

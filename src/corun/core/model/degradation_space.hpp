@@ -16,6 +16,7 @@
 
 #include "corun/common/expected.hpp"
 #include "corun/common/units.hpp"
+#include "corun/sim/engine.hpp"
 #include "corun/sim/machine.hpp"
 
 namespace corun::model {
@@ -44,6 +45,8 @@ struct CharacterizationOptions {
   std::uint64_t seed = 42;
   Seconds subject_duration = 25.0;  ///< length of the measured instance
   double partner_scale = 4.0;       ///< partner runs this much longer
+  /// Stepping policy of every cell's co-run engine.
+  sim::EngineMode engine_mode = sim::default_engine_mode();
 };
 
 /// Runs the characterization experiment on the simulator.

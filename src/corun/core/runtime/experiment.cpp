@@ -18,6 +18,7 @@ ModelArtifacts build_artifacts(const sim::MachineConfig& config,
                                const ArtifactOptions& options) {
   profile::ProfilerOptions po;
   po.seed = options.seed;
+  po.engine_mode = options.engine_mode;
   po.cpu_levels = options.cpu_levels;
   po.gpu_levels = options.gpu_levels;
   const profile::Profiler profiler(config, po);
@@ -27,6 +28,7 @@ ModelArtifacts build_artifacts(const sim::MachineConfig& config,
 
   model::CharacterizationOptions co;
   co.seed = options.seed;
+  co.engine_mode = options.engine_mode;
   const model::DegradationSpaceBuilder builder(config, co);
   artifacts.grid = options.grid_axis.empty()
                        ? builder.characterize()
@@ -82,6 +84,7 @@ ComparisonResult run_comparison(const sim::MachineConfig& config,
   rt.cap = options.cap;
   rt.policy = sim::GovernorPolicy::kGpuBiased;
   rt.seed = options.seed;
+  rt.engine_mode = options.engine_mode;
   rt.record_power_trace = options.record_power_traces;
 
   ComparisonResult out;

@@ -30,6 +30,8 @@ struct ModelArtifacts {
 
 struct ArtifactOptions {
   std::uint64_t seed = 42;
+  /// Stepping policy of every simulation the offline stage runs.
+  sim::EngineMode engine_mode = sim::default_engine_mode();
   /// Frequency sub-sampling for profiling (empty = every level).
   std::vector<sim::FreqLevel> cpu_levels;
   std::vector<sim::FreqLevel> gpu_levels;
@@ -55,6 +57,7 @@ struct ComparisonOptions {
   std::optional<Watts> cap = 15.0;
   int random_seeds = 20;          ///< Random baseline repetitions (paper: 20)
   std::uint64_t seed = 42;
+  sim::EngineMode engine_mode = sim::default_engine_mode();
   bool include_cpu_biased_default = true;
   bool record_power_traces = false;
 };

@@ -22,6 +22,7 @@ CoRunRuntime::CoRunRuntime(sim::MachineConfig config, RuntimeOptions options)
 
 sim::EngineOptions CoRunRuntime::engine_options() const {
   sim::EngineOptions eo;
+  eo.mode = options_.engine_mode;
   eo.seed = options_.seed;
   eo.power_cap = options_.cap;
   eo.policy = options_.cap ? options_.policy : sim::GovernorPolicy::kNone;

@@ -25,6 +25,7 @@ struct RuntimeOptions {
   std::optional<Watts> cap;
   sim::GovernorPolicy policy = sim::GovernorPolicy::kGpuBiased;
   std::uint64_t seed = 42;
+  sim::EngineMode engine_mode = sim::default_engine_mode();
   Seconds sample_interval = 1.0;  ///< power-trace cadence
   bool record_power_trace = true;
 

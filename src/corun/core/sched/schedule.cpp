@@ -134,22 +134,22 @@ Expected<Schedule> schedule_from_csv(const std::string& text,
   for (const auto& row : rows.value()) {
     if (row.empty()) continue;
     if (row[0] == "flags") {
-      if (row.size() != 4) return fail("schedule CSV: flags row arity != 4");
+      if (row.size() != 4) return fail("schedule CSV: flags row arity != 4", ErrorCategory::kParse);
       schedule.cpu_batch_launch = row[1] == "1";
       schedule.shared_queue = row[2] == "1";
       schedule.model_dvfs = row[3] == "1";
       flags_seen = true;
       continue;
     }
-    if (row[0] != "entry") return fail("schedule CSV: unknown row '" + row[0] + "'");
-    if (row.size() != 6) return fail("schedule CSV: entry row arity != 6");
+    if (row[0] != "entry") return fail("schedule CSV: unknown row '" + row[0] + "'", ErrorCategory::kParse);
+    if (row.size() != 6) return fail("schedule CSV: entry row arity != 6", ErrorCategory::kParse);
     const std::ptrdiff_t job = job_index(row[3]);
-    if (job < 0) return fail("schedule CSV: unknown job '" + row[3] + "'");
+    if (job < 0) return fail("schedule CSV: unknown job '" + row[3] + "'", ErrorCategory::kNotFound);
     int level = 0;
     try {
       level = std::stoi(row[4]);
     } catch (const std::exception&) {
-      return fail("schedule CSV: bad level '" + row[4] + "'");
+      return fail("schedule CSV: bad level '" + row[4] + "'", ErrorCategory::kParse);
     }
     const std::size_t j = static_cast<std::size_t>(job);
     if (row[1] == "cpu") {
@@ -163,14 +163,14 @@ Expected<Schedule> schedule_from_csv(const std::string& text,
           row[5] == "CPU" ? sim::DeviceKind::kCpu : sim::DeviceKind::kGpu;
       schedule.solo.push_back({j, device, level});
     } else {
-      return fail("schedule CSV: unknown section '" + row[1] + "'");
+      return fail("schedule CSV: unknown section '" + row[1] + "'", ErrorCategory::kParse);
     }
   }
-  if (!flags_seen) return fail("schedule CSV: missing flags row");
+  if (!flags_seen) return fail("schedule CSV: missing flags row", ErrorCategory::kParse);
   try {
     schedule.validate(job_names.size());
   } catch (const ContractViolation& e) {
-    return fail(std::string("schedule CSV invalid: ") + e.what());
+    return fail(std::string("schedule CSV invalid: ") + e.what(), ErrorCategory::kParse);
   }
   return schedule;
 }

@@ -23,7 +23,7 @@ Expected<std::shared_ptr<Kernel>> Program::create_kernel(const std::string& name
   const auto it = kernels_.find(name);
   if (it == kernels_.end()) {
     return fail("no kernel named '" + name + "' in program (" +
-                status_name(Status::kInvalidKernelName) + ")");
+                status_name(Status::kInvalidKernelName) + ")", ErrorCategory::kNotFound);
   }
   return std::make_shared<Kernel>(name, it->second.spec, it->second.num_args);
 }

@@ -34,17 +34,17 @@ Expected<std::shared_ptr<Event>> CommandQueue::enqueue(
   for (const auto& dep : wait_list) {
     if (dep == nullptr) {
       return fail("null event in wait list (" +
-                  std::string(status_name(Status::kInvalidKernelArgs)) + ")");
+                  std::string(status_name(Status::kInvalidKernelArgs)) + ")", ErrorCategory::kInvalidArgument);
     }
   }
   if (!kernel->args_complete()) {
     return fail("kernel '" + kernel->name() + "' has unbound arguments (" +
-                status_name(Status::kInvalidKernelArgs) + ")");
+                status_name(Status::kInvalidKernelArgs) + ")", ErrorCategory::kInvalidArgument);
   }
   if (kernel->spec().profile(device_).empty()) {
     return fail("kernel '" + kernel->name() + "' has no binary for " +
                 sim::device_name(device_) + " (" +
-                status_name(Status::kInvalidDevice) + ")");
+                status_name(Status::kInvalidDevice) + ")", ErrorCategory::kNotFound);
   }
   auto event = std::shared_ptr<Event>(new Event(shared_from_this()));
   event->name_ = kernel->name();

@@ -31,6 +31,7 @@ ProfileEntry OnlineProfiler::sample_one(const sim::JobSpec& spec,
                                         sim::DeviceKind device,
                                         sim::FreqLevel level) const {
   sim::EngineOptions eo;
+  eo.mode = options_.engine_mode;
   eo.seed = options_.seed;
   eo.record_samples = false;
   sim::Engine engine(config_, eo);
@@ -60,6 +61,7 @@ ProfileDB OnlineProfiler::profile_batch(const workload::Batch& batch) const {
   // Idle power is a one-second measurement either way; reuse the engine.
   {
     sim::EngineOptions eo;
+    eo.mode = options_.engine_mode;
     eo.seed = options_.seed;
     eo.record_samples = false;
     sim::Engine engine(config_, eo);

@@ -117,11 +117,11 @@ Expected<ProfileDB> ProfileDB::read_csv(const std::string& text) {
     if (!header_seen) {
       header_seen = true;
       if (row.empty() || row[0] != "job") {
-        return fail("profile CSV missing header");
+        return fail("profile CSV missing header", ErrorCategory::kParse);
       }
       continue;
     }
-    if (row.size() != 7) return fail("profile CSV row arity != 7");
+    if (row.size() != 7) return fail("profile CSV row arity != 7", ErrorCategory::kParse);
     try {
       if (row[0] == "__idle__") {
         db.set_idle_power(std::stod(row[5]));
@@ -135,7 +135,7 @@ Expected<ProfileDB> ProfileDB::read_csv(const std::string& text) {
                      .energy = std::stod(row[6])};
       db.insert(row[0], device, std::stoi(row[2]), e);
     } catch (const std::exception& ex) {
-      return fail(std::string("profile CSV parse error: ") + ex.what());
+      return fail(std::string("profile CSV parse error: ") + ex.what(), ErrorCategory::kParse);
     }
   }
   return db;

@@ -39,8 +39,9 @@ ProfileEntry Profiler::profile_one(const sim::JobSpec& spec,
       device == sim::DeviceKind::kCpu ? level : 0;
   const sim::FreqLevel gpu_level =
       device == sim::DeviceKind::kGpu ? level : 0;
-  const sim::StandaloneResult r = sim::run_standalone(
-      config_, spec, device, cpu_level, gpu_level, options_.seed);
+  const sim::StandaloneResult r =
+      sim::run_standalone(config_, spec, device, cpu_level, gpu_level,
+                          options_.seed, options_.engine_mode);
   return ProfileEntry{.time = r.time,
                       .avg_bw = r.avg_bandwidth,
                       .avg_power = r.avg_power,
@@ -85,6 +86,7 @@ ProfileDB Profiler::profile_batch(const workload::Batch& batch) const {
 
 Watts Profiler::measure_idle_power() const {
   sim::EngineOptions options;
+  options.mode = options_.engine_mode;
   options.seed = options_.seed;
   options.record_samples = false;
   sim::Engine engine(config_, options);

@@ -16,6 +16,8 @@ namespace corun::profile {
 
 struct ProfilerOptions {
   std::uint64_t seed = 42;
+  /// Stepping policy of every standalone measurement engine.
+  sim::EngineMode engine_mode = sim::default_engine_mode();
   /// When set, only these CPU levels are profiled (plus the max level);
   /// empty = every level. Same for GPU. Sub-sampling keeps large sweeps
   /// cheap; the interpolating model tolerates gaps.

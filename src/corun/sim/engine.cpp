@@ -1,11 +1,55 @@
 #include "corun/sim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 #include "corun/common/check.hpp"
 
 namespace corun::sim {
+
+namespace {
+
+/// Seed the process-wide default from CORUN_ENGINE so whole test suites and
+/// pipelines can be flipped to the tick oracle without touching flags
+/// (`CORUN_ENGINE=tick ctest ...`). Bad values fall back to kEvent; the
+/// tools' --engine flag reports them properly.
+EngineMode initial_engine_mode() {
+  if (const char* env = std::getenv("CORUN_ENGINE")) {
+    if (env == std::string_view("tick")) return EngineMode::kTick;
+    if (env == std::string_view("event")) return EngineMode::kEvent;
+  }
+  return EngineMode::kEvent;
+}
+
+std::atomic<EngineMode> g_default_engine_mode{initial_engine_mode()};
+
+}  // namespace
+
+const char* engine_mode_name(EngineMode m) noexcept {
+  switch (m) {
+    case EngineMode::kTick: return "tick";
+    case EngineMode::kEvent: return "event";
+  }
+  return "?";
+}
+
+Expected<EngineMode> parse_engine_mode(const std::string& text) {
+  if (text == "tick") return EngineMode::kTick;
+  if (text == "event") return EngineMode::kEvent;
+  return fail("unknown engine mode '" + text + "' (expected tick|event)",
+              ErrorCategory::kInvalidArgument);
+}
+
+EngineMode default_engine_mode() noexcept {
+  return g_default_engine_mode.load(std::memory_order_relaxed);
+}
+
+void set_default_engine_mode(EngineMode mode) noexcept {
+  g_default_engine_mode.store(mode, std::memory_order_relaxed);
+}
 
 Engine::Engine(MachineConfig config, EngineOptions options)
     : config_(std::move(config)),
@@ -50,10 +94,14 @@ JobId Engine::launch(const JobSpec& spec, DeviceKind device) {
   st.start_time = now_;
   stats_[run.id] = st;
   running_.push_back(std::move(run));
+  flush_pending_telemetry();
+  cache_.valid = false;  // residency changed: demand/contention/power move
   return next_id_ - 1;
 }
 
 void Engine::set_ceilings(FreqLevel cpu, FreqLevel gpu) {
+  flush_pending_telemetry();
+  cache_.valid = false;  // levels may snap or clamp below
   dvfs_.cpu_ceiling = config_.cpu_ladder.clamp(cpu);
   dvfs_.gpu_ceiling = config_.gpu_ladder.clamp(gpu);
   if (options_.policy == GovernorPolicy::kNone) {
@@ -194,8 +242,9 @@ void Engine::advance_jobs(DeviceKind d, double sigma, Seconds dt,
   });
 }
 
-void Engine::tick(std::vector<JobEvent>& events) {
+bool Engine::governor_phase() {
   const Seconds dt = options_.dt;
+  const DvfsState before = dvfs_;
 
   // DVFS control loop (reacts to the previous tick's measured power).
   // Down-steps happen every tick a violation is measured (RAPL-style fast
@@ -227,6 +276,16 @@ void Engine::tick(std::vector<JobEvent>& events) {
     dvfs_ = governor.step(meter_.read(last_true_power_), dvfs_);
     next_governor_ = now_ + options_.governor_interval;
   }
+  return before.cpu_level != dvfs_.cpu_level ||
+         before.gpu_level != dvfs_.gpu_level ||
+         before.cpu_ceiling != dvfs_.cpu_ceiling ||
+         before.gpu_ceiling != dvfs_.gpu_ceiling;
+}
+
+void Engine::tick(std::vector<JobEvent>& events) {
+  const Seconds dt = options_.dt;
+
+  (void)governor_phase();
 
   // Resolve memory contention from the uncontended offered loads, then a
   // second pass so the activity shares reflect the resolved slowdowns.
@@ -280,8 +339,243 @@ void Engine::tick(std::vector<JobEvent>& events) {
   now_ += dt;
 }
 
+void Engine::rebuild_dynamics() {
+  // Mirrors the dynamics section of tick() exactly: same calls, same
+  // operand values, so the cached results are the very doubles the tick
+  // oracle would recompute on every identical tick.
+  DeviceTick cpu_tick = device_demand(DeviceKind::kCpu, sigma_[0]);
+  DeviceTick gpu_tick = device_demand(DeviceKind::kGpu, sigma_[1]);
+  const ContentionResult contention = memory_.resolve(
+      {.cpu_demand = cpu_tick.demand, .gpu_demand = gpu_tick.demand});
+  const double llc_cpu = llc_slowdown(DeviceKind::kCpu, gpu_tick.demand);
+  const double llc_gpu = llc_slowdown(DeviceKind::kGpu, cpu_tick.demand);
+  sigma_[0] = contention.cpu_slowdown * llc_cpu;
+  sigma_[1] = contention.gpu_slowdown * llc_gpu;
+  cpu_tick = device_demand(DeviceKind::kCpu, sigma_[0]);
+  gpu_tick = device_demand(DeviceKind::kGpu, sigma_[1]);
+
+  cache_.cpu_tick = cpu_tick;
+  cache_.gpu_tick = gpu_tick;
+  cache_.contention = contention;
+  const DeviceActivity cpu_act{.busy = cpu_tick.busy,
+                               .compute_share = cpu_tick.compute_share,
+                               .memory_share = cpu_tick.memory_share};
+  const DeviceActivity gpu_act{.busy = gpu_tick.busy,
+                               .compute_share = gpu_tick.compute_share,
+                               .memory_share = gpu_tick.memory_share};
+  cache_.true_power = power_model_.package_power(
+      dvfs_.cpu_level, dvfs_.gpu_level, cpu_act, gpu_act);
+
+  // Per-job per-tick advance constants, derived with the same expressions
+  // advance_jobs evaluates (identical operands => identical flops).
+  cache_.jobs.clear();
+  cache_.jobs.reserve(running_.size());
+  const double sens = config_.mem_bw_freq_sensitivity;
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    const RunningJob& r = running_[i];
+    const FrequencyLadder& ladder = config_.ladder(r.device);
+    const FreqLevel level =
+        r.device == DeviceKind::kCpu ? dvfs_.cpu_level : dvfs_.gpu_level;
+    const double phi = ladder.fraction(level);
+    const double sig_eff =
+        locality_sigma(r.device, sigma_[r.device == DeviceKind::kCpu ? 0 : 1]);
+    const double overhead = oversubscription_overhead(r.device);
+    const Phase& ph = r.spec.profile(r.device).phases()[r.phase_idx];
+    JobAdvance adv;
+    adv.run_idx = i;
+    adv.stats = &stats_.at(r.id);
+    adv.stretch = phase_stretch(ph, phi, sig_eff, sens);
+    adv.budget = options_.dt / overhead;
+    adv.ref_per_tick = adv.budget / adv.stretch;
+    adv.gb_per_tick = adv.ref_per_tick * (1.0 - ph.compute_frac) * ph.mem_bw;
+    cache_.jobs.push_back(adv);
+  }
+  cache_.valid = true;
+}
+
+void Engine::flush_pending_telemetry() {
+  if (pending_ticks_ == 0) return;
+  telemetry_.record_interval(pending_ticks_, options_.dt, cache_.true_power,
+                             cache_.cpu_tick.busy, cache_.gpu_tick.busy,
+                             options_.power_cap.value_or(0.0),
+                             options_.power_cap.has_value());
+  pending_ticks_ = 0;
+}
+
+void Engine::step_event_tick(std::vector<JobEvent>& events) {
+  // 1. Control: runs per tick exactly as the oracle does, so the meter's
+  // RNG stream and every governor decision stay in lockstep. A level move
+  // is an event: the horizon ends and the dynamics recompute.
+  const bool dvfs_moved = governor_phase();
+  complete_event_tick(dvfs_moved, events);
+}
+
+void Engine::complete_event_tick(bool dvfs_moved,
+                                 std::vector<JobEvent>& events) {
+  const Seconds dt = options_.dt;
+
+  if (dvfs_moved || !cache_.valid) {
+    flush_pending_telemetry();
+    rebuild_dynamics();
+  }
+
+  // 2. Advance jobs. A phase boundary or finish inside this tick is an
+  // event: fall back to the oracle's advance loop for the crossing tick
+  // (it handles multi-phase crossings and finish interpolation), then drop
+  // the cache. Otherwise the whole tick is the strength-reduced replay.
+  bool boundary = false;
+  for (const JobAdvance& j : cache_.jobs) {
+    const RunningJob& r = running_[j.run_idx];
+    if (r.phase_ref_remaining * j.stretch <= j.budget) {
+      boundary = true;
+      break;
+    }
+  }
+  if (boundary) {
+    advance_jobs(DeviceKind::kCpu, sigma_[0], dt, events);
+    advance_jobs(DeviceKind::kGpu, sigma_[1], dt, events);
+    cache_.valid = false;  // phase indices / residency changed
+  } else {
+    for (const JobAdvance& j : cache_.jobs) {
+      running_[j.run_idx].phase_ref_remaining -= j.ref_per_tick;
+      j.stats->total_gb += j.gb_per_tick;
+    }
+  }
+
+  // 3. Power accounting: the package power of this horizon is cached; the
+  // per-tick telemetry accumulation is deferred (identical arguments) and
+  // flushed through Telemetry::record_interval at the horizon's end.
+  last_true_power_ = cache_.true_power;
+  ++pending_ticks_;
+
+  if (now_ + 1e-12 >= next_sample_) {
+    if (options_.record_samples) {
+      telemetry_.record_sample(
+          PowerSample{.t = now_,
+                      .measured = meter_.read(last_true_power_),
+                      .true_power = last_true_power_,
+                      .cpu_level = dvfs_.cpu_level,
+                      .gpu_level = dvfs_.gpu_level,
+                      .cpu_bw = cache_.contention.cpu_achieved,
+                      .gpu_bw = cache_.contention.gpu_achieved},
+          options_.power_cap.value_or(0.0), options_.power_cap.has_value());
+    }
+    next_sample_ = now_ + options_.sample_interval;
+  }
+
+  now_ += dt;
+}
+
+void Engine::fast_replay(const std::optional<Seconds>& end,
+                         std::vector<JobEvent>& events) {
+  if (!cache_.valid) return;
+
+  const Seconds dt = options_.dt;
+  // Phase boundaries get a conservative tick-count bound (two ticks of
+  // slack against accumulated-rounding drift); governor/sample/end points
+  // use the oracle's exact comparison per replayed tick, folded into one
+  // threshold. The per-tick path re-checks everything exactly, so an
+  // underestimate only costs a few slow ticks at the horizon's edge.
+  constexpr double kSlack = 2.0;
+  double safe = 1e18;
+  for (const JobAdvance& j : cache_.jobs) {
+    safe = std::min(
+        safe, running_[j.run_idx].phase_ref_remaining / j.ref_per_tick - kSlack);
+  }
+  if (!(safe >= 1.0)) return;  // also rejects NaN
+  std::size_t budget = static_cast<std::size_t>(safe);
+  Seconds stop = std::min(next_governor_, next_sample_);
+  if (end) stop = std::min(stop, *end);
+
+  // The replay is bit-identical to the same number of fast step_event_tick
+  // calls: the same per-job subtraction chain, the same repeated
+  // `now_ += dt`, and the same `now_ + 1e-12 >= threshold` event tests.
+  std::size_t ticks = 0;
+  if (options_.policy != GovernorPolicy::kNone && options_.power_cap) {
+    // Cap-managed machine: the oracle reads the (noisy) meter every tick
+    // to test for violations, so those RNG draws must be replayed per
+    // tick in the same order. The loop inlines governor_phase's
+    // violation test (the cadence branch cannot fire inside the window —
+    // `stop` is bounded by next_governor_) and only falls back to the
+    // full event tick when the governor actually moves a level.
+    const Watts cap = *options_.power_cap;
+    const bool windowed = options_.cap_window > 0.0;
+    // Loop-invariant in tick mode too: hoisting changes no operand.
+    const double alpha =
+        windowed ? std::min(1.0, dt / options_.cap_window) : 0.0;
+    const PowerGovernor governor(options_.policy, options_.power_cap);
+    while (budget > 0 && now_ + 1e-12 < stop) {
+      Watts measured = meter_.read(last_true_power_);
+      if (windowed) {
+        if (!ema_primed_) {
+          power_ema_ = measured;
+          ema_primed_ = true;
+        } else {
+          power_ema_ += alpha * (measured - power_ema_);
+        }
+        measured = power_ema_;
+      }
+      if (measured > cap) {
+        const DvfsState before = dvfs_;
+        dvfs_ = governor.step(measured, dvfs_);
+        if (before.cpu_level != dvfs_.cpu_level ||
+            before.gpu_level != dvfs_.gpu_level ||
+            before.cpu_ceiling != dvfs_.cpu_ceiling ||
+            before.gpu_ceiling != dvfs_.gpu_ceiling) {
+          // Level move: the horizon ends here. Bank the replayed ticks,
+          // then finish this tick on the event path (flush + rebuild with
+          // the new levels happen inside) and hand back to the driver.
+          if (ticks > 0) {
+            last_true_power_ = cache_.true_power;
+            pending_ticks_ += ticks;
+          }
+          complete_event_tick(/*dvfs_moved=*/true, events);
+          return;
+        }
+      }
+      for (const JobAdvance& j : cache_.jobs) {
+        running_[j.run_idx].phase_ref_remaining -= j.ref_per_tick;
+        j.stats->total_gb += j.gb_per_tick;
+      }
+      now_ += dt;
+      --budget;
+      ++ticks;
+    }
+  } else {
+    while (budget > 0 && now_ + 1e-12 < stop) {
+      for (const JobAdvance& j : cache_.jobs) {
+        running_[j.run_idx].phase_ref_remaining -= j.ref_per_tick;
+        j.stats->total_gb += j.gb_per_tick;
+      }
+      now_ += dt;
+      --budget;
+      ++ticks;
+    }
+  }
+  if (ticks == 0) return;
+  last_true_power_ = cache_.true_power;
+  pending_ticks_ += ticks;
+}
+
+void Engine::run_event_mode(std::vector<JobEvent>& events,
+                            const std::optional<Seconds>& end,
+                            bool stop_on_event) {
+  // Loop conditions replicate the tick-mode drivers: run_for ticks an idle
+  // machine until `end`; run_until_event/run_until_idle stop when drained.
+  while ((end ? now_ + 1e-12 < *end : !idle()) &&
+         !(stop_on_event && !events.empty())) {
+    step_event_tick(events);
+    fast_replay(end, events);
+  }
+  flush_pending_telemetry();
+}
+
 std::vector<JobEvent> Engine::run_until_event() {
   std::vector<JobEvent> events;
+  if (options_.mode == EngineMode::kEvent) {
+    run_event_mode(events, std::nullopt, /*stop_on_event=*/true);
+    return events;
+  }
   while (events.empty() && !idle()) {
     tick(events);
   }
@@ -292,6 +586,10 @@ std::vector<JobEvent> Engine::run_for(Seconds duration) {
   CORUN_CHECK(duration >= 0.0);
   std::vector<JobEvent> events;
   const Seconds end = now_ + duration;
+  if (options_.mode == EngineMode::kEvent) {
+    run_event_mode(events, end, /*stop_on_event=*/false);
+    return events;
+  }
   while (now_ + 1e-12 < end) {
     tick(events);
   }
@@ -300,6 +598,10 @@ std::vector<JobEvent> Engine::run_for(Seconds duration) {
 
 void Engine::run_until_idle() {
   std::vector<JobEvent> events;
+  if (options_.mode == EngineMode::kEvent) {
+    run_event_mode(events, std::nullopt, /*stop_on_event=*/false);
+    return;
+  }
   while (!idle()) {
     tick(events);
   }
@@ -310,13 +612,10 @@ double Engine::progress(JobId id) const {
   if (st.finished) return 1.0;
   for (const RunningJob& r : running_) {
     if (r.id != id) continue;
-    const auto& phases = r.spec.profile(r.device).phases();
-    Seconds remaining = r.phase_ref_remaining;
-    for (std::size_t p = r.phase_idx + 1; p < phases.size(); ++p) {
-      remaining += phases[p].dur_ref;
-    }
-    const Seconds total = r.spec.profile(r.device).total_ref_time();
-    return std::clamp(1.0 - remaining / total, 0.0, 1.0);
+    const DeviceProfile& prof = r.spec.profile(r.device);
+    const Seconds remaining =
+        prof.remaining_ref_time(r.phase_idx, r.phase_ref_remaining);
+    return std::clamp(1.0 - remaining / prof.total_ref_time(), 0.0, 1.0);
   }
   CORUN_CHECK_MSG(false, "progress queried for unknown running job");
   return 0.0;
@@ -337,8 +636,10 @@ std::vector<JobStats> Engine::all_stats() const {
 
 StandaloneResult run_standalone(const MachineConfig& config, const JobSpec& spec,
                                 DeviceKind device, FreqLevel cpu_level,
-                                FreqLevel gpu_level, std::uint64_t seed) {
+                                FreqLevel gpu_level, std::uint64_t seed,
+                                EngineMode mode) {
   EngineOptions options;
+  options.mode = mode;
   options.seed = seed;
   options.policy = GovernorPolicy::kNone;
   options.record_samples = false;

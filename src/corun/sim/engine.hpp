@@ -1,11 +1,27 @@
 // Discrete-time co-simulation engine for the integrated CPU-GPU machine.
 //
-// The engine advances both domains in fixed ticks (default 10 ms). Each tick
+// The machine model advances in fixed ticks (default 10 ms). Each tick
 // it (a) resolves shared-memory contention between the domains' offered
 // loads via a short fixed-point iteration, (b) advances every resident job
 // through its phase trace at the contention- and frequency-adjusted rate,
 // (c) evaluates the package power model and RAPL-style sampling, and (d)
 // runs the DVFS governor control loop at its own cadence.
+//
+// Two stepping engines implement those semantics (EngineOptions::mode):
+//
+//  - kTick: the legacy reference oracle. Every tick re-resolves contention,
+//    re-evaluates the power model, and walks every job — O(full model) per
+//    10 ms of simulated time regardless of whether anything changed.
+//  - kEvent: the event-horizon core (the default). Between state-change
+//    events — a governor decision that moves a frequency level, a resident
+//    job crossing a phase boundary or finishing, a launch, or a ceiling
+//    change — every tick is identical, so the expensive dynamics (contention
+//    fixed point, LLC coupling, package power) are computed once per event
+//    horizon and cached. The per-tick remainder is strength-reduced to a few
+//    flops per resident job, replaying exactly the arithmetic the tick
+//    oracle performs so both modes produce bit-identical trajectories
+//    (pinned by tests/sim/test_engine_equivalence.cpp). Meter reads replay
+//    at the same points so the noise RNG stream stays in lockstep.
 //
 // Placement rules mirror the paper's platform semantics: the GPU executes
 // one OpenCL job at a time; the CPU normally does too, but *can* be
@@ -21,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "corun/common/expected.hpp"
 #include "corun/common/rng.hpp"
 #include "corun/sim/governor.hpp"
 #include "corun/sim/job.hpp"
@@ -61,7 +78,28 @@ struct JobStats {
   }
 };
 
+/// Stepping policy of the simulation core. Both modes execute the same
+/// machine semantics; kTick recomputes everything every tick (the reference
+/// oracle), kEvent jumps between state-change events with cached dynamics.
+enum class EngineMode {
+  kTick,   ///< legacy fixed-tick loop; the equivalence oracle
+  kEvent,  ///< event-horizon stepping; bit-identical and 10-100x faster
+};
+
+[[nodiscard]] const char* engine_mode_name(EngineMode m) noexcept;
+
+/// Parses "tick" / "event" (as accepted by the tools' --engine flag).
+[[nodiscard]] Expected<EngineMode> parse_engine_mode(const std::string& text);
+
+/// Process-wide default for EngineOptions::mode. Seeded at startup from
+/// CORUN_ENGINE (tick|event) when set; tools override it from `--engine`;
+/// library callers can override per engine via EngineOptions::mode.
+/// Defaults to kEvent.
+[[nodiscard]] EngineMode default_engine_mode() noexcept;
+void set_default_engine_mode(EngineMode mode) noexcept;
+
 struct EngineOptions {
+  EngineMode mode = default_engine_mode();  ///< stepping policy
   Seconds dt = 0.01;                ///< simulation tick
   Seconds governor_interval = 0.1;  ///< DVFS control-loop cadence
   Seconds sample_interval = 1.0;    ///< power-trace sampling cadence
@@ -136,7 +174,61 @@ class Engine {
     bool busy = false;
   };
 
+  /// Per-resident-job constants of one event horizon: between events every
+  /// tick consumes the same reference time and moves the same bytes, so the
+  /// per-tick advance is two flops per job (replayed, not closed-formed, to
+  /// stay bit-identical with the tick oracle's repeated subtraction).
+  struct JobAdvance {
+    std::size_t run_idx = 0;     ///< index into running_
+    JobStats* stats = nullptr;   ///< map nodes are pointer-stable
+    double stretch = 1.0;        ///< wall stretch of the job's current phase
+    Seconds budget = 0.0;        ///< job-visible execution time per tick
+    Seconds ref_per_tick = 0.0;  ///< reference seconds consumed per tick
+    double gb_per_tick = 0.0;    ///< bytes moved per tick (GB)
+  };
+
+  /// Everything the tick loop recomputes each tick that is in fact constant
+  /// between events. Invalidated by launches, ceiling changes, governor
+  /// level moves, and phase boundaries.
+  struct DynamicsCache {
+    bool valid = false;
+    DeviceTick cpu_tick;
+    DeviceTick gpu_tick;
+    ContentionResult contention;
+    Watts true_power = 0.0;
+    std::vector<JobAdvance> jobs;
+  };
+
   void tick(std::vector<JobEvent>& events);
+  /// The DVFS control block of one tick (shared verbatim by both modes).
+  /// Returns true when a frequency level or ceiling moved.
+  bool governor_phase();
+  /// Recomputes the contention/LLC fixed point, activity shares, package
+  /// power, and per-job advance constants for the current machine state.
+  void rebuild_dynamics();
+  /// One tick of the event engine: cheap advance on the cached horizon, or
+  /// a full boundary tick when a job crosses a phase edge.
+  void step_event_tick(std::vector<JobEvent>& events);
+  /// Everything in an event-engine tick after the governor: rebuild when
+  /// dirty, advance, power accounting, sampling, clock. Split out so
+  /// fast_replay's capped loop can inline the governor part.
+  void complete_event_tick(bool dvfs_moved, std::vector<JobEvent>& events);
+  /// Event-mode driver shared by the run_* entry points. `end` bounds the
+  /// clock exactly like the tick-mode loops; stop_on_event mirrors
+  /// run_until_event's "return the first completion tick" contract.
+  void run_event_mode(std::vector<JobEvent>& events,
+                      const std::optional<Seconds>& end, bool stop_on_event);
+  /// Replays as many whole ticks of the current horizon as provably contain
+  /// no event (no governor or sample point, no phase boundary, `end` not
+  /// reached) in one tight loop — the same arithmetic step_event_tick
+  /// performs, with every event check hoisted. Under an active power cap the
+  /// loop still reads the meter every tick (RNG lockstep with the oracle)
+  /// but inlines the violation test, breaking out only when the governor
+  /// moves a level. A no-op when the cache is cold.
+  void fast_replay(const std::optional<Seconds>& end,
+                   std::vector<JobEvent>& events);
+  /// Flushes deferred record_tick accumulation (see pending_ticks_).
+  void flush_pending_telemetry();
   [[nodiscard]] DeviceTick device_demand(DeviceKind d, double sigma) const;
   void advance_jobs(DeviceKind d, double sigma, Seconds dt,
                     std::vector<JobEvent>& events);
@@ -164,6 +256,13 @@ class Engine {
   Telemetry telemetry_;
   Watts power_ema_ = 0.0;  ///< windowed-cap moving average (cap_window > 0)
   bool ema_primed_ = false;
+
+  DynamicsCache cache_;
+  /// Ticks whose record_tick arguments are all identical (the cached power
+  /// and busy flags) and have not yet been pushed into telemetry_. Flushed
+  /// through Telemetry::record_interval before anything can observe or
+  /// change them.
+  std::size_t pending_ticks_ = 0;
 };
 
 /// Result of a single standalone (no co-runner) execution.
@@ -182,6 +281,7 @@ struct StandaloneResult {
                                               DeviceKind device,
                                               FreqLevel cpu_level,
                                               FreqLevel gpu_level,
-                                              std::uint64_t seed = 42);
+                                              std::uint64_t seed = 42,
+                                              EngineMode mode = default_engine_mode());
 
 }  // namespace corun::sim

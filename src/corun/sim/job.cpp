@@ -19,6 +19,18 @@ DeviceProfile::DeviceProfile(std::vector<Phase> phases, LlcBehavior llc)
   avg_cf_ = cf_weighted / total_ref_;
 }
 
+Seconds DeviceProfile::remaining_ref_time(std::size_t phase_idx,
+                                          Seconds rem_in_phase) const {
+  CORUN_CHECK(phase_idx < phases_.size());
+  CORUN_CHECK(rem_in_phase >= 0.0 &&
+              rem_in_phase <= phases_[phase_idx].dur_ref + 1e-9);
+  Seconds remaining = rem_in_phase;
+  for (std::size_t p = phase_idx + 1; p < phases_.size(); ++p) {
+    remaining += phases_[p].dur_ref;
+  }
+  return remaining;
+}
+
 double phase_stretch(const Phase& ph, double phi, double sigma,
                      double issue_sensitivity) {
   CORUN_CHECK(phi > 0.0 && phi <= 1.0 + 1e-9);

@@ -73,6 +73,13 @@ class DeviceProfile {
 
   [[nodiscard]] const LlcBehavior& llc() const noexcept { return llc_; }
 
+  /// Reference time left when `rem_in_phase` seconds remain of phase
+  /// `phase_idx` — the suffix of the trace from the current position. The
+  /// engine's progress query and the event core's horizon reasoning both
+  /// reduce to this.
+  [[nodiscard]] Seconds remaining_ref_time(std::size_t phase_idx,
+                                           Seconds rem_in_phase) const;
+
  private:
   std::vector<Phase> phases_;
   LlcBehavior llc_;

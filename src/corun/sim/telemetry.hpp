@@ -42,6 +42,13 @@ class Telemetry {
   void record_sample(const PowerSample& sample, Watts cap, bool cap_active);
   void record_tick(Seconds dt, Watts true_power, bool cpu_busy, bool gpu_busy,
                    Watts cap, bool cap_active);
+  /// Records `ticks` consecutive ticks that all share the same arguments —
+  /// the event engine's aggregate path. Replays the additions one by one so
+  /// the accumulators are bit-identical to `ticks` record_tick calls (a
+  /// closed-form `ticks * dt` multiply would round differently).
+  void record_interval(std::size_t ticks, Seconds dt, Watts true_power,
+                       bool cpu_busy, bool gpu_busy, Watts cap,
+                       bool cap_active);
 
   [[nodiscard]] const std::vector<PowerSample>& samples() const noexcept {
     return samples_;

@@ -79,11 +79,11 @@ Expected<Batch> batch_from_csv(const std::string& text) {
     if (header) {
       header = false;
       if (row.size() < 4 || row[0] != "instance") {
-        return fail("batch CSV must start with: instance,program,input_scale,seed");
+        return fail("batch CSV must start with: instance,program,input_scale,seed", ErrorCategory::kParse);
       }
       continue;
     }
-    if (row.size() != 4) return fail("batch CSV row arity != 4");
+    if (row.size() != 4) return fail("batch CSV row arity != 4", ErrorCategory::kParse);
     const std::string& instance = row[0];
     const std::string& program = row[1];
     KernelDescriptor desc;
@@ -94,7 +94,7 @@ Expected<Batch> batch_from_csv(const std::string& text) {
     } else {
       const auto found = rodinia_by_name(program);
       if (!found.has_value()) {
-        return fail("unknown program '" + program + "' in batch CSV");
+        return fail("unknown program '" + program + "' in batch CSV", ErrorCategory::kNotFound);
       }
       desc = *found;
     }
@@ -105,10 +105,10 @@ Expected<Batch> batch_from_csv(const std::string& text) {
     } catch (const ContractViolation&) {
       throw;  // duplicate instance etc.: a usage error worth surfacing
     } catch (const std::exception& ex) {
-      return fail(std::string("batch CSV parse error: ") + ex.what());
+      return fail(std::string("batch CSV parse error: ") + ex.what(), ErrorCategory::kParse);
     }
   }
-  if (batch.empty()) return fail("batch CSV describes no jobs");
+  if (batch.empty()) return fail("batch CSV describes no jobs", ErrorCategory::kParse);
   return batch;
 }
 

@@ -30,7 +30,7 @@ std::vector<GBps> micro_grid_levels() {
 Expected<KernelDescriptor> micro_kernel(GBps target_bw, Seconds duration) {
   if (target_bw < 0.0 || target_bw > kMicroStreamBw) {
     return fail("micro-benchmark target bandwidth " + std::to_string(target_bw) +
-                " GB/s outside [0, " + std::to_string(kMicroStreamBw) + "]");
+                " GB/s outside [0, " + std::to_string(kMicroStreamBw) + "]", ErrorCategory::kInvalidArgument);
   }
   CORUN_CHECK(duration > 0.0);
 
@@ -57,7 +57,7 @@ Expected<KernelDescriptor> micro_kernel(GBps target_bw, Seconds duration) {
 
 Expected<MicroSourceParams> micro_source_for(GBps target_bw) {
   if (target_bw < 0.0 || target_bw > kMicroStreamBw) {
-    return fail("target bandwidth out of range");
+    return fail("target bandwidth out of range", ErrorCategory::kInvalidArgument);
   }
   MicroSourceParams params;
   if (target_bw <= 0.0) {

@@ -56,5 +56,35 @@ TEST(Expected, WorksWithStrings) {
   EXPECT_EQ(e.value(), "hello");
 }
 
+TEST(ErrorCategory, DefaultsToGeneric) {
+  Expected<int> e = fail("boom");
+  EXPECT_EQ(e.error().category, ErrorCategory::kGeneric);
+  const Error aggregate{"legacy construction"};
+  EXPECT_EQ(aggregate.category, ErrorCategory::kGeneric);
+}
+
+TEST(ErrorCategory, FailCarriesCategory) {
+  Expected<int> e = fail("missing file", ErrorCategory::kNotFound);
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().message, "missing file");
+  EXPECT_EQ(e.error().category, ErrorCategory::kNotFound);
+}
+
+TEST(ErrorCategory, NamesAreStable) {
+  EXPECT_STREQ(error_category_name(ErrorCategory::kGeneric), "generic");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kIo), "io");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kParse), "parse");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kNotFound), "not-found");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kInvalidArgument),
+               "invalid-argument");
+}
+
+TEST(ErrorCategory, PropagatesThroughExpectedCopies) {
+  Expected<int> e = fail("bad flag", ErrorCategory::kInvalidArgument);
+  Expected<int> copy = e;
+  EXPECT_EQ(copy.error().category, ErrorCategory::kInvalidArgument);
+  EXPECT_EQ(copy.error().message, "bad flag");
+}
+
 }  // namespace
 }  // namespace corun

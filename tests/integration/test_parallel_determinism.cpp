@@ -14,6 +14,7 @@
 #include "corun/core/sched/exhaustive.hpp"
 #include "corun/core/sched/makespan_evaluator.hpp"
 #include "corun/profile/profiler.hpp"
+#include "corun/sim/engine.hpp"
 #include "corun/sim/machine.hpp"
 #include "corun/workload/batch.hpp"
 #include "corun/workload/rodinia.hpp"
@@ -29,6 +30,17 @@ std::string with_jobs(std::size_t jobs, Fn&& make_artifact) {
   common::set_default_jobs(jobs);
   std::string out = make_artifact();
   common::set_default_jobs(0);
+  return out;
+}
+
+/// Runs `make_artifact` with the given engine mode as the process default
+/// and restores the previous default after.
+template <typename Fn>
+std::string with_engine(sim::EngineMode mode, Fn&& make_artifact) {
+  const sim::EngineMode previous = sim::default_engine_mode();
+  sim::set_default_engine_mode(mode);
+  std::string out = make_artifact();
+  sim::set_default_engine_mode(previous);
   return out;
 }
 
@@ -74,6 +86,49 @@ TEST(ParallelDeterminism, ExhaustiveSearchPlanIsIdentical) {
     return exhaustive.plan(ctx).to_string(ctx.job_names());
   };
   EXPECT_EQ(with_jobs(1, plan), with_jobs(4, plan));
+}
+
+// The event-horizon engine replays the tick oracle's arithmetic exactly, so
+// whole-pipeline artifacts must be byte-identical across engine modes too —
+// in any worker-count combination.
+
+TEST(ParallelDeterminism, ProfileDbCsvIsByteIdenticalAcrossEngineModes) {
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const workload::Batch batch = workload::make_batch_motivation(42);
+  const auto profile = [&] {
+    profile::ProfilerOptions options;
+    options.cpu_levels = {0, 8};
+    options.gpu_levels = {0, 5};
+    const profile::Profiler profiler(config, options);
+    std::ostringstream oss;
+    profiler.profile_batch(batch).write_csv(oss);
+    return oss.str();
+  };
+  const std::string tick = with_engine(sim::EngineMode::kTick, profile);
+  const std::string event = with_engine(sim::EngineMode::kEvent, profile);
+  EXPECT_FALSE(tick.empty());
+  EXPECT_EQ(tick, event);
+  // Mode and worker count compose: parallel event == serial tick.
+  const std::string parallel_event = with_engine(sim::EngineMode::kEvent, [&] {
+    return with_jobs(4, profile);
+  });
+  EXPECT_EQ(tick, parallel_event);
+}
+
+TEST(ParallelDeterminism, CharacterizationGridIsByteIdenticalAcrossEngineModes) {
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const auto characterize = [&config] {
+    const model::DegradationSpaceBuilder builder(config);
+    const model::DegradationGrid grid =
+        builder.characterize({0.0, 5.5, 11.0}, {0.0, 5.5, 11.0});
+    std::ostringstream oss;
+    grid.write_csv(oss);
+    return oss.str();
+  };
+  const std::string tick = with_engine(sim::EngineMode::kTick, characterize);
+  const std::string event = with_engine(sim::EngineMode::kEvent, characterize);
+  EXPECT_FALSE(tick.empty());
+  EXPECT_EQ(tick, event);
 }
 
 TEST(ParallelDeterminism, BranchAndBoundMakespanIsIdentical) {

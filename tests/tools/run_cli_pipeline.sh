@@ -41,6 +41,23 @@ echo "== corun-profile --jobs N is byte-identical to --jobs 1 =="
     --cpu-levels 0,5,10 --gpu-levels 0,4 --jobs 4
 cmp profiles.csv profiles_par.csv
 
+echo "== --engine tick is byte-identical to --engine event =="
+"$TOOLS/corun-characterize" --out grid_tick.csv --axis-points 4 \
+    --engine tick
+"$TOOLS/corun-characterize" --out grid_event.csv --axis-points 4 \
+    --engine event
+cmp grid_tick.csv grid_event.csv
+"$TOOLS/corun-profile" --batch batch.csv --out profiles_tick.csv \
+    --cpu-levels 0,5,10 --gpu-levels 0,4 --engine tick
+cmp profiles.csv profiles_tick.csv
+
+echo "== --engine rejects unknown modes =="
+if "$TOOLS/corun-profile" --batch batch.csv --out bad.csv \
+    --engine warp 2>/dev/null; then
+  echo "expected usage error for bad --engine" >&2
+  exit 1
+fi
+
 echo "== corun-schedule (hcs+, save plan, explain) =="
 "$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
     --grid grid.csv --cap 15 --scheduler hcs --explain \

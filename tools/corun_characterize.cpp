@@ -14,13 +14,14 @@
 namespace {
 const char kUsage[] =
     "corun-characterize --out grid.csv [--axis-points 11] [--max-bw 11.0] "
-    "[--seed 42] [--jobs N]";
+    "[--seed 42] [--jobs N] [--engine event|tick]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags =
-      Flags::parse(argc, argv, {"out", "axis-points", "max-bw", "seed", "jobs"});
+      Flags::parse(argc, argv, {"out", "axis-points", "max-bw", "seed", "jobs",
+                                "engine"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
   }
@@ -43,6 +44,10 @@ int main(int argc, char** argv) {
   model::CharacterizationOptions options;
   options.seed = static_cast<std::uint64_t>(f.get_int("seed", 42));
   const std::size_t jobs = tools::configure_jobs(f);
+  const auto engine_mode = tools::configure_engine(f);
+  if (!engine_mode.has_value()) {
+    return tools::usage_error(engine_mode.error().message, kUsage);
+  }
   const model::DegradationSpaceBuilder builder(sim::ivy_bridge(), options);
   std::printf("characterizing %zux%zu grid (%zu co-runs, %zu jobs)...\n",
               points, points, 2 * points * points, jobs);

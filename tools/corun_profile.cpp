@@ -17,7 +17,7 @@ namespace {
 const char kUsage[] =
     "corun-profile --batch batch.csv --out profiles.csv [--online] "
     "[--sample-seconds 3.0] [--seed 42] [--cpu-levels 0,8] [--gpu-levels 0,5] "
-    "[--jobs N]";
+    "[--jobs N] [--engine event|tick]";
 
 std::vector<corun::sim::FreqLevel> parse_levels(const std::string& csv) {
   std::vector<corun::sim::FreqLevel> levels;
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   const auto flags = Flags::parse(
       argc, argv,
       {"batch", "out", "sample-seconds", "seed", "cpu-levels", "gpu-levels",
-       "jobs"},
+       "jobs", "engine"},
       {"online"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -58,6 +58,10 @@ int main(int argc, char** argv) {
   const sim::MachineConfig config = sim::ivy_bridge();
   const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 42));
   (void)tools::configure_jobs(f);
+  const auto engine_mode = tools::configure_engine(f);
+  if (!engine_mode.has_value()) {
+    return tools::usage_error(engine_mode.error().message, kUsage);
+  }
 
   profile::ProfileDB db;
   if (f.has("online")) {

@@ -22,7 +22,7 @@ const char kUsage[] =
     "corun-run --batch batch.csv --profiles profiles.csv --grid grid.csv "
     "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
     "[--plan plan.csv] [--policy gpu|cpu] [--seed 42] [--trace trace.csv] "
-    "[--gantt]";
+    "[--gantt] [--jobs N] [--engine event|tick]";
 }
 
 int main(int argc, char** argv) {
@@ -30,12 +30,17 @@ int main(int argc, char** argv) {
   const auto flags = Flags::parse(argc, argv,
                                   {"batch", "profiles", "grid", "cap",
                                    "scheduler", "policy", "seed", "trace",
-                                   "plan"},
+                                   "plan", "jobs", "engine"},
                                   {"gantt"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
   }
   const Flags& f = flags.value();
+  tools::configure_jobs(f);
+  const auto engine_mode = tools::configure_engine(f);
+  if (!engine_mode.has_value()) {
+    return tools::usage_error(engine_mode.error().message, kUsage);
+  }
   for (const char* required : {"batch", "profiles", "grid"}) {
     if (!f.has(required)) {
       return tools::usage_error(std::string("--") + required + " is required",

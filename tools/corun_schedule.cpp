@@ -21,14 +21,14 @@ const char kUsage[] =
     "corun-schedule --batch batch.csv --profiles profiles.csv --grid grid.csv "
     "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
     "[--policy gpu|cpu] [--seed 42] [--save-plan plan.csv] [--explain] "
-    "[--jobs N]";
+    "[--jobs N] [--engine event|tick]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags = Flags::parse(
       argc, argv, {"batch", "profiles", "grid", "cap", "scheduler", "policy",
-                   "seed", "save-plan", "jobs"},
+                   "seed", "save-plan", "jobs", "engine"},
       {"explain"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -58,6 +58,10 @@ int main(int argc, char** argv) {
   const sim::MachineConfig config = sim::ivy_bridge();
   const model::CoRunPredictor predictor(db.value(), grid.value(), config);
   (void)tools::configure_jobs(f);
+  const auto engine_mode = tools::configure_engine(f);
+  if (!engine_mode.has_value()) {
+    return tools::usage_error(engine_mode.error().message, kUsage);
+  }
 
   sched::SchedulerContext ctx;
   ctx.batch = &batch.value();

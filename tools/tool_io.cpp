@@ -11,10 +11,10 @@ namespace corun::tools {
 
 Expected<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return fail("cannot open '" + path + "' for reading");
+  if (!in) return fail("cannot open '" + path + "' for reading", ErrorCategory::kIo);
   std::ostringstream oss;
   oss << in.rdbuf();
-  if (in.bad()) return fail("read error on '" + path + "'");
+  if (in.bad()) return fail("read error on '" + path + "'", ErrorCategory::kIo);
   return oss.str();
 }
 
@@ -36,6 +36,15 @@ std::size_t configure_jobs(const Flags& flags) {
   CORUN_CHECK_MSG(jobs >= 0, "--jobs must be >= 0");
   common::set_default_jobs(static_cast<std::size_t>(jobs));
   return common::default_jobs();
+}
+
+Expected<sim::EngineMode> configure_engine(const Flags& flags) {
+  const std::string name =
+      flags.get("engine", sim::engine_mode_name(sim::EngineMode::kEvent));
+  auto mode = sim::parse_engine_mode(name);
+  if (!mode.has_value()) return mode.error();
+  sim::set_default_engine_mode(mode.value());
+  return mode;
 }
 
 }  // namespace corun::tools

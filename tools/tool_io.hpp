@@ -6,6 +6,7 @@
 
 #include "corun/common/expected.hpp"
 #include "corun/common/flags.hpp"
+#include "corun/sim/engine.hpp"
 
 namespace corun::tools {
 
@@ -23,5 +24,11 @@ int usage_error(const std::string& message, const std::string& usage);
 /// count. Every sweep is deterministic by construction, so any N produces
 /// byte-identical artifacts; N only changes wall-clock time.
 std::size_t configure_jobs(const Flags& flags);
+
+/// Applies the shared `--engine tick|event` flag to the simulator's default
+/// stepping mode (default: event). The two modes are bit-identical — tick is
+/// the slow reference oracle — so, like --jobs, the flag only changes
+/// wall-clock time. Returns an error on an unrecognized mode name.
+[[nodiscard]] Expected<sim::EngineMode> configure_engine(const Flags& flags);
 
 }  // namespace corun::tools
