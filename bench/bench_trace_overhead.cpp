@@ -1,0 +1,123 @@
+// Trace-layer overhead: engine throughput with the tracing layer disabled
+// (the production default — every macro collapses to one branch on a
+// global flag) and enabled (events recorded into per-thread buffers).
+// Writes BENCH_trace.json. The disabled number is the one that matters:
+// compared against BENCH_engine.json's event-mode throughput it pins the
+// "tracing compiled in but off" tax at <= 2%.
+//
+//   ./bench_trace_overhead [out.json]     (default: BENCH_trace.json)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "corun/common/check.hpp"
+#include "corun/common/trace/trace.hpp"
+#include "corun/sim/engine.hpp"
+#include "corun/workload/batch.hpp"
+
+namespace {
+
+using namespace corun;
+
+struct Measurement {
+  Seconds simulated = 0.0;
+  double wall = 0.0;
+};
+
+/// The engine mix from bench_engine_throughput's dominant scenarios:
+/// uncapped standalone and co-run drains in event mode, which is where the
+/// pipeline spends its simulated time.
+Measurement run_mix(int repetitions) {
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const workload::Batch batch = workload::make_batch_8(42);
+  Measurement m;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const workload::BatchJob& cpu_job =
+        batch.jobs()[static_cast<std::size_t>(rep) % batch.size()];
+    const workload::BatchJob& gpu_job =
+        batch.jobs()[static_cast<std::size_t>(rep + 3) % batch.size()];
+    sim::EngineOptions eo;
+    eo.mode = sim::EngineMode::kEvent;
+    eo.seed = 42 + static_cast<std::uint64_t>(rep);
+    eo.record_samples = false;
+    sim::Engine engine(config, eo);
+    engine.set_ceilings(config.cpu_ladder.max_level(),
+                        config.gpu_ladder.max_level());
+    engine.launch(cpu_job.spec, sim::DeviceKind::kCpu);
+    if (rep % 2 == 1) engine.launch(gpu_job.spec, sim::DeviceKind::kGpu);
+    engine.run_until_idle();
+    m.simulated += engine.now();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  m.wall = std::chrono::duration<double>(t1 - t0).count();
+  return m;
+}
+
+double rate(const Measurement& m) {
+  return m.wall > 0.0 ? m.simulated / m.wall : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Trace overhead",
+                "Engine throughput with structured tracing disabled vs "
+                "enabled.");
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_trace.json";
+  constexpr int kReps = 8;
+  constexpr int kRounds = 5;
+
+  trace::set_enabled(false);
+  (void)run_mix(4);  // warm-up
+
+  // Interleave the two modes and keep each mode's best round: external
+  // machine noise hits both modes alike, so best-vs-best isolates the
+  // tracing layer's own cost.
+  double best_disabled = 0.0;
+  double best_enabled = 0.0;
+  std::size_t events = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    trace::set_enabled(false);
+    best_disabled = std::max(best_disabled, rate(run_mix(kReps)));
+    trace::reset();
+    trace::set_enabled(true);
+    best_enabled = std::max(best_enabled, rate(run_mix(kReps)));
+    trace::set_enabled(false);
+    events = trace::event_count();
+    trace::reset();
+  }
+
+  // Enabled-mode cost is dominated by the engine-destructor counter flush
+  // (a handful of events per engine); the per-tick hot path carries only
+  // plain integer counters either way.
+  const double overhead =
+      best_enabled > 0.0 ? best_disabled / best_enabled - 1.0 : 0.0;
+
+  Table table({"mode", "best sim-s/s", "events"});
+  table.add_row({"disabled", Table::num(best_disabled), "0"});
+  table.add_row({"enabled", Table::num(best_enabled), std::to_string(events)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("enabled-mode overhead on the mix: %.2f%%\n", overhead * 100.0);
+
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"bench\": \"trace_overhead\",\n"
+                "  \"disabled_sim_per_wall\": %.1f,\n"
+                "  \"enabled_sim_per_wall\": %.1f,\n"
+                "  \"enabled_overhead_pct\": %.2f,\n"
+                "  \"enabled_events\": %zu\n}\n",
+                best_disabled, best_enabled, overhead * 100.0, events);
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(buf, out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

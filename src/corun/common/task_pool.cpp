@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "corun/common/check.hpp"
+#include "corun/common/trace/trace.hpp"
 
 namespace corun::common {
 
@@ -92,6 +93,10 @@ void TaskPool::run_span(std::size_t n,
   tl_on_worker = true;
   for (std::size_t i = state_->next.fetch_add(1); i < n;
        i = state_->next.fetch_add(1)) {
+    // Each claimed task gets a span in the claiming thread's own lane, so
+    // the fan-out renders as a per-worker timeline in Perfetto.
+    const trace::Span span("task_pool",
+                           [i] { return "task#" + std::to_string(i); });
     try {
       fn(i);
     } catch (...) {

@@ -1,0 +1,323 @@
+#include "corun/common/trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "corun/common/table.hpp"
+
+namespace corun::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Kind : std::uint8_t { kSpan, kCounter, kInstant };
+
+struct Event {
+  Kind kind;
+  const char* category;  ///< static string; "" for counters
+  std::string name;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< spans only
+  double value = 0.0;        ///< counters only (the delta)
+};
+
+struct ThreadBuffer {
+  std::uint32_t lane = 0;
+  std::vector<Event> events;
+};
+
+/// Session state. The registry mutex guards buffer registration and the
+/// session epoch; recording itself only touches the calling thread's own
+/// buffer. Export must not race with recording (documented contract).
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::uint64_t> epoch{1};
+  Clock::time_point t0 = Clock::now();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: threads may outlive main
+  return *r;
+}
+
+struct TlsSlot {
+  std::uint64_t epoch = 0;
+  ThreadBuffer* buffer = nullptr;
+};
+thread_local TlsSlot tl_slot;
+
+ThreadBuffer& local_buffer() {
+  Registry& r = registry();
+  const std::uint64_t epoch = r.epoch.load(std::memory_order_acquire);
+  if (tl_slot.epoch != epoch || tl_slot.buffer == nullptr) {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->lane = static_cast<std::uint32_t>(r.buffers.size());
+    tl_slot.buffer = buffer.get();
+    tl_slot.epoch = epoch;
+    r.buffers.push_back(std::move(buffer));
+  }
+  return *tl_slot.buffer;
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string format_us(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Buffers in lane order; each buffer's events in append order. This — not
+/// a timestamp sort — is the merge rule, so serial runs export
+/// byte-identical traces modulo the timestamp fields themselves.
+std::vector<const ThreadBuffer*> merged_buffers() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<const ThreadBuffer*> out;
+  out.reserve(r.buffers.size());
+  for (const auto& b : r.buffers) out.push_back(b.get());
+  std::sort(out.begin(), out.end(),
+            [](const ThreadBuffer* a, const ThreadBuffer* b) {
+              return a->lane < b->lane;
+            });
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           registry().t0)
+          .count());
+}
+
+void record_span(const char* category, std::string name, std::uint64_t start_ns,
+                 std::uint64_t end_ns) {
+  Event e;
+  e.kind = Kind::kSpan;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts_ns = start_ns;
+  e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  local_buffer().events.push_back(std::move(e));
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.buffers.clear();
+  r.epoch.fetch_add(1, std::memory_order_acq_rel);
+  r.t0 = Clock::now();
+}
+
+std::uint32_t lane_id() { return local_buffer().lane; }
+
+void counter_add(const char* name, double delta) {
+  if (!enabled()) return;
+  Event e;
+  e.kind = Kind::kCounter;
+  e.category = "";
+  e.name = name;
+  e.ts_ns = detail::now_ns();
+  e.value = delta;
+  local_buffer().events.push_back(std::move(e));
+}
+
+void instant(const char* category, std::string name) {
+  if (!enabled()) return;
+  Event e;
+  e.kind = Kind::kInstant;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts_ns = detail::now_ns();
+  local_buffer().events.push_back(std::move(e));
+}
+
+std::vector<CounterTotal> counter_totals() {
+  std::map<std::string, CounterTotal> totals;
+  for (const ThreadBuffer* buffer : merged_buffers()) {
+    for (const Event& e : buffer->events) {
+      if (e.kind != Kind::kCounter) continue;
+      CounterTotal& t = totals[e.name];
+      t.name = e.name;
+      t.total += e.value;
+      ++t.samples;
+    }
+  }
+  std::vector<CounterTotal> out;
+  out.reserve(totals.size());
+  for (auto& [name, t] : totals) out.push_back(std::move(t));
+  return out;
+}
+
+std::vector<SpanTotal> span_totals() {
+  std::map<std::string, SpanTotal> totals;
+  for (const ThreadBuffer* buffer : merged_buffers()) {
+    for (const Event& e : buffer->events) {
+      if (e.kind != Kind::kSpan) continue;
+      SpanTotal& t = totals[e.name];
+      t.name = e.name;
+      ++t.count;
+      t.total_us += static_cast<double>(e.dur_ns) / 1000.0;
+    }
+  }
+  std::vector<SpanTotal> out;
+  out.reserve(totals.size());
+  for (auto& [name, t] : totals) out.push_back(std::move(t));
+  return out;
+}
+
+std::size_t event_count() {
+  std::size_t n = 0;
+  for (const ThreadBuffer* buffer : merged_buffers()) {
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::string to_json() {
+  const std::vector<const ThreadBuffer*> buffers = merged_buffers();
+
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"corunMetrics\": {";
+  // Counter totals carry no wall-clock component, so they are reproducible
+  // run to run; span durations stay out of this block on purpose.
+  bool first = true;
+  for (const CounterTotal& t : counter_totals()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"";
+    append_escaped(out, t.name);
+    out += "\": " + format_value(t.total);
+  }
+  out += first ? "},\n" : "\n},\n";
+  out += "\"traceEvents\": [";
+
+  first = true;
+  auto begin_event = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+
+  // Thread-name metadata so Perfetto labels the lanes.
+  for (const ThreadBuffer* buffer : buffers) {
+    begin_event();
+    out += "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+           std::to_string(buffer->lane) + ", \"args\": {\"name\": \"lane-" +
+           std::to_string(buffer->lane) + "\"}}";
+  }
+
+  // Chrome counter tracks display the value given at each sample, so the
+  // recorded deltas are folded into running totals here (in merge order).
+  std::map<std::string, double> running;
+  for (const ThreadBuffer* buffer : buffers) {
+    const std::string tid = std::to_string(buffer->lane);
+    for (const Event& e : buffer->events) {
+      begin_event();
+      out += "  {\"name\": \"";
+      append_escaped(out, e.name);
+      out += "\"";
+      if (e.category[0] != '\0') {
+        out += ", \"cat\": \"";
+        append_escaped(out, e.category);
+        out += "\"";
+      }
+      switch (e.kind) {
+        case Kind::kSpan:
+          out += ", \"ph\": \"X\", \"ts\": " + format_us(e.ts_ns) +
+                 ", \"dur\": " + format_us(e.dur_ns);
+          break;
+        case Kind::kCounter: {
+          const double total = (running[e.name] += e.value);
+          out += ", \"ph\": \"C\", \"ts\": " + format_us(e.ts_ns) +
+                 ", \"args\": {\"value\": " + format_value(total) + "}";
+          break;
+        }
+        case Kind::kInstant:
+          out += ", \"ph\": \"i\", \"ts\": " + format_us(e.ts_ns) +
+                 ", \"s\": \"t\"";
+          break;
+      }
+      out += ", \"pid\": 1, \"tid\": " + tid + "}";
+    }
+  }
+  out += first ? "]\n}\n" : "\n]\n}\n";
+  return out;
+}
+
+bool write_json(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+std::string metrics_summary() {
+  std::string out;
+  const std::vector<CounterTotal> counters = counter_totals();
+  if (!counters.empty()) {
+    Table table({"counter", "total", "samples"});
+    for (const CounterTotal& t : counters) {
+      table.add_row({t.name, Table::num(t.total),
+                     std::to_string(t.samples)});
+    }
+    out += table.render();
+  }
+  const std::vector<SpanTotal> spans = span_totals();
+  if (!spans.empty()) {
+    Table table({"span", "count", "total ms"});
+    for (const SpanTotal& t : spans) {
+      table.add_row({t.name, std::to_string(t.count),
+                     Table::num(t.total_us / 1000.0)});
+    }
+    if (!out.empty()) out += "\n";
+    out += table.render();
+  }
+  if (out.empty()) out = "(no trace events recorded)\n";
+  return out;
+}
+
+}  // namespace corun::trace

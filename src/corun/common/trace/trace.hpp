@@ -1,0 +1,160 @@
+// Structured tracing and metrics: scoped spans, named counters, and
+// instant events, recorded into per-thread buffers and exported as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing) plus a flat
+// metrics summary.
+//
+// Design constraints, in order:
+//
+//  1. Disabled cost ~ zero. `enabled()` is one relaxed atomic load; every
+//     macro and the Span constructor branch on it exactly once and touch
+//     nothing else. Dynamic span names are built through a callable that is
+//     only invoked when tracing is on, so no strings are materialized on a
+//     disabled hot path. The overhead is pinned by bench_trace_overhead.
+//  2. No locks on the hot path. Each thread appends to its own buffer; the
+//     registry mutex is taken only on a thread's first event of a session.
+//     TaskPool workers therefore record freely from inside a fan-out.
+//  3. Deterministic export. Buffers are merged in lane order (registration
+//     order), each preserving its append order — never by wall-clock
+//     timestamp — so two runs that do the same work serially produce
+//     byte-identical traces after timestamp normalization.
+//
+// Sessions: reset() clears everything and starts a new time origin;
+// set_enabled(true/false) arms or disarms recording. Export (to_json /
+// write_json / counter_totals / metrics_summary) must not race with
+// recording threads: stop or join them first. The tools wire this to the
+// shared `--trace <file.json>` flag / CORUN_TRACE env via tool_io.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace corun::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void record_span(const char* category, std::string name, std::uint64_t start_ns,
+                 std::uint64_t end_ns);
+[[nodiscard]] std::uint64_t now_ns();
+}  // namespace detail
+
+/// True when tracing is armed. One relaxed load; callers branch on this
+/// before doing any per-event work.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arms / disarms recording. Enabling does not clear prior events; call
+/// reset() for a fresh session.
+void set_enabled(bool on);
+
+/// Clears all buffers and counters and restarts the session clock. Must not
+/// race with recording threads.
+void reset();
+
+/// Lane (thread) id of the calling thread for the current session: lanes
+/// number threads in the order they first record, starting at 0. Registers
+/// the thread if it has not recorded yet.
+[[nodiscard]] std::uint32_t lane_id();
+
+/// Adds `delta` to counter `name` at the current time. The exporter emits
+/// cumulative Chrome "C" events; counter_totals() reports the sums.
+void counter_add(const char* name, double delta);
+
+/// Records an instant event ("i" phase).
+void instant(const char* category, std::string name);
+
+/// RAII scoped span: construction stamps the start, destruction records a
+/// complete ("X") event into the calling thread's buffer.
+class Span {
+ public:
+  /// Static-name span. Costs one branch when tracing is disabled.
+  Span(const char* category, const char* name) : category_(category) {
+    if (!enabled()) return;
+    armed_ = true;
+    name_ = name;
+    start_ns_ = detail::now_ns();
+  }
+
+  /// Dynamic-name span: `make_name()` (returning std::string) is invoked
+  /// only when tracing is enabled, so disabled callers never allocate.
+  template <typename NameFn,
+            typename = std::enable_if_t<std::is_invocable_v<NameFn>>>
+  Span(const char* category, NameFn&& make_name) : category_(category) {
+    if (!enabled()) return;
+    armed_ = true;
+    name_ = std::forward<NameFn>(make_name)();
+    start_ns_ = detail::now_ns();
+  }
+
+  ~Span() {
+    if (armed_) {
+      detail::record_span(category_, std::move(name_), start_ns_,
+                          detail::now_ns());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* category_;
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Merged per-counter totals, sorted by name.
+struct CounterTotal {
+  std::string name;
+  double total = 0.0;
+  std::uint64_t samples = 0;  ///< number of counter_add calls
+};
+[[nodiscard]] std::vector<CounterTotal> counter_totals();
+
+/// Merged per-span-name aggregates, sorted by name.
+struct SpanTotal {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+};
+[[nodiscard]] std::vector<SpanTotal> span_totals();
+
+/// Number of recorded events across all buffers.
+[[nodiscard]] std::size_t event_count();
+
+/// The whole session as Chrome trace-event JSON: an object with
+/// "traceEvents" (the event array), "displayTimeUnit", and "corunMetrics"
+/// (the counter totals, which are timing-free and thus deterministic).
+[[nodiscard]] std::string to_json();
+
+/// Writes to_json() to `path`; false on IO failure.
+bool write_json(const std::string& path);
+
+/// Flat human-readable metrics table (counters + span aggregates).
+[[nodiscard]] std::string metrics_summary();
+
+}  // namespace corun::trace
+
+// Scoped span; `name` may be a string literal or a callable returning
+// std::string (only invoked when tracing is enabled).
+#define CORUN_TRACE_CAT2(a, b) a##b
+#define CORUN_TRACE_CAT(a, b) CORUN_TRACE_CAT2(a, b)
+#define CORUN_TRACE_SPAN(category, name)            \
+  const ::corun::trace::Span CORUN_TRACE_CAT(       \
+      corun_trace_span_, __LINE__)(category, name)
+
+#define CORUN_TRACE_COUNTER(name, delta)                                    \
+  do {                                                                      \
+    if (::corun::trace::enabled()) {                                        \
+      ::corun::trace::counter_add(name, static_cast<double>(delta));        \
+    }                                                                       \
+  } while (0)
+
+#define CORUN_TRACE_INSTANT(category, name)                                 \
+  do {                                                                      \
+    if (::corun::trace::enabled()) ::corun::trace::instant(category, name); \
+  } while (0)

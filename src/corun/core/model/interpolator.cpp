@@ -19,8 +19,12 @@ AxisPos locate(const std::vector<double>& axis, double v) {
   CORUN_CHECK(axis.size() >= 1);
   if (axis.size() == 1 || v <= axis.front()) return {0, 0, 0.0};
   if (v >= axis.back()) return {axis.size() - 1, axis.size() - 1, 0.0};
-  std::size_t hi = 1;
-  while (axis[hi] < v) ++hi;
+  // Binary search for the first knot > v; the clamps above guarantee
+  // axis.front() < v < axis.back(), so hi lands in [1, size - 1]. On an
+  // axis with duplicated knots this picks the rightmost duplicate's cell
+  // (right-continuous), and the zero-span guard keeps frac finite.
+  const std::size_t hi = static_cast<std::size_t>(
+      std::upper_bound(axis.begin(), axis.end(), v) - axis.begin());
   const std::size_t lo = hi - 1;
   const double span = axis[hi] - axis[lo];
   return {lo, hi, span > 0.0 ? (v - axis[lo]) / span : 0.0};

@@ -7,6 +7,7 @@
 
 #include "corun/common/check.hpp"
 #include "corun/common/task_pool.hpp"
+#include "corun/common/trace/trace.hpp"
 #include "corun/core/sched/makespan_evaluator.hpp"
 #include "corun/core/sched/refiner.hpp"
 
@@ -22,12 +23,14 @@ struct SearchState {
   Seconds remaining = 0.0; ///< sum of unplaced jobs' best-device times
 };
 
-/// Lock-free monotone minimum for the shared incumbent bound.
-void atomic_min(std::atomic<double>& target, double value) {
+/// Lock-free monotone minimum for the shared incumbent bound. Returns true
+/// when `value` strictly improved the target (an incumbent update).
+bool atomic_min(std::atomic<double>& target, double value) {
   double observed = target.load();
-  while (value < observed &&
-         !target.compare_exchange_weak(observed, value)) {
+  while (value < observed) {
+    if (target.compare_exchange_weak(observed, value)) return true;
   }
+  return false;
 }
 
 }  // namespace
@@ -36,6 +39,7 @@ BranchAndBoundScheduler::BranchAndBoundScheduler(BranchAndBoundOptions options)
     : options_(options) {}
 
 Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
+  CORUN_TRACE_SPAN("sched", "bnb.plan");
   const std::size_t n = ctx.jobs().size();
   CORUN_CHECK_MSG(n <= options_.max_jobs,
                   "branch-and-bound limited to " +
@@ -133,6 +137,7 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
   std::atomic<std::size_t> nodes{0};
   std::atomic<std::size_t> pruned{0};
   std::atomic<std::size_t> leaves{0};
+  std::atomic<std::size_t> incumbent_updates{0};
   std::atomic<bool> budget_exhausted{false};
 
   // Breadth-first root expansion into a frontier of independent subtrees —
@@ -155,7 +160,7 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
       Schedule candidate = leaf_schedule(s);
       const Seconds makespan = evaluator.makespan(candidate);
       early.emplace_back(makespan, std::move(candidate));
-      atomic_min(incumbent, makespan);
+      if (atomic_min(incumbent, makespan)) ++incumbent_updates;
       continue;
     }
     if (bound(s) > incumbent.load()) {
@@ -184,7 +189,7 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
         const Seconds makespan = evaluator.makespan(candidate);
         if (makespan < local.first) {
           local = {makespan, std::move(candidate)};
-          atomic_min(incumbent, makespan);
+          if (atomic_min(incumbent, makespan)) ++incumbent_updates;
         }
         continue;
       }
@@ -220,7 +225,12 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
   nodes_ = nodes.load();
   pruned_ = pruned.load();
   leaves_ = leaves.load();
+  incumbent_updates_ = incumbent_updates.load();
   budget_exhausted_ = budget_exhausted.load();
+  CORUN_TRACE_COUNTER("bnb.nodes", nodes_);
+  CORUN_TRACE_COUNTER("bnb.pruned", pruned_);
+  CORUN_TRACE_COUNTER("bnb.leaves", leaves_);
+  CORUN_TRACE_COUNTER("bnb.incumbent_updates", incumbent_updates_);
 
   // Polish the winning placement's per-device order.
   const Refiner refiner;

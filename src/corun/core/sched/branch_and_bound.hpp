@@ -43,6 +43,10 @@ class BranchAndBoundScheduler : public Scheduler {
   [[nodiscard]] std::size_t leaves_evaluated() const noexcept {
     return leaves_;
   }
+  /// Times a leaf strictly improved the shared incumbent bound.
+  [[nodiscard]] std::size_t incumbent_updates() const noexcept {
+    return incumbent_updates_;
+  }
   [[nodiscard]] bool exhausted_budget() const noexcept {
     return budget_exhausted_;
   }
@@ -52,6 +56,7 @@ class BranchAndBoundScheduler : public Scheduler {
   std::size_t nodes_ = 0;
   std::size_t pruned_ = 0;
   std::size_t leaves_ = 0;
+  std::size_t incumbent_updates_ = 0;
   bool budget_exhausted_ = false;
 };
 

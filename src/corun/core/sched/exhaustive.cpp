@@ -7,6 +7,7 @@
 
 #include "corun/common/check.hpp"
 #include "corun/common/task_pool.hpp"
+#include "corun/common/trace/trace.hpp"
 #include "corun/core/sched/makespan_evaluator.hpp"
 
 namespace corun::sched {
@@ -15,6 +16,7 @@ ExhaustiveScheduler::ExhaustiveScheduler(std::size_t max_jobs)
     : max_jobs_(max_jobs) {}
 
 Schedule ExhaustiveScheduler::plan(const SchedulerContext& ctx) {
+  CORUN_TRACE_SPAN("sched", "exhaustive.plan");
   const std::size_t n = ctx.jobs().size();
   CORUN_CHECK_MSG(n <= max_jobs_,
                   "exhaustive search limited to " + std::to_string(max_jobs_) +
@@ -79,6 +81,8 @@ Schedule ExhaustiveScheduler::plan(const SchedulerContext& ctx) {
       best = std::move(candidate.schedule);
     }
   }
+
+  CORUN_TRACE_COUNTER("exhaustive.evaluated", evaluated_);
 
   best.validate(n);
   return best;

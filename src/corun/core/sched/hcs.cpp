@@ -5,6 +5,7 @@
 
 #include "corun/common/check.hpp"
 #include "corun/common/log.hpp"
+#include "corun/common/trace/trace.hpp"
 #include "corun/core/sched/corun_theorem.hpp"
 
 namespace corun::sched {
@@ -152,6 +153,7 @@ Schedule HcsScheduler::plan(const SchedulerContext& ctx) {
 
 Schedule HcsScheduler::plan_traced(const SchedulerContext& ctx,
                                    HcsTrace* trace) {
+  CORUN_TRACE_SPAN("sched", "hcs.plan");
   const model::CoRunPredictor& m = ctx.model();
   const std::size_t n = ctx.jobs().size();
   Schedule schedule;
@@ -352,6 +354,7 @@ Schedule HcsScheduler::plan_traced(const SchedulerContext& ctx,
     const sim::FreqLevel stored =
         m.best_solo_level(ctx.job_name(job), device, ctx.cap).value_or(0);
     seq.push_back({job, stored});
+    CORUN_TRACE_COUNTER("hcs.placements", 1);
     if (trace != nullptr) {
       trace->decisions.push_back(PairingDecision{
           .device = device,

@@ -5,6 +5,7 @@
 
 #include "corun/common/check.hpp"
 #include "corun/common/rng.hpp"
+#include "corun/common/trace/trace.hpp"
 #include "corun/core/sched/hcs.hpp"
 
 namespace corun::sched {
@@ -15,6 +16,7 @@ Refiner::Refiner(RefinerOptions options) : options_(options) {
 }
 
 Schedule Refiner::refine(const SchedulerContext& ctx, Schedule schedule) const {
+  CORUN_TRACE_SPAN("sched", "hcs.refine");
   CORUN_CHECK_MSG(!schedule.shared_queue && !schedule.cpu_batch_launch,
                   "refinement expects a two-sequence schedule");
   const MakespanEvaluator evaluator(ctx);
@@ -87,6 +89,12 @@ Schedule Refiner::refine(const SchedulerContext& ctx, Schedule schedule) const {
   }
 
   stats_.final_makespan = best;
+  CORUN_TRACE_COUNTER("refiner.adjacent_improvements",
+                      stats_.adjacent_improvements);
+  CORUN_TRACE_COUNTER("refiner.random_improvements",
+                      stats_.random_improvements);
+  CORUN_TRACE_COUNTER("refiner.cross_improvements",
+                      stats_.cross_improvements);
   return schedule;
 }
 

@@ -4,6 +4,7 @@
 
 #include "corun/common/check.hpp"
 #include "corun/common/task_pool.hpp"
+#include "corun/common/trace/trace.hpp"
 #include "corun/sim/engine.hpp"
 
 namespace corun::profile {
@@ -15,6 +16,7 @@ OnlineProfiler::OnlineProfiler(sim::MachineConfig config,
 }
 
 std::vector<sim::FreqLevel> OnlineProfiler::level_set(sim::DeviceKind d) const {
+  CORUN_TRACE_COUNTER("online.level_set_evals", 1);
   const sim::FrequencyLadder& ladder = config_.ladder(d);
   std::vector<sim::FreqLevel> levels =
       d == sim::DeviceKind::kCpu ? options_.cpu_levels : options_.gpu_levels;
@@ -30,6 +32,10 @@ std::vector<sim::FreqLevel> OnlineProfiler::level_set(sim::DeviceKind d) const {
 ProfileEntry OnlineProfiler::sample_one(const sim::JobSpec& spec,
                                         sim::DeviceKind device,
                                         sim::FreqLevel level) const {
+  const trace::Span span("profile", [&] {
+    return "online.sample " + spec.name + "/" + sim::device_name(device) +
+           "/L" + std::to_string(level);
+  });
   sim::EngineOptions eo;
   eo.mode = options_.engine_mode;
   eo.seed = options_.seed;
@@ -38,25 +44,35 @@ ProfileEntry OnlineProfiler::sample_one(const sim::JobSpec& spec,
   engine.set_ceilings(device == sim::DeviceKind::kCpu ? level : 0,
                       device == sim::DeviceKind::kGpu ? level : 0);
   const sim::JobId id = engine.launch(spec, device);
-  engine.run_for(options_.sample_seconds);
+  // Stop at the job's finishing tick instead of padding out the window:
+  // telemetry then spans the job's runtime only, so avg_power/energy of a
+  // job shorter than the window are not diluted by post-finish idle ticks
+  // (they match the offline profiler's measured values exactly).
+  engine.run_for_until_event(options_.sample_seconds);
 
   const sim::JobStats& st = engine.stats(id);
   ProfileEntry entry;
   if (st.finished) {
     entry.time = st.runtime();
     entry.avg_bw = st.avg_bandwidth();
+    entry.avg_power = engine.telemetry().avg_power();
+    entry.energy = engine.telemetry().energy();  // measured, whole run
   } else {
     const double p = engine.progress(id);
     CORUN_CHECK_MSG(p > 0.0, "no progress in the sampling window");
     entry.time = options_.sample_seconds / p;
     entry.avg_bw = st.total_gb / options_.sample_seconds;
+    entry.avg_power = engine.telemetry().avg_power();
+    entry.energy = entry.avg_power * entry.time;  // extrapolated
   }
-  entry.avg_power = engine.telemetry().avg_power();
-  entry.energy = entry.avg_power * entry.time;  // extrapolated
   return entry;
 }
 
 ProfileDB OnlineProfiler::profile_batch(const workload::Batch& batch) const {
+  CORUN_TRACE_SPAN("profile", "online.profile_batch");
+  CORUN_TRACE_INSTANT("profile",
+                      std::string("online.engine_mode=") +
+                          sim::engine_mode_name(options_.engine_mode));
   ProfileDB db;
   // Idle power is a one-second measurement either way; reuse the engine.
   {
@@ -99,14 +115,13 @@ ProfileDB OnlineProfiler::profile_batch(const workload::Batch& batch) const {
 }
 
 Seconds OnlineProfiler::sampling_cost(const workload::Batch& batch) const {
-  Seconds total = 0.0;
-  for (const workload::BatchJob& job : batch.jobs()) {
-    (void)job;
-    total += options_.sample_seconds *
-             static_cast<double>(level_set(sim::DeviceKind::kCpu).size() +
-                                 level_set(sim::DeviceKind::kGpu).size());
-  }
-  return total;
+  // The level sets are batch-invariant, so derive the per-job window count
+  // once instead of rebuilding both sets for every job.
+  const auto windows_per_job =
+      static_cast<double>(level_set(sim::DeviceKind::kCpu).size() +
+                          level_set(sim::DeviceKind::kGpu).size());
+  return options_.sample_seconds * windows_per_job *
+         static_cast<double>(batch.jobs().size());
 }
 
 }  // namespace corun::profile

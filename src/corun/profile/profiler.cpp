@@ -4,6 +4,7 @@
 
 #include "corun/common/check.hpp"
 #include "corun/common/task_pool.hpp"
+#include "corun/common/trace/trace.hpp"
 
 namespace corun::profile {
 
@@ -32,6 +33,10 @@ std::vector<sim::FreqLevel> Profiler::level_set(sim::DeviceKind d) const {
 ProfileEntry Profiler::profile_one(const sim::JobSpec& spec,
                                    sim::DeviceKind device,
                                    sim::FreqLevel level) const {
+  const trace::Span span("profile", [&] {
+    return "profile.sample " + spec.name + "/" + sim::device_name(device) +
+           "/L" + std::to_string(level);
+  });
   // The idle domain is parked at its lowest level, as a power-aware OS
   // would; its idle power is level-independent in the model but parking
   // mirrors the measurement procedure on real hardware.
@@ -49,6 +54,10 @@ ProfileEntry Profiler::profile_one(const sim::JobSpec& spec,
 }
 
 ProfileDB Profiler::profile_batch(const workload::Batch& batch) const {
+  CORUN_TRACE_SPAN("profile", "profile.profile_batch");
+  CORUN_TRACE_INSTANT("profile",
+                      std::string("profile.engine_mode=") +
+                          sim::engine_mode_name(options_.engine_mode));
   ProfileDB db;
   db.set_idle_power(measure_idle_power());
 

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "corun/common/check.hpp"
+#include "corun/common/trace/trace.hpp"
 
 namespace corun::sim {
 
@@ -71,6 +72,21 @@ Engine::Engine(MachineConfig config, EngineOptions options)
     dvfs_.cpu_level = 0;
     dvfs_.gpu_level = 0;
   }
+}
+
+Engine::~Engine() {
+  if (!trace::enabled()) return;
+  trace::counter_add("engine.ticks", static_cast<double>(counters_.ticks));
+  trace::counter_add("engine.replayed_ticks",
+                     static_cast<double>(counters_.replayed_ticks));
+  trace::counter_add("engine.horizons",
+                     static_cast<double>(counters_.horizons));
+  trace::counter_add("engine.cache_hit_ticks",
+                     static_cast<double>(counters_.cache_hit_ticks));
+  trace::counter_add("engine.job_events",
+                     static_cast<double>(counters_.job_events));
+  trace::counter_add("engine.cap_violation_ticks",
+                     static_cast<double>(telemetry_.cap_stats().over_cap));
 }
 
 JobId Engine::launch(const JobSpec& spec, DeviceKind device) {
@@ -235,6 +251,7 @@ void Engine::advance_jobs(DeviceKind d, double sigma, Seconds dt,
       st.finished = true;
       st.finish_time = now_ + dt - budget * overhead;
       events.push_back(JobEvent{r.id, st.name, d, st.finish_time});
+      ++counters_.job_events;
     }
   }
   std::erase_if(running_, [&](const RunningJob& r) {
@@ -336,6 +353,7 @@ void Engine::tick(std::vector<JobEvent>& events) {
     next_sample_ = now_ + options_.sample_interval;
   }
 
+  ++counters_.ticks;
   now_ += dt;
 }
 
@@ -391,6 +409,7 @@ void Engine::rebuild_dynamics() {
     cache_.jobs.push_back(adv);
   }
   cache_.valid = true;
+  ++counters_.horizons;
 }
 
 void Engine::flush_pending_telemetry() {
@@ -417,6 +436,8 @@ void Engine::complete_event_tick(bool dvfs_moved,
   if (dvfs_moved || !cache_.valid) {
     flush_pending_telemetry();
     rebuild_dynamics();
+  } else {
+    ++counters_.cache_hit_ticks;
   }
 
   // 2. Advance jobs. A phase boundary or finish inside this tick is an
@@ -463,6 +484,7 @@ void Engine::complete_event_tick(bool dvfs_moved,
     next_sample_ = now_ + options_.sample_interval;
   }
 
+  ++counters_.ticks;
   now_ += dt;
 }
 
@@ -528,6 +550,9 @@ void Engine::fast_replay(const std::optional<Seconds>& end,
           if (ticks > 0) {
             last_true_power_ = cache_.true_power;
             pending_ticks_ += ticks;
+            counters_.ticks += ticks;
+            counters_.replayed_ticks += ticks;
+            counters_.cache_hit_ticks += ticks;
           }
           complete_event_tick(/*dvfs_moved=*/true, events);
           return;
@@ -555,6 +580,9 @@ void Engine::fast_replay(const std::optional<Seconds>& end,
   if (ticks == 0) return;
   last_true_power_ = cache_.true_power;
   pending_ticks_ += ticks;
+  counters_.ticks += ticks;
+  counters_.replayed_ticks += ticks;
+  counters_.cache_hit_ticks += ticks;
 }
 
 void Engine::run_event_mode(std::vector<JobEvent>& events,
@@ -591,6 +619,23 @@ std::vector<JobEvent> Engine::run_for(Seconds duration) {
     return events;
   }
   while (now_ + 1e-12 < end) {
+    tick(events);
+  }
+  return events;
+}
+
+std::vector<JobEvent> Engine::run_for_until_event(Seconds duration) {
+  CORUN_CHECK(duration >= 0.0);
+  std::vector<JobEvent> events;
+  const Seconds end = now_ + duration;
+  if (options_.mode == EngineMode::kEvent) {
+    run_event_mode(events, end, /*stop_on_event=*/true);
+    return events;
+  }
+  // Same clock bound as run_for (ticks an idle machine to the deadline),
+  // same first-completion-tick exit as run_until_event — bit-identical to
+  // the event engine's (end, stop_on_event) driver.
+  while (events.empty() && now_ + 1e-12 < end) {
     tick(events);
   }
   return events;

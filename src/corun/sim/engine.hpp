@@ -78,6 +78,18 @@ struct JobStats {
   }
 };
 
+/// Aggregate stepping statistics of one engine instance: where simulated
+/// time went and how well the event-horizon cache worked. Maintained
+/// unconditionally (plain integer adds), exported as trace counters when
+/// tracing is enabled (see common/trace), and readable in tests.
+struct EngineCounters {
+  std::uint64_t ticks = 0;            ///< simulated ticks, both modes
+  std::uint64_t replayed_ticks = 0;   ///< ticks executed by fast_replay
+  std::uint64_t horizons = 0;         ///< dynamics rebuilds (event horizons)
+  std::uint64_t cache_hit_ticks = 0;  ///< event-mode ticks served from cache
+  std::uint64_t job_events = 0;       ///< job completions emitted
+};
+
 /// Stepping policy of the simulation core. Both modes execute the same
 /// machine semantics; kTick recomputes everything every tick (the reference
 /// oracle), kEvent jumps between state-change events with cached dynamics.
@@ -121,6 +133,11 @@ class Engine {
  public:
   Engine(MachineConfig config, EngineOptions options);
 
+  /// Emits the final counter values (plus cap-violation ticks) to the trace
+  /// layer when tracing is enabled. The counters themselves are always
+  /// maintained; only the export is conditional.
+  ~Engine();
+
   /// Starts a job on `device` immediately. The GPU must be idle; the CPU may
   /// already host jobs (time sharing).
   JobId launch(const JobSpec& spec, DeviceKind device);
@@ -143,6 +160,12 @@ class Engine {
   /// Advances exactly `duration` simulated seconds.
   std::vector<JobEvent> run_for(Seconds duration);
 
+  /// Advances until at least one job finishes or `duration` simulated
+  /// seconds elapse, whichever comes first — run_until_event with a
+  /// deadline. Returns the completions of the finishing tick (empty when
+  /// the deadline or idleness cut the run short).
+  std::vector<JobEvent> run_for_until_event(Seconds duration);
+
   /// Drains every running job.
   void run_until_idle();
 
@@ -152,6 +175,9 @@ class Engine {
   [[nodiscard]] double progress(JobId id) const;
 
   [[nodiscard]] const Telemetry& telemetry() const noexcept { return telemetry_; }
+  [[nodiscard]] const EngineCounters& counters() const noexcept {
+    return counters_;
+  }
   [[nodiscard]] const JobStats& stats(JobId id) const;
   [[nodiscard]] std::vector<JobStats> all_stats() const;
   [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
@@ -257,6 +283,7 @@ class Engine {
   Watts power_ema_ = 0.0;  ///< windowed-cap moving average (cap_window > 0)
   bool ema_primed_ = false;
 
+  EngineCounters counters_;
   DynamicsCache cache_;
   /// Ticks whose record_tick arguments are all identical (the cached power
   /// and busy flags) and have not yet been pushed into telemetry_. Flushed

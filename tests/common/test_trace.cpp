@@ -1,0 +1,461 @@
+// Unit tests for the structured tracing layer: span recording and nesting,
+// counter accumulation, deterministic thread-buffer merge ordering, and the
+// Chrome trace-event JSON schema of the exporter (parsed with a minimal
+// in-test JSON parser, so a malformed export fails here and not only in
+// Perfetto).
+#include "corun/common/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corun/common/task_pool.hpp"
+
+namespace corun {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, bools, null).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return type == Type::kObject && object.count(key) > 0;
+  }
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    return object.at(key);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      ADD_FAILURE() << "unexpected end of JSON";
+      return '\0';
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      JsonValue key = parse_string();
+      expect(':');
+      v.object[key.string] = parse_value();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect('}');
+    return v;
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect(']');
+    return v;
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        EXPECT_LT(pos_, text_.size());
+        switch (text_[pos_]) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case 'n': v.string += '\n'; break;
+          case 't': v.string += '\t'; break;
+          case 'u':
+            EXPECT_LE(pos_ + 4, text_.size() - 1);
+            pos_ += 4;  // escaped control char; content irrelevant here
+            break;
+          default:
+            ADD_FAILURE() << "unsupported escape \\" << text_[pos_];
+        }
+        ++pos_;
+      } else {
+        v.string += text_[pos_++];
+      }
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue parse_number() {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a number at offset " << start;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      ADD_FAILURE() << "expected bool at offset " << pos_;
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    JsonValue v;
+    EXPECT_EQ(text_.compare(pos_, 4, "null"), 0);
+    pos_ += 4;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Arms tracing for one test and guarantees it is disarmed afterwards, so a
+// failing test cannot leak an enabled trace layer into its neighbours.
+struct TraceSession {
+  TraceSession() {
+    trace::reset();
+    trace::set_enabled(true);
+  }
+  ~TraceSession() {
+    trace::set_enabled(false);
+    trace::reset();
+  }
+};
+
+double counter_total(const char* name) {
+  for (const trace::CounterTotal& t : trace::counter_totals()) {
+    if (t.name == name) return t.total;
+  }
+  return 0.0;
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  trace::reset();
+  trace::set_enabled(false);
+  {
+    CORUN_TRACE_SPAN("test", "should-not-appear");
+    CORUN_TRACE_COUNTER("test.counter", 5);
+    CORUN_TRACE_INSTANT("test", "instant");
+  }
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_TRUE(trace::counter_totals().empty());
+}
+
+TEST(Trace, SpanNestingRecordsAllLevels) {
+  TraceSession session;
+  {
+    CORUN_TRACE_SPAN("test", "outer");
+    {
+      CORUN_TRACE_SPAN("test", "inner");
+      { CORUN_TRACE_SPAN("test", "inner"); }
+    }
+  }
+  std::map<std::string, std::uint64_t> counts;
+  for (const trace::SpanTotal& t : trace::span_totals()) {
+    counts[t.name] = t.count;
+  }
+  EXPECT_EQ(counts["outer"], 1u);
+  EXPECT_EQ(counts["inner"], 2u);
+  // Inner spans close before the outer one, so they appear first in the
+  // buffer; total events = 3 spans.
+  EXPECT_EQ(trace::event_count(), 3u);
+}
+
+TEST(Trace, CounterAccumulatesAcrossCalls) {
+  TraceSession session;
+  CORUN_TRACE_COUNTER("acc", 1);
+  CORUN_TRACE_COUNTER("acc", 2.5);
+  CORUN_TRACE_COUNTER("acc", -0.5);
+  CORUN_TRACE_COUNTER("other", 7);
+  EXPECT_DOUBLE_EQ(counter_total("acc"), 3.0);
+  EXPECT_DOUBLE_EQ(counter_total("other"), 7.0);
+  const std::vector<trace::CounterTotal> totals = trace::counter_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(totals[0].name, "acc");
+  EXPECT_EQ(totals[0].samples, 3u);
+  EXPECT_EQ(totals[1].name, "other");
+}
+
+TEST(Trace, DynamicSpanNameOnlyBuiltWhenEnabled) {
+  trace::reset();
+  trace::set_enabled(false);
+  bool called = false;
+  {
+    const trace::Span span("test", [&] {
+      called = true;
+      return std::string("dynamic");
+    });
+  }
+  EXPECT_FALSE(called);
+
+  trace::set_enabled(true);
+  {
+    const trace::Span span("test", [&] {
+      called = true;
+      return std::string("dynamic");
+    });
+  }
+  trace::set_enabled(false);
+  EXPECT_TRUE(called);
+  trace::reset();
+}
+
+TEST(Trace, ResetClearsEverything) {
+  TraceSession session;
+  CORUN_TRACE_COUNTER("x", 1);
+  { CORUN_TRACE_SPAN("test", "y"); }
+  EXPECT_GT(trace::event_count(), 0u);
+  trace::reset();
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_TRUE(trace::counter_totals().empty());
+  EXPECT_TRUE(trace::span_totals().empty());
+}
+
+TEST(Trace, ThreadBuffersMergeInLaneOrder) {
+  TraceSession session;
+  // Main thread records first => lane 0. Two helper threads register in a
+  // deterministic order because each is joined before the next starts.
+  { CORUN_TRACE_SPAN("test", "main.first"); }
+  const std::uint32_t main_lane = trace::lane_id();
+  EXPECT_EQ(main_lane, 0u);
+
+  std::uint32_t lane_a = 0;
+  std::uint32_t lane_b = 0;
+  std::thread a([&] {
+    { CORUN_TRACE_SPAN("test", "a.one"); }
+    { CORUN_TRACE_SPAN("test", "a.two"); }
+    lane_a = trace::lane_id();
+  });
+  a.join();
+  std::thread b([&] {
+    { CORUN_TRACE_SPAN("test", "b.one"); }
+    lane_b = trace::lane_id();
+  });
+  b.join();
+  { CORUN_TRACE_SPAN("test", "main.second"); }
+
+  EXPECT_EQ(lane_a, 1u);
+  EXPECT_EQ(lane_b, 2u);
+
+  // The export groups events by lane (0, 1, 2, ...), each lane preserving
+  // its own append order — regardless of wall-clock interleaving.
+  const JsonValue doc = JsonParser(trace::to_json()).parse();
+  std::vector<std::pair<double, std::string>> sequence;
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "M") continue;
+    sequence.emplace_back(e.at("tid").number, e.at("name").string);
+  }
+  const std::vector<std::pair<double, std::string>> expected = {
+      {0.0, "main.first"}, {0.0, "main.second"},
+      {1.0, "a.one"},      {1.0, "a.two"},
+      {2.0, "b.one"},
+  };
+  EXPECT_EQ(sequence, expected);
+}
+
+TEST(Trace, JsonMatchesChromeTraceEventSchema) {
+  TraceSession session;
+  {
+    CORUN_TRACE_SPAN("cat.span", "span \"quoted\"");
+    CORUN_TRACE_COUNTER("schema.counter", 2);
+    CORUN_TRACE_COUNTER("schema.counter", 3);
+    CORUN_TRACE_INSTANT("cat.instant", "something happened");
+  }
+
+  const std::string json = trace::to_json();
+  const JsonValue doc = JsonParser(json).parse();
+  ASSERT_EQ(doc.type, JsonValue::Type::kObject);
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  ASSERT_TRUE(doc.has("traceEvents"));
+  ASSERT_EQ(doc.at("traceEvents").type, JsonValue::Type::kArray);
+
+  std::size_t spans = 0;
+  std::size_t counters = 0;
+  std::size_t instants = 0;
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    ASSERT_EQ(e.type, JsonValue::Type::kObject);
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("name"));
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("tid"));
+    const std::string& ph = e.at("ph").string;
+    if (ph == "M") continue;  // thread_name metadata
+    ASSERT_TRUE(e.has("ts"));
+    EXPECT_EQ(e.at("ts").type, JsonValue::Type::kNumber);
+    EXPECT_GE(e.at("ts").number, 0.0);
+    if (ph == "X") {
+      ++spans;
+      ASSERT_TRUE(e.has("dur"));
+      EXPECT_GE(e.at("dur").number, 0.0);
+      EXPECT_EQ(e.at("name").string, "span \"quoted\"");
+      EXPECT_EQ(e.at("cat").string, "cat.span");
+    } else if (ph == "C") {
+      ++counters;
+      ASSERT_TRUE(e.has("args"));
+      ASSERT_TRUE(e.at("args").has("value"));
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(e.at("s").string, "t");
+    } else {
+      ADD_FAILURE() << "unexpected phase '" << ph << "'";
+    }
+  }
+  EXPECT_EQ(spans, 1u);
+  EXPECT_EQ(counters, 2u);
+  EXPECT_EQ(instants, 1u);
+
+  // Counter samples carry the running total, so the last one equals the sum.
+  double last_counter = -1.0;
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "C") last_counter = e.at("args").at("value").number;
+  }
+  EXPECT_DOUBLE_EQ(last_counter, 5.0);
+
+  // The corunMetrics block mirrors counter_totals().
+  ASSERT_TRUE(doc.has("corunMetrics"));
+  EXPECT_DOUBLE_EQ(doc.at("corunMetrics").at("schema.counter").number, 5.0);
+}
+
+TEST(Trace, TaskPoolWorkersRecordIntoDistinctLanes) {
+  common::TaskPool pool(4);
+  TraceSession session;
+  pool.parallel_for_index(64, [](std::size_t i) {
+    CORUN_TRACE_COUNTER("pool.tasks", 1);
+    (void)i;
+  });
+  // Every task recorded exactly once (the per-task spans come from the pool
+  // itself, the counters from the body).
+  EXPECT_DOUBLE_EQ(counter_total("pool.tasks"), 64.0);
+  std::uint64_t task_spans = 0;
+  for (const trace::SpanTotal& t : trace::span_totals()) {
+    if (t.name.rfind("task#", 0) == 0) task_spans += t.count;
+  }
+  EXPECT_EQ(task_spans, 64u);
+
+  // The JSON export still parses and every event carries a valid lane id.
+  const JsonValue doc = JsonParser(trace::to_json()).parse();
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    EXPECT_GE(e.at("tid").number, 0.0);
+    EXPECT_LT(e.at("tid").number, 8.0);  // at most jobs_ lanes
+  }
+}
+
+TEST(Trace, MetricsSummaryRendersCountersAndSpans) {
+  TraceSession session;
+  CORUN_TRACE_COUNTER("summary.counter", 4);
+  { CORUN_TRACE_SPAN("test", "summary.span"); }
+  const std::string summary = trace::metrics_summary();
+  EXPECT_NE(summary.find("summary.counter"), std::string::npos);
+  EXPECT_NE(summary.find("summary.span"), std::string::npos);
+}
+
+TEST(Trace, WriteJsonRoundTripsThroughDisk) {
+  TraceSession session;
+  CORUN_TRACE_COUNTER("disk.counter", 1);
+  const std::string path = ::testing::TempDir() + "corun_trace_test.json";
+  ASSERT_TRUE(trace::write_json(path));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, trace::to_json());
+  const JsonValue doc = JsonParser(content).parse();
+  EXPECT_DOUBLE_EQ(doc.at("corunMetrics").at("disk.counter").number, 1.0);
+}
+
+}  // namespace
+}  // namespace corun

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "corun/common/check.hpp"
 
 namespace corun::model {
@@ -65,6 +67,105 @@ TEST(StagedInterpolator, SingleCellGrid) {
 TEST(StagedInterpolator, MalformedGridRejected) {
   DegradationGrid g;  // invalid: empty
   EXPECT_THROW(StagedInterpolator{std::move(g)}, corun::ContractViolation);
+}
+
+TEST(StagedInterpolator, ExactKnotHitsReturnSurfaceValues) {
+  // Every knot of both axes, interior and boundary: a lookup landing
+  // exactly on a knot must reproduce the stored surface value bit for bit,
+  // whichever neighbouring cell the search selects.
+  const DegradationGrid g = synthetic_grid();
+  const StagedInterpolator interp(synthetic_grid());
+  for (std::size_t i = 0; i < g.cpu_axis.size(); ++i) {
+    for (std::size_t j = 0; j < g.gpu_axis.size(); ++j) {
+      EXPECT_DOUBLE_EQ(interp.cpu_degradation(g.cpu_axis[i], g.gpu_axis[j]),
+                       g.cpu_deg[i][j])
+          << "knot (" << i << ", " << j << ")";
+      EXPECT_DOUBLE_EQ(interp.gpu_degradation(g.cpu_axis[i], g.gpu_axis[j]),
+                       g.gpu_deg[i][j]);
+    }
+  }
+}
+
+TEST(StagedInterpolator, BelowFrontAndAboveBackClampPerAxis) {
+  const DegradationGrid g = synthetic_grid();
+  const StagedInterpolator interp(synthetic_grid());
+  // Below the front knot on one axis, interior on the other.
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(-3.0, 9.0),
+                   interp.cpu_degradation(g.cpu_axis.front(), 9.0));
+  EXPECT_DOUBLE_EQ(interp.gpu_degradation(6.0, -1.0),
+                   interp.gpu_degradation(6.0, g.gpu_axis.front()));
+  // Above the back knot.
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(99.0, 9.0),
+                   interp.cpu_degradation(g.cpu_axis.back(), 9.0));
+  EXPECT_DOUBLE_EQ(interp.gpu_degradation(6.0, 99.0),
+                   interp.gpu_degradation(6.0, g.gpu_axis.back()));
+}
+
+TEST(StagedInterpolator, DuplicateKnotSelectsRightContinuousCell) {
+  // Regression: the grid validator only requires sorted (not strictly
+  // increasing) axes, so duplicated knots are representable — e.g. two
+  // characterization rows at the same bandwidth. A lookup exactly on the
+  // duplicated knot must use the rightmost duplicate's row
+  // (right-continuous), not interpolate to the left duplicate.
+  DegradationGrid g;
+  g.cpu_axis = {0.0, 5.0, 5.0, 10.0};
+  g.gpu_axis = {0.0, 1.0};
+  g.cpu_deg = {{0.0, 0.0}, {0.1, 0.1}, {0.3, 0.3}, {0.5, 0.5}};
+  g.gpu_deg.assign(4, std::vector<double>(2, 0.0));
+  const StagedInterpolator interp(std::move(g));
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(5.0, 0.0), 0.3);
+  // Strictly inside the neighbouring cells the duplicate is irrelevant.
+  EXPECT_NEAR(interp.cpu_degradation(2.5, 0.0), 0.05, 1e-12);
+  EXPECT_NEAR(interp.cpu_degradation(7.5, 0.0), 0.4, 1e-12);
+}
+
+TEST(StagedInterpolator, DegenerateZeroSpanAxisStaysFinite) {
+  // An axis made entirely of one repeated knot: every cell has zero span.
+  // Lookups must clamp and stay finite — no division by the zero span.
+  DegradationGrid g;
+  g.cpu_axis = {5.0, 5.0};
+  g.gpu_axis = {0.0, 1.0};
+  g.cpu_deg = {{0.2, 0.2}, {0.4, 0.4}};
+  g.gpu_deg.assign(2, std::vector<double>(2, 0.0));
+  const StagedInterpolator interp(std::move(g));
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(5.0, 0.5), 0.2);   // clamps to front
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(4.0, 0.5), 0.2);   // below front
+  EXPECT_DOUBLE_EQ(interp.cpu_degradation(6.0, 0.5), 0.4);   // above back
+  EXPECT_TRUE(std::isfinite(interp.cpu_degradation(5.0, 0.0)));
+}
+
+TEST(StagedInterpolator, LookupCostIsIndependentOfAxisPosition) {
+  // Regression: locate() used to scan linearly from the front, making a
+  // lookup near the back of a large axis thousands of times more expensive
+  // than one near the front. With binary search the two differ by at most
+  // a few comparisons; the generous factor keeps the test robust on noisy
+  // machines while still failing the O(n) scan by orders of magnitude.
+  constexpr std::size_t kKnots = 1 << 16;
+  DegradationGrid g;
+  g.cpu_axis.resize(kKnots);
+  for (std::size_t i = 0; i < kKnots; ++i) {
+    g.cpu_axis[i] = static_cast<double>(i);
+  }
+  g.gpu_axis = {0.0, 1.0};
+  g.cpu_deg.assign(kKnots, std::vector<double>(2, 0.0));
+  g.gpu_deg.assign(kKnots, std::vector<double>(2, 0.0));
+  const StagedInterpolator interp(std::move(g));
+
+  constexpr int kReps = 20000;
+  const auto time_lookups = [&](double v) {
+    const auto start = std::chrono::steady_clock::now();
+    double sink = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      sink += interp.cpu_degradation(v + 0.25, 0.5);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    EXPECT_EQ(sink, 0.0);
+    return std::chrono::duration<double>(stop - start).count();
+  };
+  (void)time_lookups(1.0);  // warm-up
+  const double front = time_lookups(1.0);
+  const double back = time_lookups(static_cast<double>(kKnots) - 2.0);
+  EXPECT_LT(back, 50.0 * front + 0.01);
 }
 
 TEST(StagedInterpolator, MonotoneSurfaceStaysMonotoneAlongAxes) {

@@ -4,6 +4,7 @@
 
 #include "corun/common/check.hpp"
 #include "corun/common/stats.hpp"
+#include "corun/common/trace/trace.hpp"
 #include "corun/core/model/corun_predictor.hpp"
 #include "corun/core/model/degradation_space.hpp"
 #include "corun/profile/profiler.hpp"
@@ -95,6 +96,43 @@ TEST(OnlineProfiler, EstimatesUsableByPredictorAndScheduler) {
   const model::CoRunPredictor predictor(db, grid, sim::ivy_bridge());
   const auto pair = predictor.best_pair_min_makespan("srad", "lud", 15.0);
   EXPECT_TRUE(pair.has_value());
+}
+
+TEST(OnlineProfiler, ShortJobPowerNotDilutedByIdleTail) {
+  // Regression: a 2 s job in a 30 s sampling window used to report
+  // avg_power (and thus energy) averaged over the whole window — 28 s of
+  // which the machine sat idle — understating both. The telemetry window
+  // must end at the job's finishing tick, which makes the sampled numbers
+  // for a window-shorter job equal the offline profiler's measurements.
+  const auto desc = workload::micro_kernel(6.0, 2.0).value();
+  const sim::JobSpec spec = workload::make_job_spec(desc, 1);
+  const Profiler exact(sim::ivy_bridge());
+  const ProfileEntry truth = exact.profile_one(spec, sim::DeviceKind::kCpu, 15);
+  const OnlineProfiler online(sim::ivy_bridge(),
+                              OnlineProfilerOptions{.sample_seconds = 30.0});
+  const ProfileEntry est = online.sample_one(spec, sim::DeviceKind::kCpu, 15);
+  EXPECT_NEAR(est.time, truth.time, 1e-9);
+  EXPECT_NEAR(est.avg_power, truth.avg_power, 1e-9);
+  EXPECT_NEAR(est.energy, truth.energy, 1e-9);
+}
+
+TEST(OnlineProfiler, SamplingCostComputesLevelSetsOnce) {
+  // Regression: sampling_cost used to rebuild both (batch-invariant) level
+  // sets once per job. The trace counter on level_set() pins the hoist; the
+  // value itself must not change.
+  const OnlineProfiler profiler(sim::ivy_bridge());
+  const workload::Batch batch = two_job_batch();
+  trace::reset();
+  trace::set_enabled(true);
+  const Seconds cost = profiler.sampling_cost(batch);
+  trace::set_enabled(false);
+  double evals = 0.0;
+  for (const trace::CounterTotal& t : trace::counter_totals()) {
+    if (t.name == "online.level_set_evals") evals = t.total;
+  }
+  trace::reset();
+  EXPECT_DOUBLE_EQ(evals, 2.0);  // one per device, not per job
+  EXPECT_NEAR(cost, 2 * 6 * 3.0, 1e-9);
 }
 
 TEST(OnlineProfiler, InvalidOptionsRejected) {

@@ -72,9 +72,9 @@ if "$TOOLS/corun-schedule" --batch batch.csv --grid grid.csv 2>/dev/null; then
   exit 1
 fi
 
-echo "== corun-run (plan file, gantt, trace) =="
+echo "== corun-run (plan file, gantt, power trace) =="
 "$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
-    --cap 15 --plan plan.csv --gantt --trace trace.csv | tee run.out
+    --cap 15 --plan plan.csv --gantt --power-trace trace.csv | tee run.out
 test -s trace.csv
 grep -q "makespan=" run.out
 grep -q "utilization" run.out
@@ -83,5 +83,47 @@ grep -q "plan file" run.out
 echo "== corun-run (online profiles, bnb scheduler) =="
 "$TOOLS/corun-run" --batch batch.csv --profiles profiles_online.csv \
     --grid grid.csv --cap 15 --scheduler bnb | grep -q "scheduler: BnB"
+
+echo "== corun-schedule --trace writes a structured trace =="
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler bnb --trace trace1.json \
+    > /dev/null 2> trace1.err
+test -s trace1.json
+grep -q "traceEvents" trace1.json
+grep -q "corunMetrics" trace1.json
+grep -q "bnb.nodes" trace1.json
+grep -q "trace: " trace1.err
+
+echo "== CORUN_TRACE env var is honoured =="
+CORUN_TRACE=trace_env.json "$TOOLS/corun-schedule" --batch batch.csv \
+    --profiles profiles.csv --grid grid.csv --cap 15 --scheduler bnb \
+    > /dev/null 2>&1
+test -s trace_env.json
+
+# Strip wall-clock timestamps/durations; everything else (event names,
+# order, counter values, lane ids) must be deterministic.
+normalize_trace() {
+  sed -E 's/"ts": [0-9]+(\.[0-9]+)?/"ts": 0/g; s/"dur": [0-9]+(\.[0-9]+)?/"dur": 0/g' \
+      "$1" > "$1.norm"
+}
+
+echo "== --trace output is stable across --jobs 1 vs --jobs 4 =="
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler hcs --jobs 1 --trace trace_j1.json \
+    > /dev/null 2>&1
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler hcs --jobs 4 --trace trace_j4.json \
+    > /dev/null 2>&1
+normalize_trace trace_j1.json
+normalize_trace trace_j4.json
+cmp trace_j1.json.norm trace_j4.json.norm
+
+echo "== --trace output is valid JSON =="
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool trace1.json > /dev/null
+  python3 -m json.tool trace_j4.json > /dev/null
+else
+  echo "python3 not found; skipping strict JSON validation"
+fi
 
 echo "CLI pipeline OK"

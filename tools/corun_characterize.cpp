@@ -14,14 +14,14 @@
 namespace {
 const char kUsage[] =
     "corun-characterize --out grid.csv [--axis-points 11] [--max-bw 11.0] "
-    "[--seed 42] [--jobs N] [--engine event|tick]";
+    "[--seed 42] [--jobs N] [--engine event|tick] [--trace trace.json]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags =
       Flags::parse(argc, argv, {"out", "axis-points", "max-bw", "seed", "jobs",
-                                "engine"});
+                                "engine", "trace"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
   }
@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   if (!engine_mode.has_value()) {
     return tools::usage_error(engine_mode.error().message, kUsage);
   }
+  const std::string trace_path = tools::configure_trace(f);
   const model::DegradationSpaceBuilder builder(sim::ivy_bridge(), options);
   std::printf("characterizing %zux%zu grid (%zu co-runs, %zu jobs)...\n",
               points, points, 2 * points * points, jobs);
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
               grid.max_cpu_degradation() * 100.0,
               grid.max_gpu_degradation() * 100.0);
   std::printf("wrote %s\n", f.get("out", "").c_str());
+  if (!tools::finish_trace(trace_path)) return 1;
   return 0;
 }

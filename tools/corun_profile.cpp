@@ -17,7 +17,7 @@ namespace {
 const char kUsage[] =
     "corun-profile --batch batch.csv --out profiles.csv [--online] "
     "[--sample-seconds 3.0] [--seed 42] [--cpu-levels 0,8] [--gpu-levels 0,5] "
-    "[--jobs N] [--engine event|tick]";
+    "[--jobs N] [--engine event|tick] [--trace trace.json]";
 
 std::vector<corun::sim::FreqLevel> parse_levels(const std::string& csv) {
   std::vector<corun::sim::FreqLevel> levels;
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   const auto flags = Flags::parse(
       argc, argv,
       {"batch", "out", "sample-seconds", "seed", "cpu-levels", "gpu-levels",
-       "jobs", "engine"},
+       "jobs", "engine", "trace"},
       {"online"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   if (!engine_mode.has_value()) {
     return tools::usage_error(engine_mode.error().message, kUsage);
   }
+  const std::string trace_path = tools::configure_trace(f);
 
   profile::ProfileDB db;
   if (f.has("online")) {
@@ -92,5 +93,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", f.get("out", "").c_str());
+  if (!tools::finish_trace(trace_path)) return 1;
   return 0;
 }

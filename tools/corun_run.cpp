@@ -4,7 +4,7 @@
 //
 //   corun-run --batch batch.csv --profiles profiles.csv --grid grid.csv
 //             [--cap 15] [--scheduler hcs+|hcs|default|random|bnb]
-//             [--policy gpu|cpu] [--seed 42] [--trace trace.csv]
+//             [--policy gpu|cpu] [--seed 42] [--power-trace power.csv]
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -21,16 +21,18 @@ namespace {
 const char kUsage[] =
     "corun-run --batch batch.csv --profiles profiles.csv --grid grid.csv "
     "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
-    "[--plan plan.csv] [--policy gpu|cpu] [--seed 42] [--trace trace.csv] "
-    "[--gantt] [--jobs N] [--engine event|tick]";
+    "[--plan plan.csv] [--policy gpu|cpu] [--seed 42] "
+    "[--power-trace power.csv] [--gantt] [--jobs N] [--engine event|tick] "
+    "[--trace trace.json]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags = Flags::parse(argc, argv,
                                   {"batch", "profiles", "grid", "cap",
-                                   "scheduler", "policy", "seed", "trace",
-                                   "plan", "jobs", "engine"},
+                                   "scheduler", "policy", "seed",
+                                   "power-trace", "plan", "jobs", "engine",
+                                   "trace"},
                                   {"gantt"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
   if (!engine_mode.has_value()) {
     return tools::usage_error(engine_mode.error().message, kUsage);
   }
+  const std::string trace_path = tools::configure_trace(f);
   for (const char* required : {"batch", "profiles", "grid"}) {
     if (!f.has(required)) {
       return tools::usage_error(std::string("--") + required + " is required",
@@ -124,7 +127,7 @@ int main(int argc, char** argv) {
                 util.gpu_utilization() * 100.0);
   }
 
-  if (f.has("trace")) {
+  if (f.has("power-trace")) {
     std::ostringstream oss;
     CsvWriter writer(oss);
     writer.write_row({"t_s", "measured_w", "true_w", "cpu_level", "gpu_level",
@@ -136,13 +139,14 @@ int main(int argc, char** argv) {
                         std::to_string(s.gpu_level), std::to_string(s.cpu_bw),
                         std::to_string(s.gpu_bw)});
     }
-    if (!tools::write_file(f.get("trace", ""), oss.str())) {
+    if (!tools::write_file(f.get("power-trace", ""), oss.str())) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
-                   f.get("trace", "").c_str());
+                   f.get("power-trace", "").c_str());
       return 1;
     }
     std::printf("wrote power trace to %s (%zu samples)\n",
-                f.get("trace", "").c_str(), report.power_trace.size());
+                f.get("power-trace", "").c_str(), report.power_trace.size());
   }
+  if (!tools::finish_trace(trace_path)) return 1;
   return 0;
 }

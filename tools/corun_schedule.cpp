@@ -21,14 +21,14 @@ const char kUsage[] =
     "corun-schedule --batch batch.csv --profiles profiles.csv --grid grid.csv "
     "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
     "[--policy gpu|cpu] [--seed 42] [--save-plan plan.csv] [--explain] "
-    "[--jobs N] [--engine event|tick]";
+    "[--jobs N] [--engine event|tick] [--trace trace.json]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags = Flags::parse(
       argc, argv, {"batch", "profiles", "grid", "cap", "scheduler", "policy",
-                   "seed", "save-plan", "jobs", "engine"},
+                   "seed", "save-plan", "jobs", "engine", "trace"},
       {"explain"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   if (!engine_mode.has_value()) {
     return tools::usage_error(engine_mode.error().message, kUsage);
   }
+  const std::string trace_path = tools::configure_trace(f);
 
   sched::SchedulerContext ctx;
   ctx.batch = &batch.value();
@@ -112,5 +113,6 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote plan to %s\n", f.get("save-plan", "").c_str());
   }
+  if (!tools::finish_trace(trace_path)) return 1;
   return 0;
 }

@@ -1,11 +1,13 @@
 #include "tool_io.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "corun/common/check.hpp"
 #include "corun/common/task_pool.hpp"
+#include "corun/common/trace/trace.hpp"
 
 namespace corun::tools {
 
@@ -45,6 +47,30 @@ Expected<sim::EngineMode> configure_engine(const Flags& flags) {
   if (!mode.has_value()) return mode.error();
   sim::set_default_engine_mode(mode.value());
   return mode;
+}
+
+std::string configure_trace(const Flags& flags) {
+  std::string path = flags.get("trace", "");
+  if (path.empty()) {
+    if (const char* env = std::getenv("CORUN_TRACE")) path = env;
+  }
+  if (path.empty()) return "";
+  trace::reset();
+  trace::set_enabled(true);
+  return path;
+}
+
+bool finish_trace(const std::string& path) {
+  if (path.empty()) return true;
+  trace::set_enabled(false);
+  const bool ok = trace::write_json(path);
+  if (!ok) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "trace: %zu events -> %s\n%s", trace::event_count(),
+               path.c_str(), trace::metrics_summary().c_str());
+  return true;
 }
 
 }  // namespace corun::tools

@@ -31,4 +31,16 @@ std::size_t configure_jobs(const Flags& flags);
 /// wall-clock time. Returns an error on an unrecognized mode name.
 [[nodiscard]] Expected<sim::EngineMode> configure_engine(const Flags& flags);
 
+/// Applies the shared `--trace <file.json>` flag (falling back to the
+/// CORUN_TRACE environment variable, mirroring --engine/CORUN_ENGINE): when
+/// a path is given, starts a fresh trace session and arms recording.
+/// Returns the output path, or "" when tracing stays off.
+std::string configure_trace(const Flags& flags);
+
+/// Ends the trace session started by configure_trace: disarms recording,
+/// writes the Chrome trace-event JSON to `path`, and prints the flat
+/// metrics summary to stderr. No-op (returning true) when `path` is empty;
+/// false when the trace file cannot be written.
+bool finish_trace(const std::string& path);
+
 }  // namespace corun::tools
