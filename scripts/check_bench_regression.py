@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Bench regression guard for CI.
+
+Compares a freshly produced bench JSON against the checked-in baseline and
+fails (exit 1) when any throughput rate regressed by more than the allowed
+factor. Only keys ending in `_sim_per_wall` are compared — they are
+simulated-seconds-per-wall-second rates, so higher is better and they are
+the only fields that should gate CI (speedup ratios and event counts are
+derived or environment-sensitive).
+
+The default threshold is deliberately loose (2x): CI runners are noisy
+shared machines, and the guard exists to catch order-of-magnitude
+regressions (an accidentally disabled fast path, a quadratic loop), not to
+police single-digit-percent drift.
+
+Accepts several NEW files and scores each rate by its best run: a slow run
+proves nothing on a shared machine, but one fast run proves the fast path
+still exists.
+
+Usage: check_bench_regression.py BASELINE.json NEW.json [NEW2.json ...]
+       [--factor 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def rates(node, prefix=""):
+    """Flattens every *_sim_per_wall key to a {path: value} dict."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key.endswith("_sim_per_wall") and isinstance(value, (int, float)):
+                out[path] = float(value)
+            else:
+                out.update(rates(value, path))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            label = i
+            if isinstance(value, dict):
+                label = value.get("scenario", value.get("bench", i))
+            out.update(rates(value, f"{prefix}[{label}]"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new", nargs="+")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="maximum allowed slowdown (new >= baseline/factor)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = rates(json.load(f))
+    new = {}
+    for path in args.new:
+        with open(path) as f:
+            for key, rate in rates(json.load(f)).items():
+                new[key] = max(new.get(key, rate), rate)
+
+    if not base:
+        print(f"error: no *_sim_per_wall rates in {args.baseline}")
+        return 2
+
+    failures = []
+    for path, base_rate in sorted(base.items()):
+        new_rate = new.get(path)
+        if new_rate is None:
+            failures.append(f"{path}: missing from new results")
+            continue
+        floor = base_rate / args.factor
+        verdict = "FAIL" if new_rate < floor else "ok"
+        print(f"{verdict:4} {path}: baseline {base_rate:.1f}, "
+              f"new {new_rate:.1f} (floor {floor:.1f})")
+        if new_rate < floor:
+            failures.append(
+                f"{path}: {new_rate:.1f} < {floor:.1f} "
+                f"(baseline {base_rate:.1f} / {args.factor}x)")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s) beyond "
+              f"{args.factor}x:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(base)} rates within {args.factor}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

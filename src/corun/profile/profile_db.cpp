@@ -93,6 +93,15 @@ void ProfileDB::add_scaled_instance(const std::string& base_job,
   CORUN_CHECK_MSG(any, "no profiles recorded for " + base_job);
 }
 
+void ProfileDB::scale_job(const std::string& job, double factor) {
+  CORUN_CHECK_MSG(factor > 0.0, "profile drift factor must be positive");
+  for (auto& [key, entry] : entries_) {
+    if (std::get<0>(key) != job) continue;
+    entry.time *= factor;
+    entry.energy *= factor;
+  }
+}
+
 void ProfileDB::write_csv(std::ostream& out) const {
   CsvWriter writer(out);
   writer.write_row({"job", "device", "level", "time_s", "avg_bw_gbps",

@@ -72,6 +72,12 @@ class ProfileDB {
   void add_scaled_instance(const std::string& base_job,
                            const std::string& instance, double scale);
 
+  /// Drifts the recorded standalone times (and energies) of `job` by
+  /// `factor` across every (device, level) entry. Models profile
+  /// misprediction: the planner's view of the job moves while ground truth
+  /// stays put. No-op when the job has no entries.
+  void scale_job(const std::string& job, double factor);
+
  private:
   using Key = std::tuple<std::string, int, int>;
   std::map<Key, ProfileEntry> entries_;

@@ -87,6 +87,10 @@ Engine::~Engine() {
                      static_cast<double>(counters_.job_events));
   trace::counter_add("engine.cap_violation_ticks",
                      static_cast<double>(telemetry_.cap_stats().over_cap));
+  trace::counter_add("engine.cancellations",
+                     static_cast<double>(counters_.cancellations));
+  trace::counter_add("engine.cap_updates",
+                     static_cast<double>(counters_.cap_updates));
 }
 
 JobId Engine::launch(const JobSpec& spec, DeviceKind device) {
@@ -130,6 +134,39 @@ void Engine::set_ceilings(FreqLevel cpu, FreqLevel gpu) {
     dvfs_.gpu_level = std::min(dvfs_.gpu_level, dvfs_.gpu_ceiling);
   }
 }
+
+void Engine::set_power_cap(std::optional<Watts> cap) {
+  // Flush first: pending ticks were accumulated under the old cap and the
+  // telemetry's violation accounting reads the cap per flush.
+  flush_pending_telemetry();
+  cache_.valid = false;
+  options_.power_cap = cap;
+  ++counters_.cap_updates;
+}
+
+bool Engine::cancel(JobId id) {
+  const auto it = std::find_if(running_.begin(), running_.end(),
+                               [&](const RunningJob& r) { return r.id == id; });
+  if (it == running_.end()) return false;
+  flush_pending_telemetry();
+  JobStats& st = stats_.at(id);
+  st.cancelled = true;
+  st.finish_time = now_;
+  running_.erase(it);
+  cache_.valid = false;  // residency changed: demand/contention/power move
+  ++counters_.cancellations;
+  return true;
+}
+
+void Engine::set_meter_dropout(bool active) {
+  // The dropout changes what the governor *sees* from the next read on;
+  // pending ticks were produced under the old readings, so flush them.
+  flush_pending_telemetry();
+  cache_.valid = false;
+  meter_.set_dropout(active);
+}
+
+bool Engine::meter_dropout() const noexcept { return meter_.dropout(); }
 
 bool Engine::device_idle(DeviceKind d) const noexcept {
   return resident_count(d) == 0;

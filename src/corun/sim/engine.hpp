@@ -68,6 +68,7 @@ struct JobStats {
   Seconds finish_time = 0.0;
   double total_gb = 0.0;  ///< bytes moved, in GB
   bool finished = false;
+  bool cancelled = false;  ///< evicted mid-run; finish_time = cancel time
 
   [[nodiscard]] Seconds runtime() const noexcept {
     return finish_time - start_time;
@@ -88,6 +89,8 @@ struct EngineCounters {
   std::uint64_t horizons = 0;         ///< dynamics rebuilds (event horizons)
   std::uint64_t cache_hit_ticks = 0;  ///< event-mode ticks served from cache
   std::uint64_t job_events = 0;       ///< job completions emitted
+  std::uint64_t cancellations = 0;    ///< jobs evicted via cancel()
+  std::uint64_t cap_updates = 0;      ///< mid-run set_power_cap calls
 };
 
 /// Stepping policy of the simulation core. Both modes execute the same
@@ -146,6 +149,25 @@ class Engine {
   /// raise either domain above its ceiling. With GovernorPolicy::kNone the
   /// levels snap to the ceilings at the next control step.
   void set_ceilings(FreqLevel cpu, FreqLevel gpu);
+
+  /// Replaces the power cap mid-run (nullopt = uncapped). Enforcement still
+  /// requires a non-kNone governor policy; the governor reacts from the next
+  /// tick on. Both engine modes apply the change at the same tick boundary,
+  /// so trajectories stay bit-identical across modes.
+  void set_power_cap(std::optional<Watts> cap);
+
+  /// Evicts a running job: it stops consuming machine time at the current
+  /// clock, its stats freeze with `cancelled` set (finished stays false),
+  /// and the machine re-resolves contention without it. Returns false when
+  /// `id` is not currently running (already finished, cancelled, or
+  /// unknown).
+  bool cancel(JobId id);
+
+  /// Starts/ends a transient power-meter fault: while active the sensor
+  /// serves its last healthy reading (the governor flies blind) but the
+  /// noise RNG keeps advancing so replay stays deterministic.
+  void set_meter_dropout(bool active);
+  [[nodiscard]] bool meter_dropout() const noexcept;
 
   [[nodiscard]] DvfsState dvfs() const noexcept { return dvfs_; }
   [[nodiscard]] Seconds now() const noexcept { return now_; }

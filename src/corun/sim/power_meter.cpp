@@ -14,7 +14,10 @@ PowerMeter::PowerMeter(Rng rng, Watts noise_stddev)
 Watts PowerMeter::read(Watts true_power) {
   const Watts noisy =
       noise_stddev_ > 0.0 ? true_power + rng_.gaussian(noise_stddev_) : true_power;
-  return std::max(0.0, noisy);
+  const Watts reading = std::max(0.0, noisy);
+  if (dropout_) return held_;
+  held_ = reading;
+  return reading;
 }
 
 }  // namespace corun::sim

@@ -14,14 +14,23 @@ class PowerMeter {
   /// `noise_stddev` in watts; 0 disables noise.
   PowerMeter(Rng rng, Watts noise_stddev);
 
-  /// One sensor reading of the given true power (never negative).
+  /// One sensor reading of the given true power (never negative). During a
+  /// dropout the sensor register freezes: the noise stream still advances
+  /// (so replay stays in RNG lockstep across engine modes) but the caller
+  /// sees the last pre-fault reading — 0 W if the sensor never produced one.
   [[nodiscard]] Watts read(Watts true_power);
+
+  /// Starts/ends a transient sensor fault (see read()).
+  void set_dropout(bool active) noexcept { dropout_ = active; }
+  [[nodiscard]] bool dropout() const noexcept { return dropout_; }
 
   [[nodiscard]] Watts noise_stddev() const noexcept { return noise_stddev_; }
 
  private:
   Rng rng_;
   Watts noise_stddev_;
+  bool dropout_ = false;
+  Watts held_ = 0.0;  ///< last healthy reading, served while dropped out
 };
 
 }  // namespace corun::sim

@@ -1,0 +1,202 @@
+// Dynamic engine hooks: mid-run cap changes, job cancellation, and meter
+// dropout must behave sensibly AND stay bit-identical between the tick
+// oracle and the event-horizon engine (the hooks flush deferred telemetry
+// and invalidate the horizon cache; any divergence shows up here).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "corun/sim/engine.hpp"
+
+namespace corun::sim {
+namespace {
+
+JobSpec uniform_job(const std::string& name, Seconds cpu_time, Seconds gpu_time,
+                    double cf, GBps bw) {
+  JobSpec spec;
+  spec.name = name;
+  spec.cpu = DeviceProfile({Phase{.dur_ref = cpu_time, .compute_frac = cf,
+                                  .mem_bw = bw}});
+  spec.gpu = DeviceProfile({Phase{.dur_ref = gpu_time, .compute_frac = cf,
+                                  .mem_bw = bw}});
+  return spec;
+}
+
+EngineOptions capped_options(EngineMode mode) {
+  EngineOptions o;
+  o.mode = mode;
+  o.policy = GovernorPolicy::kGpuBiased;
+  o.power_cap = 30.0;
+  o.sample_interval = 0.25;
+  return o;
+}
+
+/// Runs the same dynamic script on a fresh engine and returns it.
+template <typename Script>
+Engine run_script(EngineMode mode, const EngineOptions& options,
+                  Script&& script) {
+  EngineOptions o = options;
+  o.mode = mode;
+  Engine engine(ivy_bridge(), o);
+  script(engine);
+  return engine;
+}
+
+template <typename Script>
+void expect_modes_identical(const EngineOptions& options, Script&& script) {
+  Engine tick = run_script(EngineMode::kTick, options, script);
+  Engine event = run_script(EngineMode::kEvent, options, script);
+
+  const auto ts = tick.all_stats();
+  const auto es = event.all_stats();
+  ASSERT_EQ(ts.size(), es.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(ts[i].finished, es[i].finished) << ts[i].name;
+    EXPECT_EQ(ts[i].cancelled, es[i].cancelled) << ts[i].name;
+    EXPECT_EQ(ts[i].finish_time, es[i].finish_time) << ts[i].name;
+    EXPECT_EQ(ts[i].total_gb, es[i].total_gb) << ts[i].name;
+  }
+  EXPECT_EQ(tick.telemetry().energy(), event.telemetry().energy());
+  const auto& tsamp = tick.telemetry().samples();
+  const auto& esamp = event.telemetry().samples();
+  ASSERT_EQ(tsamp.size(), esamp.size());
+  for (std::size_t i = 0; i < tsamp.size(); ++i) {
+    EXPECT_EQ(tsamp[i].measured, esamp[i].measured) << "sample " << i;
+    EXPECT_EQ(tsamp[i].true_power, esamp[i].true_power) << "sample " << i;
+    EXPECT_EQ(tsamp[i].cpu_level, esamp[i].cpu_level) << "sample " << i;
+    EXPECT_EQ(tsamp[i].gpu_level, esamp[i].gpu_level) << "sample " << i;
+  }
+}
+
+TEST(EngineDynamic, MidRunCapDropThrottles) {
+  Engine engine(ivy_bridge(), capped_options(EngineMode::kEvent));
+  engine.launch(uniform_job("c", 30.0, 30.0, 0.6, 8.0), DeviceKind::kCpu);
+  engine.launch(uniform_job("g", 30.0, 30.0, 0.6, 8.0), DeviceKind::kGpu);
+  engine.set_ceilings(15, 9);
+  engine.run_for(10.0);
+  const FreqLevel cpu_before = engine.dvfs().cpu_level;
+
+  engine.set_power_cap(14.0);
+  EXPECT_EQ(engine.counters().cap_updates, 1u);
+  engine.run_for(10.0);
+  // A much tighter budget must have pushed at least one domain down.
+  EXPECT_LT(engine.dvfs().cpu_level + engine.dvfs().gpu_level,
+            cpu_before + 9);
+  engine.run_until_idle();
+}
+
+TEST(EngineDynamic, CapRemovalUnthrottles) {
+  Engine engine(ivy_bridge(), capped_options(EngineMode::kEvent));
+  engine.launch(uniform_job("c", 40.0, 40.0, 0.6, 8.0), DeviceKind::kCpu);
+  engine.launch(uniform_job("g", 40.0, 40.0, 0.6, 8.0), DeviceKind::kGpu);
+  engine.set_ceilings(15, 9);
+  engine.run_for(10.0);
+
+  engine.set_power_cap(std::nullopt);
+  engine.run_for(15.0);
+  // Uncapped, the governor walks both domains back to their ceilings.
+  EXPECT_EQ(engine.dvfs().cpu_level, 15);
+  EXPECT_EQ(engine.dvfs().gpu_level, 9);
+  engine.run_until_idle();
+}
+
+TEST(EngineDynamic, CancelFreezesStatsAndFreesDevice) {
+  EngineOptions o;
+  o.mode = EngineMode::kEvent;
+  Engine engine(ivy_bridge(), o);
+  const JobId victim =
+      engine.launch(uniform_job("v", 60.0, 60.0, 0.5, 6.0), DeviceKind::kGpu);
+  const JobId other =
+      engine.launch(uniform_job("o", 20.0, 20.0, 0.5, 6.0), DeviceKind::kCpu);
+  engine.set_ceilings(15, 9);
+  engine.run_for(5.0);
+
+  ASSERT_TRUE(engine.cancel(victim));
+  EXPECT_EQ(engine.counters().cancellations, 1u);
+  EXPECT_TRUE(engine.device_idle(DeviceKind::kGpu));
+  const JobStats& vs = engine.stats(victim);
+  EXPECT_TRUE(vs.cancelled);
+  EXPECT_FALSE(vs.finished);
+  EXPECT_NEAR(vs.finish_time, 5.0, 0.02);
+
+  // The machine keeps running without it; a cancelled id cannot be
+  // cancelled twice.
+  EXPECT_FALSE(engine.cancel(victim));
+  EXPECT_FALSE(engine.cancel(9999));
+  engine.run_until_idle();
+  EXPECT_TRUE(engine.stats(other).finished);
+}
+
+TEST(EngineDynamic, DropoutHoldsLastReading) {
+  EngineOptions o;
+  o.mode = EngineMode::kEvent;
+  o.sample_interval = 0.5;
+  Engine engine(ivy_bridge(), o);
+  engine.launch(uniform_job("j", 40.0, 40.0, 0.5, 6.0), DeviceKind::kCpu);
+  engine.set_ceilings(15, 9);
+  engine.run_for(5.0);
+
+  engine.set_meter_dropout(true);
+  EXPECT_TRUE(engine.meter_dropout());
+  engine.run_for(5.0);
+  engine.set_meter_dropout(false);
+  engine.run_until_idle();
+
+  // While dropped out, every sample repeats the held reading even though
+  // true power keeps being modelled.
+  const auto& samples = engine.telemetry().samples();
+  std::vector<Watts> held;
+  for (const PowerSample& s : samples) {
+    // The window stops short of 10.0: `now_` accumulates dt rounding, so
+    // the first healthy sample after the dropout can land at 10.0 - ulp.
+    if (s.t > 5.25 && s.t < 9.75) held.push_back(s.measured);
+  }
+  ASSERT_GE(held.size(), 2u);
+  for (const Watts w : held) EXPECT_EQ(w, held.front());
+}
+
+TEST(EngineDynamic, CapChangeBitIdenticalAcrossModes) {
+  expect_modes_identical(capped_options(EngineMode::kEvent), [](Engine& e) {
+    e.launch(uniform_job("c", 25.0, 25.0, 0.6, 7.0), DeviceKind::kCpu);
+    e.launch(uniform_job("g", 18.0, 12.0, 0.4, 9.0), DeviceKind::kGpu);
+    e.set_ceilings(15, 9);
+    e.run_for(7.3);
+    e.set_power_cap(13.0);
+    e.run_for(6.1);
+    e.set_power_cap(std::nullopt);
+    e.run_until_idle();
+  });
+}
+
+TEST(EngineDynamic, CancelBitIdenticalAcrossModes) {
+  EngineOptions o = capped_options(EngineMode::kEvent);
+  expect_modes_identical(o, [](Engine& e) {
+    const JobId victim =
+        e.launch(uniform_job("v", 50.0, 50.0, 0.5, 8.0), DeviceKind::kGpu);
+    e.launch(uniform_job("s", 30.0, 30.0, 0.5, 5.0), DeviceKind::kCpu);
+    e.set_ceilings(15, 9);
+    e.run_for(8.0);
+    ASSERT_TRUE(e.cancel(victim));
+    e.launch(uniform_job("n", 10.0, 8.0, 0.6, 4.0), DeviceKind::kGpu);
+    e.run_until_idle();
+  });
+}
+
+TEST(EngineDynamic, DropoutBitIdenticalAcrossModes) {
+  EngineOptions o = capped_options(EngineMode::kEvent);
+  o.cap_window = 2.0;  // windowed cap: EMA must also stay in lockstep
+  expect_modes_identical(o, [](Engine& e) {
+    e.launch(uniform_job("c", 30.0, 30.0, 0.6, 8.0), DeviceKind::kCpu);
+    e.launch(uniform_job("g", 22.0, 16.0, 0.5, 7.0), DeviceKind::kGpu);
+    e.set_ceilings(15, 9);
+    e.run_for(4.7);
+    e.set_meter_dropout(true);
+    e.run_for(3.9);
+    e.set_meter_dropout(false);
+    e.run_until_idle();
+  });
+}
+
+}  // namespace
+}  // namespace corun::sim

@@ -118,6 +118,63 @@ normalize_trace trace_j1.json
 normalize_trace trace_j4.json
 cmp trace_j1.json.norm trace_j4.json.norm
 
+echo "== corun-run --events (random spec, dynamic mode) =="
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --events "random:arrivals=1,cancels=1,caps=1,horizon=40,seed=7,programs=lud" \
+    --power-trace dyn_trace.csv | tee dyn.out
+test -s dyn_trace.csv
+grep -q "dynamic, reschedule on" dyn.out
+grep -q "events:" dyn.out
+grep -q "makespan=" dyn.out
+grep -q "replans:" dyn.out
+
+echo "== corun-run --events (CSV plan round trip) =="
+cat > faults.csv <<EOF
+time,kind,program,input_scale,seed,target,cap,factor,duration
+5,cap,-,-,0,-,12,-,-
+10,arrival,lud,0.8,77,-,-,-,-
+EOF
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --events faults.csv | grep -q "events:    2 planned"
+
+# The "wrote power trace to <file>" line echoes the output filename, which
+# necessarily differs between the paired runs; drop it before comparing.
+strip_trace_path() { grep -v "wrote power trace" "$1" > "$1.cmp"; }
+
+echo "== dynamic run is byte-identical across --jobs 1 vs --jobs 4 =="
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --events faults.csv --jobs 1 --power-trace dyn_j1.csv > dyn_j1.out
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --events faults.csv --jobs 4 --power-trace dyn_j4.csv > dyn_j4.out
+strip_trace_path dyn_j1.out
+strip_trace_path dyn_j4.out
+cmp dyn_j1.out.cmp dyn_j4.out.cmp
+cmp dyn_j1.csv dyn_j4.csv
+
+echo "== dynamic run is byte-identical across --engine tick vs event =="
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --events faults.csv --engine tick --power-trace dyn_tick.csv \
+    > dyn_tick.out
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --events faults.csv --engine event --power-trace dyn_event.csv \
+    > dyn_event.out
+strip_trace_path dyn_tick.out
+strip_trace_path dyn_event.out
+cmp dyn_tick.out.cmp dyn_event.out.cmp
+cmp dyn_tick.csv dyn_event.csv
+
+echo "== --events rejects --plan and bad --reschedule =="
+if "$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --events faults.csv --plan plan.csv 2>/dev/null; then
+  echo "expected usage error for --events with --plan" >&2
+  exit 1
+fi
+if "$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --events faults.csv --reschedule maybe 2>/dev/null; then
+  echo "expected usage error for bad --reschedule" >&2
+  exit 1
+fi
+
 echo "== --trace output is valid JSON =="
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool trace1.json > /dev/null

@@ -11,10 +11,12 @@
 
 #include "corun/common/csv.hpp"
 #include "corun/common/flags.hpp"
+#include "corun/core/runtime/dynamic.hpp"
 #include "corun/core/runtime/runtime.hpp"
 #include "corun/core/runtime/timeline.hpp"
 #include "corun/core/sched/registry.hpp"
 #include "corun/core/sched/scheduler.hpp"
+#include "corun/sim/fault_injector.hpp"
 #include "tool_io.hpp"
 
 namespace {
@@ -22,9 +24,86 @@ const char kUsage[] =
     "corun-run --batch batch.csv --profiles profiles.csv --grid grid.csv "
     "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
     "[--plan plan.csv] [--policy gpu|cpu] [--seed 42] "
+    "[--events faults.csv|random:arrivals=2,caps=1,...] [--reschedule on|off] "
     "[--power-trace power.csv] [--gantt] [--jobs N] [--engine event|tick] "
     "[--trace trace.json]";
+
+/// Dynamic-mode execution: drives the batch through the fault stream with
+/// the online rescheduler instead of the one-shot static runtime.
+int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
+                     const corun::profile::ProfileDB& db,
+                     const corun::model::DegradationGrid& grid,
+                     const corun::sim::MachineConfig& config,
+                     const corun::sim::GovernorPolicy policy,
+                     const std::string& scheduler, std::uint64_t seed,
+                     const std::string& trace_path) {
+  using namespace corun;
+  const std::string events = f.get("events", "");
+  Expected<sim::FaultPlan> plan = [&]() -> Expected<sim::FaultPlan> {
+    if (events.rfind("random:", 0) == 0) {
+      return sim::generate_fault_plan_from_spec(events);
+    }
+    const auto text = tools::read_file(events);
+    if (!text.has_value()) return text.error();
+    return sim::fault_plan_from_csv(text.value());
+  }();
+  if (!plan.has_value()) {
+    return tools::usage_error(plan.error().message, kUsage);
+  }
+  const std::string resched = f.get("reschedule", "on");
+  if (resched != "on" && resched != "off") {
+    return tools::usage_error("--reschedule must be on|off", kUsage);
+  }
+
+  runtime::DynamicOptions opts;
+  if (f.has("cap")) opts.cap = f.get_double("cap", 15.0);
+  opts.policy = policy;
+  opts.seed = seed;
+  opts.scheduler = scheduler;
+  opts.reschedule = resched == "on";
+  const runtime::DynamicRuntime runner(config, opts);
+  const runtime::DynamicReport report = runner.execute(batch, db, grid, plan.value());
+
+  std::printf("scheduler: %s (dynamic, reschedule %s)\n", scheduler.c_str(),
+              resched.c_str());
+  std::printf("events:    %zu planned\n", plan.value().size());
+  std::printf("result:    %s", report.summary().c_str());
+  for (const runtime::AppliedFault& a : report.log) {
+    std::printf("  [%8.2fs] %-8s %s\n", a.applied_at,
+                sim::fault_kind_name(a.event.kind), a.detail.c_str());
+  }
+  std::printf("%-18s %-4s %10s %10s %10s\n", "job", "dev", "start", "finish",
+              "runtime");
+  for (const runtime::JobOutcome& j : report.report.jobs) {
+    std::printf("%-18s %-4s %10.2f %10.2f %10.2f\n", j.name.c_str(),
+                sim::device_name(j.device), j.start, j.finish, j.runtime());
+  }
+  if (f.has("power-trace")) {
+    std::ostringstream oss;
+    CsvWriter writer(oss);
+    writer.write_row({"t_s", "measured_w", "true_w", "cpu_level", "gpu_level",
+                      "cpu_bw", "gpu_bw"});
+    for (const sim::PowerSample& s : report.report.power_trace) {
+      writer.write_row({std::to_string(s.t), std::to_string(s.measured),
+                        std::to_string(s.true_power),
+                        std::to_string(s.cpu_level),
+                        std::to_string(s.gpu_level), std::to_string(s.cpu_bw),
+                        std::to_string(s.gpu_bw)});
+    }
+    if (!tools::write_file(f.get("power-trace", ""), oss.str())) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   f.get("power-trace", "").c_str());
+      return 1;
+    }
+    std::printf("wrote power trace to %s (%zu samples)\n",
+                f.get("power-trace", "").c_str(),
+                report.report.power_trace.size());
+  }
+  if (!tools::finish_trace(trace_path)) return 1;
+  return 0;
 }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace corun;
@@ -32,7 +111,7 @@ int main(int argc, char** argv) {
                                   {"batch", "profiles", "grid", "cap",
                                    "scheduler", "policy", "seed",
                                    "power-trace", "plan", "jobs", "engine",
-                                   "trace"},
+                                   "trace", "events", "reschedule"},
                                   {"gantt"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -78,6 +157,19 @@ int main(int argc, char** argv) {
 
   const std::string which = f.get("scheduler", "hcs+");
   const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 42));
+
+  if (f.has("events")) {
+    if (f.has("plan")) {
+      return tools::usage_error("--events and --plan are mutually exclusive "
+                                "(dynamic mode replans online)",
+                                kUsage);
+    }
+    if (sched::make_scheduler(which, seed) == nullptr) {
+      return tools::usage_error("unknown scheduler '" + which + "'", kUsage);
+    }
+    return run_dynamic_mode(f, batch.value(), db.value(), grid.value(),
+                            config, policy, which, seed, trace_path);
+  }
 
   sched::Schedule schedule;
   std::string plan_source;
