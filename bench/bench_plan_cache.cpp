@@ -1,0 +1,186 @@
+// Plan-cache payoff: how much search the memoization layer actually
+// saves. Two measurements, both on the 8-program batch with the B&B
+// planner (the expensive search the cache exists to amortize):
+//
+//   1. Repeated-request throughput: the same cap ladder planned over and
+//      over, cold (no cache, full search each time) vs hot (memory tier,
+//      every request an exact hit). The acceptance floor is a 5x speedup;
+//      in practice an exact hit costs one signature digest plus a map
+//      lookup, orders of magnitude below a search.
+//   2. Warm-started search: a cap sweep where each cap seeds the B&B
+//      incumbent with the re-evaluated schedule of the neighbouring cap
+//      (exactly what PlanCache::near_lookup feeds the scheduler). Reports
+//      total nodes visited warm vs cold, and verifies the returned
+//      schedules are identical — the warm start may only prune, never
+//      steer.
+//
+// Writes BENCH_plan_cache.json with *_per_wall rate keys so
+// scripts/check_bench_regression.py can gate on them.
+//
+//   ./bench_plan_cache [out.json]     (default: BENCH_plan_cache.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "corun/common/check.hpp"
+#include "corun/core/model/corun_predictor.hpp"
+#include "corun/core/sched/branch_and_bound.hpp"
+#include "corun/core/sched/makespan_evaluator.hpp"
+#include "corun/core/sched/plan_cache/caching_scheduler.hpp"
+#include "corun/core/sched/plan_cache/plan_cache.hpp"
+#include "corun/core/sched/registry.hpp"
+#include "corun/workload/batch.hpp"
+
+namespace {
+
+using namespace corun;
+
+std::vector<Watts> cap_ladder() {
+  std::vector<Watts> caps;
+  for (double cap = 10.0; cap <= 20.0; cap += 1.0) caps.push_back(cap);
+  return caps;
+}
+
+sched::SchedulerContext make_ctx(const workload::Batch& batch,
+                                 const model::CoRunPredictor& predictor,
+                                 Watts cap) {
+  sched::SchedulerContext ctx;
+  ctx.batch = &batch;
+  ctx.predictor = &predictor;
+  ctx.cap = cap;
+  return ctx;
+}
+
+/// Plans every cap in the ladder once through `scheduler`; returns wall
+/// seconds.
+double ladder_pass(sched::Scheduler& scheduler, const workload::Batch& batch,
+                   const model::CoRunPredictor& predictor,
+                   const std::vector<Watts>& caps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Watts cap : caps) {
+    const sched::SchedulerContext ctx = make_ctx(batch, predictor, cap);
+    const sched::Schedule schedule = scheduler.plan(ctx);
+    CORUN_CHECK(schedule.job_count() == batch.size());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Plan cache",
+                "Exact-hit replay throughput and warm-started B&B node "
+                "savings on a repeated cap-ladder workload.");
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_plan_cache.json";
+  const bool quick = bench::quick_mode();
+
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const workload::Batch batch = workload::make_batch_8(42);
+  const runtime::ModelArtifacts artifacts =
+      quick ? bench::quick_artifacts(config, batch)
+            : bench::full_artifacts(config, batch);
+  const model::CoRunPredictor predictor(artifacts.db, artifacts.grid, config);
+  const std::vector<Watts> caps = cap_ladder();
+
+  // -- 1. Repeated-request throughput, cold vs exact-hit -------------------
+  const int rounds = quick ? 2 : 3;
+  const int hit_passes_per_round = 8;  // hits are cheap; batch them
+  auto cold_scheduler = sched::make_scheduler("bnb", 42);
+  auto cache = sched::PlanCache::from_spec("mem").value();
+  auto hot_scheduler = sched::make_cached_scheduler("bnb", 42, cache);
+  (void)ladder_pass(*hot_scheduler, batch, predictor, caps);  // populate
+  CORUN_CHECK(cache->stats().stores == caps.size());
+
+  // Best-of-rounds on both sides: machine noise hits cold and hot alike,
+  // and one fast round proves the path's true cost.
+  double best_cold = 0.0;
+  double best_hit = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    const double cold_wall =
+        ladder_pass(*cold_scheduler, batch, predictor, caps);
+    double hit_wall = 0.0;
+    for (int pass = 0; pass < hit_passes_per_round; ++pass) {
+      hit_wall += ladder_pass(*hot_scheduler, batch, predictor, caps);
+    }
+    if (cold_wall > 0.0) {
+      best_cold = std::max(
+          best_cold, static_cast<double>(caps.size()) / cold_wall);
+    }
+    if (hit_wall > 0.0) {
+      best_hit = std::max(best_hit,
+                          static_cast<double>(caps.size()) *
+                              hit_passes_per_round / hit_wall);
+    }
+  }
+  const sched::PlanCacheStats stats = cache->stats();
+  CORUN_CHECK(stats.hits > 0 && stats.misses == caps.size());
+  const double hit_speedup = best_cold > 0.0 ? best_hit / best_cold : 0.0;
+
+  // -- 2. Warm-started vs cold B&B node counts -----------------------------
+  // Walk the ladder; at each cap past the first, seed the incumbent with
+  // the previous cap's schedule re-evaluated at the current cap — the
+  // near-hit path of the cache — and require the identical schedule back.
+  std::size_t cold_nodes = 0;
+  std::size_t warm_nodes = 0;
+  sched::Schedule prev;
+  bool identical = true;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const sched::SchedulerContext ctx = make_ctx(batch, predictor, caps[i]);
+    sched::BranchAndBoundScheduler cold_bnb;
+    const sched::Schedule cold_plan = cold_bnb.plan(ctx);
+    if (i > 0) {
+      cold_nodes += cold_bnb.nodes_visited();
+      sched::SchedulerContext warmed = ctx;
+      warmed.incumbent_hint =
+          sched::MakespanEvaluator(ctx).makespan(prev);
+      sched::BranchAndBoundScheduler warm_bnb;
+      const sched::Schedule warm_plan = warm_bnb.plan(warmed);
+      warm_nodes += warm_bnb.nodes_visited();
+      identical = identical && warm_plan.to_string(ctx.job_names()) ==
+                                   cold_plan.to_string(ctx.job_names());
+    }
+    prev = cold_plan;
+  }
+  CORUN_CHECK_MSG(identical, "warm-started B&B changed the schedule");
+  const double node_reduction =
+      cold_nodes > 0
+          ? 1.0 - static_cast<double>(warm_nodes) /
+                      static_cast<double>(cold_nodes)
+          : 0.0;
+
+  Table table({"measurement", "cold", "hot/warm", "gain"});
+  table.add_row({"plans/s (11-cap ladder)", Table::num(best_cold),
+                 Table::num(best_hit),
+                 Table::num(hit_speedup) + "x"});
+  table.add_row({"B&B nodes (cap sweep)", std::to_string(cold_nodes),
+                 std::to_string(warm_nodes), bench::pct(node_reduction)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("warm-started schedules identical to cold: %s\n",
+              identical ? "yes" : "NO");
+
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"bench\": \"plan_cache\",\n"
+                "  \"cold_plans_per_wall\": %.1f,\n"
+                "  \"hit_plans_per_wall\": %.1f,\n"
+                "  \"exact_hit_speedup\": %.1f,\n"
+                "  \"cold_bnb_nodes\": %zu,\n"
+                "  \"warm_bnb_nodes\": %zu,\n"
+                "  \"warm_node_reduction_pct\": %.1f\n}\n",
+                best_cold, best_hit, hit_speedup, cold_nodes, warm_nodes,
+                node_reduction * 100.0);
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(buf, out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -3,10 +3,14 @@
 
 Compares a freshly produced bench JSON against the checked-in baseline and
 fails (exit 1) when any throughput rate regressed by more than the allowed
-factor. Only keys ending in `_sim_per_wall` are compared — they are
-simulated-seconds-per-wall-second rates, so higher is better and they are
-the only fields that should gate CI (speedup ratios and event counts are
-derived or environment-sensitive).
+factor. Only keys ending in `_per_wall` are compared — they are
+work-per-wall-second rates (simulated seconds, plans, ...), so higher is
+better and they are the only fields that should gate CI (speedup ratios
+and event counts are derived or environment-sensitive).
+
+A baseline rate that is absent from the new results is a hard failure in
+its own right: it means the bench that produces it no longer runs or was
+renamed, which is exactly the silent decay the guard exists to catch.
 
 The default threshold is deliberately loose (2x): CI runners are noisy
 shared machines, and the guard exists to catch order-of-magnitude
@@ -27,12 +31,12 @@ import sys
 
 
 def rates(node, prefix=""):
-    """Flattens every *_sim_per_wall key to a {path: value} dict."""
+    """Flattens every *_per_wall rate key to a {path: value} dict."""
     out = {}
     if isinstance(node, dict):
         for key, value in node.items():
             path = f"{prefix}.{key}" if prefix else key
-            if key.endswith("_sim_per_wall") and isinstance(value, (int, float)):
+            if key.endswith("_per_wall") and isinstance(value, (int, float)):
                 out[path] = float(value)
             else:
                 out.update(rates(value, path))
@@ -62,14 +66,18 @@ def main():
                 new[key] = max(new.get(key, rate), rate)
 
     if not base:
-        print(f"error: no *_sim_per_wall rates in {args.baseline}")
+        print(f"error: no *_per_wall rates in {args.baseline}")
         return 2
 
     failures = []
     for path, base_rate in sorted(base.items()):
         new_rate = new.get(path)
         if new_rate is None:
-            failures.append(f"{path}: missing from new results")
+            print(f"FAIL {path}: baseline {base_rate:.1f}, "
+                  f"no matching rate in new results")
+            failures.append(
+                f"{path}: baseline rate missing from new results — the "
+                f"bench that produces it did not run or renamed the key")
             continue
         floor = base_rate / args.factor
         verdict = "FAIL" if new_rate < floor else "ok"

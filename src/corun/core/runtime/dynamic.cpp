@@ -11,6 +11,7 @@
 #include "corun/common/rng.hpp"
 #include "corun/common/trace/trace.hpp"
 #include "corun/core/model/corun_predictor.hpp"
+#include "corun/core/sched/plan_cache/caching_scheduler.hpp"
 #include "corun/core/sched/registry.hpp"
 #include "corun/profile/online_profiler.hpp"
 #include "corun/workload/rodinia.hpp"
@@ -84,6 +85,9 @@ class Executor {
                      [](const TimelineEntry& a, const TimelineEntry& b) {
                        return a.time < b.time;
                      });
+    if (options_.plan_cache) {
+      cache_stats_at_start_ = options_.plan_cache->stats();
+    }
     rebuild_predictor();
   }
 
@@ -302,7 +306,8 @@ class Executor {
     // yet different across replans of one run.
     const std::uint64_t seed = options_.seed + 7919 * (report_.replans + 1);
     auto try_plan = [&](const std::string& name) -> bool {
-      const auto scheduler = sched::make_scheduler(name, seed);
+      const auto scheduler =
+          sched::make_cached_scheduler(name, seed, options_.plan_cache);
       if (!scheduler) return false;
       try {
         const sched::Schedule plan = scheduler->plan(ctx);
@@ -603,6 +608,13 @@ class Executor {
                         static_cast<std::int64_t>(report_.cancellations));
     CORUN_TRACE_COUNTER("dynamic.cap_changes",
                         static_cast<std::int64_t>(report_.cap_changes));
+    if (options_.plan_cache) {
+      const sched::PlanCacheStats now = options_.plan_cache->stats();
+      report_.plan_cache_hits = now.hits - cache_stats_at_start_.hits;
+      report_.plan_cache_misses = now.misses - cache_stats_at_start_.misses;
+      report_.plan_cache_warm_hits =
+          now.warm_hits - cache_stats_at_start_.warm_hits;
+    }
     return std::move(report_);
   }
 
@@ -623,6 +635,7 @@ class Executor {
   bool shared_queue_ = false;
   bool model_dvfs_ = false;
   std::optional<Watts> current_cap_;
+  sched::PlanCacheStats cache_stats_at_start_;
 
   DynamicReport report_;
 };

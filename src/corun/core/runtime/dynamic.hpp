@@ -33,6 +33,7 @@
 
 #include "corun/core/model/degradation_space.hpp"
 #include "corun/core/runtime/report.hpp"
+#include "corun/core/sched/plan_cache/plan_cache.hpp"
 #include "corun/profile/profile_db.hpp"
 #include "corun/sim/engine.hpp"
 #include "corun/sim/fault_injector.hpp"
@@ -61,6 +62,14 @@ struct DynamicOptions {
 
   /// Online-sampling window for rung 3 of the degradation ladder.
   Seconds online_sample_seconds = 2.0;
+
+  /// Memoized plan cache consulted before every (re-)plan; null = off. May
+  /// be shared across runs — repeated sub-problems (same pending set at the
+  /// same cap) then skip the search entirely, and near hits warm-start the
+  /// branch-and-bound incumbent. Cache state never changes the schedules
+  /// or reports produced (exact hits replay identical requests; warm hints
+  /// only tighten pruning), so runs stay byte-identical with it on or off.
+  std::shared_ptr<sched::PlanCache> plan_cache;
 };
 
 /// What happened when one fault event was applied.
@@ -100,6 +109,14 @@ struct DynamicReport {
   std::size_t fallback_plans = 0;       ///< rung 4/5 plans
   Seconds sampling_overhead = 0.0;      ///< simulated seconds of rung-3 runs
   PlannerRung last_rung = PlannerRung::kConfigured;
+
+  /// Plan-cache activity attributable to this run (deltas over the shared
+  /// cache's counters; all zero when no cache was configured). Reported
+  /// separately from summary() so cached and uncached runs stay
+  /// byte-identical on stdout.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  std::uint64_t plan_cache_warm_hits = 0;
 
   [[nodiscard]] std::string summary() const;
 };

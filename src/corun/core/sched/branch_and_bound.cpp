@@ -68,6 +68,19 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
   Schedule best_schedule = seed.plan(ctx);
   Seconds seed_makespan = evaluator.makespan(best_schedule);
 
+  // A warm-start hint (plan cache near hit) tightens the *pruning bound*
+  // only. The final reduction still compares against the HCS+ seed, and the
+  // strict `bound > incumbent` test never cuts a subtree that can reach the
+  // optimum (the hint is achievable, so optimum <= hint): within the node
+  // budget the search visits the same improving leaves and returns a
+  // byte-identical schedule, just through fewer nodes.
+  Seconds start_incumbent = seed_makespan;
+  warm_started_ = ctx.incumbent_hint.has_value();
+  if (ctx.incumbent_hint) {
+    start_incumbent = std::min(start_incumbent, *ctx.incumbent_hint);
+    CORUN_TRACE_INSTANT("sched", "bnb.warm_start");
+  }
+
   auto leaf_schedule = [&](const SearchState& s) {
     Schedule schedule;
     schedule.model_dvfs = true;
@@ -133,7 +146,7 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
   // frontier order below, which keeps the returned plan deterministic (the
   // strict `bound > incumbent` pruning test can never cut a subtree's path
   // to its own minimum when that minimum ties the global one).
-  std::atomic<double> incumbent{seed_makespan};
+  std::atomic<double> incumbent{start_incumbent};
   std::atomic<std::size_t> nodes{0};
   std::atomic<std::size_t> pruned{0};
   std::atomic<std::size_t> leaves{0};
@@ -231,6 +244,7 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
   CORUN_TRACE_COUNTER("bnb.pruned", pruned_);
   CORUN_TRACE_COUNTER("bnb.leaves", leaves_);
   CORUN_TRACE_COUNTER("bnb.incumbent_updates", incumbent_updates_);
+  if (warm_started_) CORUN_TRACE_COUNTER("bnb.warm_started_nodes", nodes_);
 
   // Polish the winning placement's per-device order.
   const Refiner refiner;

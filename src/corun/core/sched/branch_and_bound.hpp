@@ -50,6 +50,9 @@ class BranchAndBoundScheduler : public Scheduler {
   [[nodiscard]] bool exhausted_budget() const noexcept {
     return budget_exhausted_;
   }
+  /// True when the last plan() was seeded with a SchedulerContext
+  /// incumbent_hint (plan-cache warm start).
+  [[nodiscard]] bool warm_started() const noexcept { return warm_started_; }
 
  private:
   BranchAndBoundOptions options_;
@@ -58,6 +61,7 @@ class BranchAndBoundScheduler : public Scheduler {
   std::size_t leaves_ = 0;
   std::size_t incumbent_updates_ = 0;
   bool budget_exhausted_ = false;
+  bool warm_started_ = false;
 };
 
 }  // namespace corun::sched

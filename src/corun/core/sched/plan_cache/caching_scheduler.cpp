@@ -1,0 +1,76 @@
+#include "corun/core/sched/plan_cache/caching_scheduler.hpp"
+
+#include <utility>
+
+#include "corun/common/check.hpp"
+#include "corun/common/trace/trace.hpp"
+#include "corun/core/sched/makespan_evaluator.hpp"
+#include "corun/core/sched/registry.hpp"
+
+namespace corun::sched {
+
+CachingScheduler::CachingScheduler(std::unique_ptr<Scheduler> inner,
+                                   std::shared_ptr<PlanCache> cache,
+                                   std::string registry_id, std::uint64_t seed)
+    : inner_(std::move(inner)),
+      cache_(std::move(cache)),
+      registry_id_(std::move(registry_id)),
+      seed_(seed),
+      bypass_(registry_id_ == "random") {
+  CORUN_CHECK(inner_ != nullptr);
+}
+
+Schedule CachingScheduler::plan(const SchedulerContext& ctx) {
+  if (!cache_ || bypass_) return inner_->plan(ctx);
+  CORUN_TRACE_SPAN("sched", "plan_cache.plan");
+
+  // Every cached registry planner is deterministic and ignores its seed
+  // ("random", the one seed-sensitive baseline, bypasses the cache above),
+  // so the seed is pinned to 0 in the signature: dynamic re-plans derive a
+  // fresh seed per event, and keying on it would split identical
+  // sub-problems into distinct cache lines.
+  const PlanSignature sig = make_signature(ctx, registry_id_, 0);
+  const std::vector<std::string> batch_names = ctx.job_names();
+  if (auto hit = cache_->lookup(sig, batch_names)) {
+    return std::move(*hit);
+  }
+
+  SchedulerContext warmed = ctx;
+  if (auto near = cache_->near_lookup(sig, batch_names)) {
+    // The candidate is a real, valid schedule for this very job set; its
+    // makespan under the *current* evaluator is achievable, hence a sound
+    // incumbent seed regardless of how far the cap or the profiles moved
+    // since it was stored. Candidates the evaluator rejects (e.g. a level
+    // now infeasible without model-driven DVFS) are simply dropped.
+    try {
+      const MakespanEvaluator evaluator(ctx);
+      warmed.incumbent_hint = evaluator.makespan(near->schedule);
+    } catch (const ContractViolation&) {
+      warmed.incumbent_hint.reset();
+    }
+  }
+
+  Schedule planned = inner_->plan(warmed);
+  Seconds makespan = 0.0;
+  try {
+    const MakespanEvaluator evaluator(ctx);
+    makespan = evaluator.makespan(planned);
+  } catch (const ContractViolation&) {
+    // A plan the evaluator cannot replay is still returnable, just not a
+    // useful warm-start donor; store it with a zero advisory makespan.
+  }
+  cache_->store(sig, planned, batch_names, makespan);
+  return planned;
+}
+
+std::unique_ptr<Scheduler> make_cached_scheduler(
+    const std::string& name, std::uint64_t seed,
+    std::shared_ptr<PlanCache> cache) {
+  auto inner = make_scheduler(name, seed);
+  if (inner == nullptr) return nullptr;
+  if (cache == nullptr) return inner;
+  return std::make_unique<CachingScheduler>(std::move(inner),
+                                            std::move(cache), name, seed);
+}
+
+}  // namespace corun::sched

@@ -1,0 +1,59 @@
+// CachingScheduler: makes any registry scheduler memoized.
+//
+// Wraps an inner Scheduler and a shared PlanCache. plan() first consults
+// the cache with the request's canonical signature: an exact hit returns
+// the cached schedule (remapped to the requesting batch's indices) without
+// invoking the inner search; a near hit (same family at a different cap,
+// or a cached superset batch) is re-evaluated under the current context
+// and passed to the inner search as SchedulerContext::incumbent_hint — an
+// achievable upper bound that branch-and-bound uses to start pruning
+// tight. Misses run the inner search and store its result.
+//
+// Invariant: with the cache attached, the returned schedule is always
+// byte-identical to what the inner scheduler would have produced cold —
+// exact hits replay the stored result of the identical request, and warm
+// hints only tighten the B&B incumbent value without ever being returned
+// themselves. Stochastic planners whose output depends on batch *order*
+// (the "random" baseline) bypass the cache entirely, because the
+// order-invariant signature would alias their order-sensitive results.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "corun/core/sched/plan_cache/plan_cache.hpp"
+#include "corun/core/sched/scheduler.hpp"
+
+namespace corun::sched {
+
+class CachingScheduler : public Scheduler {
+ public:
+  /// `registry_id` and `seed` identify the inner algorithm in signatures;
+  /// a null `cache` degrades to a plain pass-through.
+  CachingScheduler(std::unique_ptr<Scheduler> inner,
+                   std::shared_ptr<PlanCache> cache, std::string registry_id,
+                   std::uint64_t seed);
+
+  [[nodiscard]] Schedule plan(const SchedulerContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  [[nodiscard]] const PlanCache* cache() const noexcept {
+    return cache_.get();
+  }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  std::shared_ptr<PlanCache> cache_;
+  std::string registry_id_;
+  std::uint64_t seed_;
+  bool bypass_;  ///< order-sensitive planners are never cached
+};
+
+/// Registry convenience: constructs the named scheduler and, when `cache`
+/// is non-null, wraps it so its plans are memoized. Returns nullptr for
+/// unknown names (same contract as make_scheduler).
+[[nodiscard]] std::unique_ptr<Scheduler> make_cached_scheduler(
+    const std::string& name, std::uint64_t seed,
+    std::shared_ptr<PlanCache> cache);
+
+}  // namespace corun::sched

@@ -1,0 +1,268 @@
+#include "corun/core/sched/plan_cache/plan_cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "corun/common/check.hpp"
+#include "corun/common/csv.hpp"
+#include "corun/common/trace/trace.hpp"
+
+namespace corun::sched {
+
+namespace {
+
+/// True when every name in `needed` (sorted) appears in `have` (sorted).
+bool covers(const std::vector<std::string>& have,
+            const std::vector<std::string>& needed) {
+  return std::includes(have.begin(), have.end(), needed.begin(),
+                       needed.end());
+}
+
+/// Restricts a by-name schedule CSV to the rows whose job is in `keep`,
+/// preserving flags and relative order. Returns the filtered CSV text.
+std::optional<std::string> restrict_schedule_csv(
+    const std::string& text, const std::vector<std::string>& keep) {
+  const auto rows = parse_csv(text);
+  if (!rows.has_value()) return std::nullopt;
+  std::ostringstream out;
+  CsvWriter writer(out);
+  for (const auto& row : rows.value()) {
+    if (row.empty()) continue;
+    if (row[0] == "flags") {
+      writer.write_row(row);
+      continue;
+    }
+    if (row[0] != "entry" || row.size() != 6) return std::nullopt;
+    if (std::binary_search(keep.begin(), keep.end(), row[3])) {
+      writer.write_row(row);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+PlanCache::PlanCache(PlanCacheConfig config) : config_(std::move(config)) {
+  CORUN_CHECK_MSG(config_.capacity > 0, "plan cache capacity must be > 0");
+  if (!config_.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.dir, ec);
+  }
+}
+
+Expected<std::shared_ptr<PlanCache>> PlanCache::from_spec(
+    const std::string& spec) {
+  if (spec.empty() || spec == "off") return std::shared_ptr<PlanCache>{};
+  PlanCacheConfig config;
+  if (spec == "mem") return std::make_shared<PlanCache>(config);
+  if (spec.rfind("mem:", 0) == 0) {
+    try {
+      const long long capacity = std::stoll(spec.substr(4));
+      if (capacity <= 0) throw std::invalid_argument("non-positive");
+      config.capacity = static_cast<std::size_t>(capacity);
+    } catch (const std::exception&) {
+      return fail("plan cache: bad capacity in '" + spec + "'",
+                  ErrorCategory::kParse);
+    }
+    return std::make_shared<PlanCache>(config);
+  }
+  if (spec.rfind("dir:", 0) == 0 && spec.size() > 4) {
+    config.dir = spec.substr(4);
+    return std::make_shared<PlanCache>(config);
+  }
+  return fail("plan cache: spec must be off|mem|mem:<capacity>|dir:<path>, "
+              "got '" + spec + "'",
+              ErrorCategory::kParse);
+}
+
+std::optional<Schedule> PlanCache::lookup(
+    const PlanSignature& sig, const std::vector<std::string>& batch_names) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(sig.canonical);
+  if (it == index_.end()) {
+    if (auto loaded = load_from_disk_locked(sig)) {
+      ++stats_.disk_hits;
+      insert_locked(std::move(*loaded));
+      it = index_.find(sig.canonical);
+    }
+  }
+  if (it == index_.end()) {
+    ++stats_.misses;
+    CORUN_TRACE_COUNTER("plan_cache.misses", 1);
+    return std::nullopt;
+  }
+  // Touch: splice to the MRU end.
+  lru_.splice(lru_.end(), lru_, it->second);
+  it->second = std::prev(lru_.end());
+  auto schedule = schedule_from_csv(it->second->schedule_csv, batch_names);
+  if (!schedule.has_value()) {
+    // A stored plan that no longer resolves (should not happen for an
+    // exact signature match) is treated as a miss rather than an error.
+    ++stats_.misses;
+    CORUN_TRACE_COUNTER("plan_cache.misses", 1);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  CORUN_TRACE_COUNTER("plan_cache.hits", 1);
+  return std::move(schedule).value();
+}
+
+std::optional<WarmStartCandidate> PlanCache::near_lookup(
+    const PlanSignature& sig, const std::vector<std::string>& batch_names) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Most recently used first: re-plans typically follow the entry that was
+  // just stored (previous cap, pre-arrival batch), so recency is both the
+  // best heuristic and a deterministic tie-break.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (it->family != sig.family) continue;
+    if (it->canonical == sig.canonical) continue;
+    if (!covers(it->job_names, sig.job_names)) continue;
+    const auto restricted =
+        restrict_schedule_csv(it->schedule_csv, sig.job_names);
+    if (!restricted) continue;
+    auto schedule = schedule_from_csv(*restricted, batch_names);
+    if (!schedule.has_value()) continue;
+    ++stats_.warm_hits;
+    CORUN_TRACE_COUNTER("plan_cache.warm_hits", 1);
+    return WarmStartCandidate{.schedule = std::move(schedule).value(),
+                              .cached_makespan = it->makespan};
+  }
+  return std::nullopt;
+}
+
+void PlanCache::store(const PlanSignature& sig, const Schedule& schedule,
+                      const std::vector<std::string>& batch_names,
+                      Seconds makespan) {
+  std::ostringstream oss;
+  schedule_to_csv(schedule, batch_names, oss);
+  Entry entry{.canonical = sig.canonical,
+              .family = sig.family,
+              .job_names = sig.job_names,
+              .schedule_csv = oss.str(),
+              .makespan = makespan};
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  CORUN_TRACE_COUNTER("plan_cache.stores", 1);
+  if (!config_.dir.empty()) save_to_disk_locked(entry, sig.hash);
+  insert_locked(std::move(entry));
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::vector<std::string> PlanCache::lru_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(lru_.size());
+  for (const Entry& e : lru_) keys.push_back(e.canonical);
+  return keys;
+}
+
+void PlanCache::insert_locked(Entry entry) {
+  const auto it = index_.find(entry.canonical);
+  if (it != index_.end()) {
+    *it->second = std::move(entry);
+    lru_.splice(lru_.end(), lru_, it->second);
+    it->second = std::prev(lru_.end());
+    return;
+  }
+  if (lru_.size() >= config_.capacity) {
+    index_.erase(lru_.front().canonical);
+    lru_.pop_front();
+    ++stats_.evictions;
+    CORUN_TRACE_COUNTER("plan_cache.evictions", 1);
+  }
+  lru_.push_back(std::move(entry));
+  index_[lru_.back().canonical] = std::prev(lru_.end());
+}
+
+std::string PlanCache::entry_path(std::uint64_t hash) const {
+  return config_.dir + "/plan_" + hex64(hash) + ".csv";
+}
+
+std::string plan_cache_entry_to_csv(const std::string& canonical,
+                                    const std::string& family,
+                                    const std::vector<std::string>& job_names,
+                                    const std::string& schedule_csv,
+                                    Seconds makespan) {
+  std::ostringstream oss;
+  CsvWriter writer(oss);
+  writer.write_row({"sig", canonical});
+  writer.write_row({"family", family});
+  writer.write_row({"makespan", signature_double(makespan)});
+  std::vector<std::string> jobs_row{"jobs"};
+  jobs_row.insert(jobs_row.end(), job_names.begin(), job_names.end());
+  writer.write_row(jobs_row);
+  oss << schedule_csv;
+  return oss.str();
+}
+
+std::optional<PlanCache::Entry> PlanCache::load_from_disk_locked(
+    const PlanSignature& sig) {
+  if (config_.dir.empty()) return std::nullopt;
+  std::ifstream in(entry_path(sig.hash), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (in.bad()) {
+    ++stats_.io_failures;
+    return std::nullopt;
+  }
+  const auto rows = parse_csv(content.str());
+  if (!rows.has_value() || rows.value().size() < 4) {
+    ++stats_.io_failures;
+    return std::nullopt;
+  }
+  const auto& r = rows.value();
+  if (r[0].size() != 2 || r[0][0] != "sig" || r[1].size() != 2 ||
+      r[1][0] != "family" || r[2].size() != 2 || r[2][0] != "makespan" ||
+      r[3].empty() || r[3][0] != "jobs") {
+    ++stats_.io_failures;
+    return std::nullopt;
+  }
+  // The full signature is stored precisely so a file-name hash collision or
+  // stale artifact can never alias: mismatches are plain misses.
+  if (r[0][1] != sig.canonical) return std::nullopt;
+  Entry entry;
+  entry.canonical = r[0][1];
+  entry.family = r[1][1];
+  try {
+    entry.makespan = std::stod(r[2][1]);
+  } catch (const std::exception&) {
+    ++stats_.io_failures;
+    return std::nullopt;
+  }
+  entry.job_names.assign(r[3].begin() + 1, r[3].end());
+  std::ostringstream schedule;
+  CsvWriter writer(schedule);
+  for (std::size_t i = 4; i < r.size(); ++i) {
+    if (r[i].empty()) continue;
+    writer.write_row(r[i]);
+  }
+  entry.schedule_csv = schedule.str();
+  return entry;
+}
+
+void PlanCache::save_to_disk_locked(const Entry& entry, std::uint64_t hash) {
+  const std::string path = entry_path(hash);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    ++stats_.io_failures;
+    return;
+  }
+  out << plan_cache_entry_to_csv(entry.canonical, entry.family,
+                                 entry.job_names, entry.schedule_csv,
+                                 entry.makespan);
+  if (!out) ++stats_.io_failures;
+}
+
+}  // namespace corun::sched

@@ -1,0 +1,143 @@
+// Memoized plan cache: deterministic reuse of scheduling results.
+//
+// The cache maps a request's canonical signature (signature.hpp) to the
+// schedule that request produced, stored in the by-name CSV form so a hit
+// can be remapped onto any batch ordering of the same job set. Two tiers:
+//
+//   - an in-memory LRU tier (always on) bounded by `capacity` entries,
+//     with strictly deterministic eviction order — least recently touched
+//     first, insertion order breaking nothing because every touch is a
+//     single-threaded list splice under the mutex;
+//   - an optional persistent tier: one CSV file per entry under `dir`,
+//     named by the 64-bit FNV-1a of the canonical signature and carrying
+//     the full signature for verification, so a hash collision or a stale
+//     artifact can never alias to a wrong plan. Files use the repo-wide
+//     %.17g convention and round-trip exactly.
+//
+// Exact hits return the cached schedule without invoking the wrapped
+// search. Near hits — same family (scheduler + model artifacts) with a
+// different cap, or a cached superset of the requested job set — do not
+// short-circuit the search; they donate their *schedule* as a warm-start
+// candidate. The caller re-evaluates that schedule under the current
+// context (making it an achievable, and therefore admissible, upper bound
+// even when the cap moved or profiles drifted) and seeds the
+// branch-and-bound incumbent with it, so pruning starts tight instead of
+// from the heuristic seed alone. Warm starts tighten only the incumbent
+// *value*, never replace the returned schedule — behaviour stays
+// byte-identical to a cold search (see branch_and_bound.cpp).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corun/common/expected.hpp"
+#include "corun/core/sched/plan_cache/signature.hpp"
+#include "corun/core/sched/schedule.hpp"
+
+namespace corun::sched {
+
+struct PlanCacheConfig {
+  std::size_t capacity = 512;  ///< in-memory entries before LRU eviction
+  std::string dir;             ///< persistent tier directory ("" = off)
+};
+
+/// Monotonic counters; `snapshot()` them around a phase to attribute
+/// activity (the cache may be shared across runs).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;         ///< exact hits (search skipped)
+  std::uint64_t misses = 0;       ///< neither tier had the exact entry
+  std::uint64_t warm_hits = 0;    ///< near hit donated a warm-start seed
+  std::uint64_t evictions = 0;    ///< LRU evictions from the memory tier
+  std::uint64_t disk_hits = 0;    ///< exact hits served by the disk tier
+  std::uint64_t stores = 0;       ///< entries written
+  std::uint64_t io_failures = 0;  ///< unreadable/unwritable tier files
+};
+
+/// A near hit: a cached schedule covering (at least) the requested job set,
+/// restricted to it and remapped to the requesting batch's indices.
+struct WarmStartCandidate {
+  Schedule schedule;
+  Seconds cached_makespan = 0.0;  ///< under the *cached* context; advisory
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheConfig config);
+
+  /// Parses a --plan-cache / CORUN_PLAN_CACHE spec: "off" (returns null),
+  /// "mem", "mem:<capacity>", or "dir:<path>" (memory tier + persistence
+  /// under <path>, created if missing). Fails on anything else.
+  [[nodiscard]] static Expected<std::shared_ptr<PlanCache>> from_spec(
+      const std::string& spec);
+
+  /// Exact lookup. On a hit the stored by-name schedule is resolved against
+  /// `batch_names` (the requesting batch's instance names, in batch order)
+  /// and validated; returns nullopt on a miss. Counts hits/misses.
+  [[nodiscard]] std::optional<Schedule> lookup(
+      const PlanSignature& sig, const std::vector<std::string>& batch_names);
+
+  /// Near lookup for warm starts: the most recently stored family entry
+  /// whose job set contains every requested name (a different cap, or a
+  /// superset batch). Returns the restricted, remapped schedule. Does not
+  /// count as a hit or miss; counts warm_hits when it yields a candidate.
+  [[nodiscard]] std::optional<WarmStartCandidate> near_lookup(
+      const PlanSignature& sig, const std::vector<std::string>& batch_names);
+
+  /// Records a planning result. `makespan` is the schedule's predicted
+  /// makespan under the request's own context.
+  void store(const PlanSignature& sig, const Schedule& schedule,
+             const std::vector<std::string>& batch_names, Seconds makespan);
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const PlanCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Keys currently in the memory tier, least recently used first —
+  /// exposes the eviction order for the determinism tests.
+  [[nodiscard]] std::vector<std::string> lru_keys() const;
+
+ private:
+  struct Entry {
+    std::string canonical;
+    std::string family;
+    std::vector<std::string> job_names;  ///< sorted
+    std::string schedule_csv;            ///< by-name serialization
+    Seconds makespan = 0.0;
+  };
+
+  /// Inserts (or refreshes) an entry at the MRU end, evicting if needed.
+  /// Caller holds the mutex.
+  void insert_locked(Entry entry);
+  [[nodiscard]] std::optional<Entry> load_from_disk_locked(
+      const PlanSignature& sig);
+  void save_to_disk_locked(const Entry& entry, std::uint64_t hash);
+  [[nodiscard]] std::string entry_path(std::uint64_t hash) const;
+
+  PlanCacheConfig config_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = least recently used
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+/// Serializes one cache entry to its persistent CSV form / parses it back.
+/// Exposed for the round-trip tests. Schema:
+///   sig,<canonical>
+///   family,<family>
+///   makespan,<%.17g>
+///   jobs,<name>,<name>,...
+/// followed by the schedule_to_csv rows (by instance name).
+[[nodiscard]] std::string plan_cache_entry_to_csv(
+    const std::string& canonical, const std::string& family,
+    const std::vector<std::string>& job_names, const std::string& schedule_csv,
+    Seconds makespan);
+
+}  // namespace corun::sched

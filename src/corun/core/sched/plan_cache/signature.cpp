@@ -1,0 +1,136 @@
+#include "corun/core/sched/plan_cache/signature.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "corun/common/check.hpp"
+#include "corun/core/model/corun_predictor.hpp"
+#include "corun/profile/profile_db.hpp"
+
+namespace corun::sched {
+
+namespace {
+
+/// Digest of every profile row recorded for one job: the part of the
+/// predictor's state that is specific to that job. Times, bandwidths,
+/// powers and energies all feed scheduling decisions, so all four fields
+/// participate.
+std::uint64_t job_profile_digest(const profile::ProfileDB& db,
+                                 const std::string& job) {
+  Fnv64 h;
+  for (const sim::DeviceKind d :
+       {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
+    h.update(d == sim::DeviceKind::kCpu ? "cpu" : "gpu");
+    for (const sim::FreqLevel level : db.levels(job, d)) {
+      const profile::ProfileEntry& e = db.at(job, d, level);
+      h.update(std::to_string(level));
+      h.update(signature_double(e.time));
+      h.update(signature_double(e.avg_bw));
+      h.update(signature_double(e.avg_power));
+      h.update(signature_double(e.energy));
+    }
+  }
+  return h.digest();
+}
+
+std::uint64_t ladder_digest(const sim::FrequencyLadder& ladder) {
+  Fnv64 h;
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    h.update(signature_double(ladder.at(static_cast<sim::FreqLevel>(i))));
+  }
+  return h.digest();
+}
+
+std::uint64_t machine_digest(const sim::MachineConfig& config) {
+  Fnv64 h;
+  h.update(hex64(ladder_digest(config.cpu_ladder)));
+  h.update(hex64(ladder_digest(config.gpu_ladder)));
+  h.update(std::to_string(config.cpu_cores));
+  for (const double v :
+       {config.mem_bw_freq_sensitivity, config.cs_overhead,
+        config.cs_locality_penalty, config.llc_capacity_mb,
+        config.llc_pressure_saturation_bw, config.power.uncore,
+        config.memory.saturation_bw, config.memory.cpu_share_weight,
+        config.memory.gpu_share_weight, config.memory.cpu_latency_alpha,
+        config.memory.gpu_latency_alpha, config.memory.cpu_latency_gamma,
+        config.memory.gpu_latency_gamma, config.memory.latency_base,
+        config.memory.latency_self}) {
+    h.update(signature_double(v));
+  }
+  for (const auto& dev : {config.power.cpu, config.power.gpu}) {
+    for (const double v : {dev.leakage, dev.idle, dev.dyn_max, dev.v_floor,
+                           dev.stall_activity}) {
+      h.update(signature_double(v));
+    }
+  }
+  return h.digest();
+}
+
+std::uint64_t grid_digest(const model::DegradationGrid& grid) {
+  Fnv64 h;
+  for (const auto* axis : {&grid.cpu_axis, &grid.gpu_axis}) {
+    for (const double v : *axis) h.update(signature_double(v));
+    h.update("/");
+  }
+  for (const auto* surface : {&grid.cpu_deg, &grid.gpu_deg}) {
+    for (const auto& row : *surface) {
+      for (const double v : row) h.update(signature_double(v));
+    }
+    h.update("/");
+  }
+  return h.digest();
+}
+
+}  // namespace
+
+std::string signature_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+PlanSignature make_signature(const SchedulerContext& ctx,
+                             const std::string& scheduler_id,
+                             std::uint64_t seed) {
+  const model::CoRunPredictor& m = ctx.model();
+  const profile::ProfileDB& db = m.db();
+
+  PlanSignature sig;
+  sig.job_names = ctx.job_names();
+  std::sort(sig.job_names.begin(), sig.job_names.end());
+
+  std::ostringstream family;
+  family << "v1;scheduler=" << scheduler_id << ";seed=" << seed << ";policy="
+         << (ctx.policy == sim::GovernorPolicy::kCpuBiased ? "cpu" : "gpu")
+         << ";machine=" << hex64(machine_digest(m.machine()))
+         << ";grid=" << hex64(grid_digest(m.interpolator().grid()))
+         << ";idle=" << signature_double(db.idle_power());
+  sig.family = family.str();
+
+  std::ostringstream canonical;
+  canonical << sig.family << ";cap=";
+  canonical << (ctx.cap ? signature_double(*ctx.cap) : "none");
+  for (const std::string& name : sig.job_names) {
+    canonical << ";job{" << name << "|"
+              << hex64(job_profile_digest(db, name)) << "}";
+  }
+  sig.canonical = canonical.str();
+
+  Fnv64 h;
+  h.update(sig.canonical);
+  sig.hash = h.digest();
+  Fnv64 fh;
+  fh.update(sig.family);
+  sig.family_hash = fh.digest();
+  return sig;
+}
+
+}  // namespace corun::sched

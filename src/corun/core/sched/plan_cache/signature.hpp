@@ -1,0 +1,73 @@
+// Canonical signatures of scheduling requests, the key space of the plan
+// cache.
+//
+// A scheduling request is fully determined by: the scheduler (registry id,
+// seed), the planning inputs it may consult through SchedulerContext (job
+// set with their standalone profiles, power cap, governor policy), and the
+// model artifacts behind the predictor (machine configuration with both
+// frequency ladders, degradation grid, idle power). The signature folds all
+// of that into one canonical string:
+//
+//   - order-invariant: per-job blocks are sorted by instance name, so the
+//     same job set submitted in any batch order maps to one cache line
+//     (cached schedules reference jobs by name and are remapped to the
+//     requesting batch's indices on a hit);
+//   - content-addressed: profile rows, grid cells and ladder frequencies
+//     are digested with %.17g renderings, so any profile-db drift (e.g. a
+//     noise event) or re-characterization changes the signature and
+//     invalidates stale entries instead of serving them;
+//   - two granularities: `canonical` identifies the exact request, while
+//     `family` drops the cap and the job set — entries of one family are
+//     re-plans of the same scheduler over the same model artifacts, which
+//     is exactly the population warm-start lookups search.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corun/core/sched/scheduler.hpp"
+
+namespace corun::sched {
+
+/// 64-bit FNV-1a, the digest used throughout the signature scheme. Stable
+/// across platforms and runs (no seeding), so persistent-tier file names
+/// are reproducible.
+class Fnv64 {
+ public:
+  void update(const std::string& bytes) noexcept {
+    for (const char c : bytes) {
+      hash_ ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// Shortest-exact double rendering (%.17g): survives a strtod round trip,
+/// shared convention with the CSV artifact writers.
+[[nodiscard]] std::string signature_double(double v);
+
+/// Lower-case hex rendering of a 64-bit digest, the persistent-tier file
+/// stem.
+[[nodiscard]] std::string hex64(std::uint64_t v);
+
+struct PlanSignature {
+  std::string canonical;  ///< exact request identity
+  std::string family;     ///< canonical minus cap + job set (warm-start pool)
+  std::uint64_t hash = 0;        ///< FNV-1a of `canonical`
+  std::uint64_t family_hash = 0; ///< FNV-1a of `family`
+  std::vector<std::string> job_names;  ///< request's instance names, sorted
+};
+
+/// Builds the signature of one request. `scheduler_id` is the registry name
+/// ("bnb", "hcs+", ...) and `seed` the value it was constructed with; both
+/// are part of the identity because they select the algorithm.
+[[nodiscard]] PlanSignature make_signature(const SchedulerContext& ctx,
+                                           const std::string& scheduler_id,
+                                           std::uint64_t seed);
+
+}  // namespace corun::sched

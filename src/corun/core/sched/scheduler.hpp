@@ -22,6 +22,13 @@ struct SchedulerContext {
   std::optional<Watts> cap;
   sim::GovernorPolicy policy = sim::GovernorPolicy::kGpuBiased;
 
+  /// Warm-start seed for bounded searches: the makespan of a known
+  /// *achievable* schedule for this very context (the plan cache donates
+  /// these from near hits). Searches may prune against it from the first
+  /// node, but must never return a worse schedule than they would without
+  /// it — the hint is an upper bound on the optimum, not a result.
+  std::optional<Seconds> incumbent_hint;
+
   [[nodiscard]] const workload::Batch& jobs() const;
   [[nodiscard]] const model::CoRunPredictor& model() const;
   [[nodiscard]] std::string job_name(std::size_t i) const;

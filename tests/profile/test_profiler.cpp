@@ -86,8 +86,9 @@ TEST(Profiler, MemoryBoundJobDrawsLessPowerThanComputeBound) {
 }
 
 TEST(Profiler, InvalidLevelRejected) {
-  Profiler profiler(sim::ivy_bridge(),
-                    ProfilerOptions{.cpu_levels = {99}});
+  ProfilerOptions options;
+  options.cpu_levels = {99};
+  Profiler profiler(sim::ivy_bridge(), options);
   EXPECT_THROW((void)profiler.profile_batch(small_batch()),
                corun::ContractViolation);
 }

@@ -63,10 +63,27 @@ TEST(DynamicRuntime, EmptyPlanMatchesJobCount) {
   EXPECT_EQ(r.replans, 0u);
 }
 
+sim::FaultEvent fault_at(Seconds time, sim::FaultKind kind) {
+  sim::FaultEvent e;
+  e.time = time;
+  e.kind = kind;
+  return e;
+}
+
+sim::FaultEvent arrival_at(Seconds time, const std::string& program,
+                           double input_scale, std::uint64_t seed) {
+  sim::FaultEvent e = fault_at(time, sim::FaultKind::kArrival);
+  e.program = program;
+  e.input_scale = input_scale;
+  e.seed = seed;
+  return e;
+}
+
 TEST(DynamicRuntime, CapDropIsEnforcedAfterReactionWindow) {
   sim::FaultPlan plan;
-  plan.events.push_back(sim::FaultEvent{
-      .time = 20.0, .kind = sim::FaultKind::kCapSet, .cap = 14.0});
+  sim::FaultEvent cap_drop = fault_at(20.0, sim::FaultKind::kCapSet);
+  cap_drop.cap = 14.0;
+  plan.events.push_back(cap_drop);
 
   DynamicOptions o = base_options();
   o.cap = std::nullopt;  // start uncapped: the drop is the only constraint
@@ -92,11 +109,7 @@ TEST(DynamicRuntime, ArrivalOfKnownProgramUsesCrossRunScaling) {
   // instance with a different input must take the cross-run rung, not pay
   // for online sampling.
   sim::FaultPlan plan;
-  plan.events.push_back(sim::FaultEvent{.time = 5.0,
-                                        .kind = sim::FaultKind::kArrival,
-                                        .program = "hotspot",
-                                        .input_scale = 0.7,
-                                        .seed = 9});
+  plan.events.push_back(arrival_at(5.0, "hotspot", 0.7, 9));
   const DynamicReport r = run(base_options(), plan);
   EXPECT_EQ(r.arrivals, 1u);
   EXPECT_EQ(r.cross_run_estimates, 1u);
@@ -108,11 +121,7 @@ TEST(DynamicRuntime, ArrivalOfUnknownProgramFallsBackToSampling) {
   // kmeans is not in the motivation batch: the profile DB knows nothing
   // about it, so the runtime must sample it online and bill the overhead.
   sim::FaultPlan plan;
-  plan.events.push_back(sim::FaultEvent{.time = 5.0,
-                                        .kind = sim::FaultKind::kArrival,
-                                        .program = "kmeans",
-                                        .input_scale = 0.5,
-                                        .seed = 9});
+  plan.events.push_back(arrival_at(5.0, "kmeans", 0.5, 9));
   const DynamicReport r = run(base_options(), plan);
   EXPECT_EQ(r.online_sampled, 1u);
   EXPECT_GT(r.sampling_overhead, 0.0);
@@ -121,10 +130,7 @@ TEST(DynamicRuntime, ArrivalOfUnknownProgramFallsBackToSampling) {
 
 TEST(DynamicRuntime, UnknownProgramArrivalIsSkippedGracefully) {
   sim::FaultPlan plan;
-  plan.events.push_back(sim::FaultEvent{.time = 5.0,
-                                        .kind = sim::FaultKind::kArrival,
-                                        .program = "no-such-program",
-                                        .seed = 9});
+  plan.events.push_back(arrival_at(5.0, "no-such-program", 1.0, 9));
   const DynamicReport r = run(base_options(), plan);
   EXPECT_EQ(r.report.jobs.size(), motivation_fixture().batch.size());
   ASSERT_EQ(r.log.size(), 1u);
@@ -133,9 +139,9 @@ TEST(DynamicRuntime, UnknownProgramArrivalIsSkippedGracefully) {
 
 TEST(DynamicRuntime, CancellationRemovesExactlyOneJob) {
   sim::FaultPlan plan;
-  plan.events.push_back(
-      sim::FaultEvent{.time = 10.0, .kind = sim::FaultKind::kCancel,
-                      .seed = 4});
+  sim::FaultEvent cancel = fault_at(10.0, sim::FaultKind::kCancel);
+  cancel.seed = 4;
+  plan.events.push_back(cancel);
   const DynamicReport r = run(base_options(), plan);
   EXPECT_EQ(r.cancellations, 1u);
   ASSERT_EQ(r.cancelled.size(), 1u);

@@ -18,24 +18,31 @@ TEST(FaultKind, NameRoundTrip) {
   EXPECT_FALSE(parse_fault_kind("meteor").has_value());
 }
 
+FaultEvent event_at(Seconds time, FaultKind kind) {
+  FaultEvent e;
+  e.time = time;
+  e.kind = kind;
+  return e;
+}
+
 TEST(FaultPlan, ValidateRejectsBrokenEvents) {
   FaultPlan plan;
-  plan.events.push_back(FaultEvent{.time = -1.0, .kind = FaultKind::kCancel});
+  plan.events.push_back(event_at(-1.0, FaultKind::kCancel));
   EXPECT_FALSE(plan.validate().has_value());
 
   plan.events.clear();
-  plan.events.push_back(FaultEvent{.time = 5.0, .kind = FaultKind::kCancel});
-  plan.events.push_back(FaultEvent{.time = 1.0, .kind = FaultKind::kCancel});
+  plan.events.push_back(event_at(5.0, FaultKind::kCancel));
+  plan.events.push_back(event_at(1.0, FaultKind::kCancel));
   EXPECT_FALSE(plan.validate().has_value());  // unsorted
   plan.sort();
   EXPECT_TRUE(plan.validate().has_value());
 
-  plan.events.push_back(
-      FaultEvent{.time = 9.0, .kind = FaultKind::kArrival, .program = ""});
+  plan.events.push_back(event_at(9.0, FaultKind::kArrival));
+  plan.events.back().program = "";
   EXPECT_FALSE(plan.validate().has_value());  // arrival without program
 
-  plan.events.back() = FaultEvent{
-      .time = 9.0, .kind = FaultKind::kMeterDropout, .duration = 0.0};
+  plan.events.back() = event_at(9.0, FaultKind::kMeterDropout);
+  plan.events.back().duration = 0.0;
   EXPECT_FALSE(plan.validate().has_value());  // zero-length dropout
 }
 

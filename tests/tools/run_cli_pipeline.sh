@@ -175,6 +175,65 @@ if "$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv \
   exit 1
 fi
 
+echo "== --plan-cache never changes stdout (static, jobs 1 vs 4) =="
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler bnb > plain.out
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler bnb --plan-cache mem --jobs 1 \
+    > cached_j1.out 2>/dev/null
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler bnb --plan-cache mem --jobs 4 \
+    > cached_j4.out 2>/dev/null
+cmp plain.out cached_j1.out
+cmp plain.out cached_j4.out
+
+echo "== --plan-cache never changes stdout (engine tick vs event) =="
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler bnb --plan-cache mem \
+    --engine tick > cached_tick.out 2>/dev/null
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler bnb --plan-cache mem \
+    --engine event > cached_event.out 2>/dev/null
+cmp plain.out cached_tick.out
+cmp plain.out cached_event.out
+
+echo "== --plan-cache dir: second run hits the persistent tier =="
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler bnb --plan-cache dir:plancache \
+    > pc1.out 2> pc1.err
+"$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --cap 15 --scheduler bnb --plan-cache dir:plancache \
+    > pc2.out 2> pc2.err
+cmp pc1.out pc2.out
+cmp plain.out pc1.out
+ls plancache/plan_*.csv > /dev/null
+grep -q "plan-cache: hits=0 misses=1" pc1.err
+grep -q "plan-cache: hits=1 misses=0" pc2.err
+grep -q "disk_hits=1" pc2.err
+
+echo "== CORUN_PLAN_CACHE env var is honoured =="
+CORUN_PLAN_CACHE=dir:plancache "$TOOLS/corun-schedule" --batch batch.csv \
+    --profiles profiles.csv --grid grid.csv --cap 15 --scheduler bnb \
+    > pc_env.out 2> pc_env.err
+cmp plain.out pc_env.out
+grep -q "plan-cache: hits=1" pc_env.err
+
+echo "== dynamic run with --plan-cache is byte-identical and warm-starts =="
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --scheduler bnb --events faults.csv > dyn_nocache.out
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --scheduler bnb --events faults.csv --plan-cache mem \
+    > dyn_cache.out 2> dyn_cache.err
+cmp dyn_nocache.out dyn_cache.out
+grep -q "plan-cache:" dyn_cache.err
+
+echo "== --plan-cache rejects malformed specs =="
+if "$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
+    --grid grid.csv --plan-cache ram 2>/dev/null; then
+  echo "expected usage error for bad --plan-cache" >&2
+  exit 1
+fi
+
 echo "== --trace output is valid JSON =="
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool trace1.json > /dev/null

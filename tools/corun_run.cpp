@@ -14,6 +14,7 @@
 #include "corun/core/runtime/dynamic.hpp"
 #include "corun/core/runtime/runtime.hpp"
 #include "corun/core/runtime/timeline.hpp"
+#include "corun/core/sched/plan_cache/caching_scheduler.hpp"
 #include "corun/core/sched/registry.hpp"
 #include "corun/core/sched/scheduler.hpp"
 #include "corun/sim/fault_injector.hpp"
@@ -26,7 +27,7 @@ const char kUsage[] =
     "[--plan plan.csv] [--policy gpu|cpu] [--seed 42] "
     "[--events faults.csv|random:arrivals=2,caps=1,...] [--reschedule on|off] "
     "[--power-trace power.csv] [--gantt] [--jobs N] [--engine event|tick] "
-    "[--trace trace.json]";
+    "[--trace trace.json] [--plan-cache off|mem|mem:N|dir:PATH]";
 
 /// Dynamic-mode execution: drives the batch through the fault stream with
 /// the online rescheduler instead of the one-shot static runtime.
@@ -36,7 +37,8 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
                      const corun::sim::MachineConfig& config,
                      const corun::sim::GovernorPolicy policy,
                      const std::string& scheduler, std::uint64_t seed,
-                     const std::string& trace_path) {
+                     const std::string& trace_path,
+                     std::shared_ptr<corun::sched::PlanCache> plan_cache) {
   using namespace corun;
   const std::string events = f.get("events", "");
   Expected<sim::FaultPlan> plan = [&]() -> Expected<sim::FaultPlan> {
@@ -61,6 +63,7 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
   opts.seed = seed;
   opts.scheduler = scheduler;
   opts.reschedule = resched == "on";
+  opts.plan_cache = plan_cache;
   const runtime::DynamicRuntime runner(config, opts);
   const runtime::DynamicReport report = runner.execute(batch, db, grid, plan.value());
 
@@ -99,6 +102,7 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
                 f.get("power-trace", "").c_str(),
                 report.report.power_trace.size());
   }
+  tools::report_plan_cache(plan_cache.get());
   if (!tools::finish_trace(trace_path)) return 1;
   return 0;
 }
@@ -111,7 +115,8 @@ int main(int argc, char** argv) {
                                   {"batch", "profiles", "grid", "cap",
                                    "scheduler", "policy", "seed",
                                    "power-trace", "plan", "jobs", "engine",
-                                   "trace", "events", "reschedule"},
+                                   "trace", "events", "reschedule",
+                                   "plan-cache"},
                                   {"gantt"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -123,6 +128,10 @@ int main(int argc, char** argv) {
     return tools::usage_error(engine_mode.error().message, kUsage);
   }
   const std::string trace_path = tools::configure_trace(f);
+  const auto plan_cache = tools::configure_plan_cache(f);
+  if (!plan_cache.has_value()) {
+    return tools::usage_error(plan_cache.error().message, kUsage);
+  }
   for (const char* required : {"batch", "profiles", "grid"}) {
     if (!f.has(required)) {
       return tools::usage_error(std::string("--") + required + " is required",
@@ -168,7 +177,8 @@ int main(int argc, char** argv) {
       return tools::usage_error("unknown scheduler '" + which + "'", kUsage);
     }
     return run_dynamic_mode(f, batch.value(), db.value(), grid.value(),
-                            config, policy, which, seed, trace_path);
+                            config, policy, which, seed, trace_path,
+                            plan_cache.value());
   }
 
   sched::Schedule schedule;
@@ -185,7 +195,8 @@ int main(int argc, char** argv) {
     schedule = std::move(loaded).value();
     plan_source = "plan file " + f.get("plan", "");
   } else {
-    auto scheduler = sched::make_scheduler(which, seed);
+    auto scheduler = sched::make_cached_scheduler(which, seed,
+                                                  plan_cache.value());
     if (scheduler == nullptr) {
       return tools::usage_error("unknown scheduler '" + which + "'", kUsage);
     }
@@ -239,6 +250,7 @@ int main(int argc, char** argv) {
     std::printf("wrote power trace to %s (%zu samples)\n",
                 f.get("power-trace", "").c_str(), report.power_trace.size());
   }
+  tools::report_plan_cache(plan_cache.value().get());
   if (!tools::finish_trace(trace_path)) return 1;
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "corun/core/sched/lower_bound.hpp"
 #include "corun/core/sched/makespan_evaluator.hpp"
 #include "corun/core/sched/hcs.hpp"
+#include "corun/core/sched/plan_cache/caching_scheduler.hpp"
 #include "corun/core/sched/registry.hpp"
 #include "tool_io.hpp"
 
@@ -21,14 +22,16 @@ const char kUsage[] =
     "corun-schedule --batch batch.csv --profiles profiles.csv --grid grid.csv "
     "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
     "[--policy gpu|cpu] [--seed 42] [--save-plan plan.csv] [--explain] "
-    "[--jobs N] [--engine event|tick] [--trace trace.json]";
+    "[--jobs N] [--engine event|tick] [--trace trace.json] "
+    "[--plan-cache off|mem|mem:N|dir:PATH]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags = Flags::parse(
       argc, argv, {"batch", "profiles", "grid", "cap", "scheduler", "policy",
-                   "seed", "save-plan", "jobs", "engine", "trace"},
+                   "seed", "save-plan", "jobs", "engine", "trace",
+                   "plan-cache"},
       {"explain"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -63,6 +66,10 @@ int main(int argc, char** argv) {
     return tools::usage_error(engine_mode.error().message, kUsage);
   }
   const std::string trace_path = tools::configure_trace(f);
+  const auto plan_cache = tools::configure_plan_cache(f);
+  if (!plan_cache.has_value()) {
+    return tools::usage_error(plan_cache.error().message, kUsage);
+  }
 
   sched::SchedulerContext ctx;
   ctx.batch = &batch.value();
@@ -72,8 +79,9 @@ int main(int argc, char** argv) {
                                                : sim::GovernorPolicy::kGpuBiased;
 
   const std::string which = f.get("scheduler", "hcs+");
-  auto scheduler = sched::make_scheduler(
-      which, static_cast<std::uint64_t>(f.get_int("seed", 42)));
+  auto scheduler = sched::make_cached_scheduler(
+      which, static_cast<std::uint64_t>(f.get_int("seed", 42)),
+      plan_cache.value());
   if (scheduler == nullptr) {
     return tools::usage_error("unknown scheduler '" + which + "'", kUsage);
   }
@@ -113,6 +121,7 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote plan to %s\n", f.get("save-plan", "").c_str());
   }
+  tools::report_plan_cache(plan_cache.value().get());
   if (!tools::finish_trace(trace_path)) return 1;
   return 0;
 }

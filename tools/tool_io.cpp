@@ -60,6 +60,30 @@ std::string configure_trace(const Flags& flags) {
   return path;
 }
 
+Expected<std::shared_ptr<sched::PlanCache>> configure_plan_cache(
+    const Flags& flags) {
+  std::string spec = flags.get("plan-cache", "");
+  if (spec.empty()) {
+    if (const char* env = std::getenv("CORUN_PLAN_CACHE")) spec = env;
+  }
+  return sched::PlanCache::from_spec(spec);
+}
+
+void report_plan_cache(const sched::PlanCache* cache) {
+  if (cache == nullptr) return;
+  const sched::PlanCacheStats s = cache->stats();
+  std::fprintf(stderr,
+               "plan-cache: hits=%llu misses=%llu warm=%llu evictions=%llu "
+               "stores=%llu disk_hits=%llu io_failures=%llu\n",
+               static_cast<unsigned long long>(s.hits),
+               static_cast<unsigned long long>(s.misses),
+               static_cast<unsigned long long>(s.warm_hits),
+               static_cast<unsigned long long>(s.evictions),
+               static_cast<unsigned long long>(s.stores),
+               static_cast<unsigned long long>(s.disk_hits),
+               static_cast<unsigned long long>(s.io_failures));
+}
+
 bool finish_trace(const std::string& path) {
   if (path.empty()) return true;
   trace::set_enabled(false);

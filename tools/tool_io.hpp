@@ -2,10 +2,12 @@
 // command-line tools.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "corun/common/expected.hpp"
 #include "corun/common/flags.hpp"
+#include "corun/core/sched/plan_cache/plan_cache.hpp"
 #include "corun/sim/engine.hpp"
 
 namespace corun::tools {
@@ -42,5 +44,18 @@ std::string configure_trace(const Flags& flags);
 /// metrics summary to stderr. No-op (returning true) when `path` is empty;
 /// false when the trace file cannot be written.
 bool finish_trace(const std::string& path);
+
+/// Applies the shared `--plan-cache off|mem|mem:<capacity>|dir:<path>` flag
+/// (falling back to the CORUN_PLAN_CACHE environment variable; default
+/// off). Returns the constructed cache, null when caching stays off, or a
+/// parse error for a malformed spec. Cache state never changes emitted
+/// schedules or reports — only how much search work they cost.
+[[nodiscard]] Expected<std::shared_ptr<sched::PlanCache>> configure_plan_cache(
+    const Flags& flags);
+
+/// Prints the cache's activity counters to stderr (mirroring the trace
+/// metrics summary, and keeping stdout byte-identical to uncached runs).
+/// No-op when `cache` is null.
+void report_plan_cache(const sched::PlanCache* cache);
 
 }  // namespace corun::tools
