@@ -7,12 +7,12 @@
 //      every request an exact hit). The acceptance floor is a 5x speedup;
 //      in practice an exact hit costs one signature digest plus a map
 //      lookup, orders of magnitude below a search.
-//   2. Warm-started search: a cap sweep where each cap seeds the B&B
-//      incumbent with the re-evaluated schedule of the neighbouring cap
-//      (exactly what PlanCache::near_lookup feeds the scheduler). Reports
-//      total nodes visited warm vs cold, and verifies the returned
-//      schedules are identical — the warm start may only prune, never
-//      steer.
+//   2. Warm-started search: a cap sweep where each cap donates the
+//      neighbouring cap's schedule as the B&B warm-start hint (exactly
+//      what PlanCache::near_lookup feeds the scheduler; the search
+//      re-encodes it into its own leaf space). Reports total nodes
+//      visited warm vs cold, and verifies the returned schedules are
+//      identical — the warm start may only prune, never steer.
 //
 // Writes BENCH_plan_cache.json with *_per_wall rate keys so
 // scripts/check_bench_regression.py can gate on them.
@@ -122,9 +122,10 @@ int main(int argc, char** argv) {
   const double hit_speedup = best_cold > 0.0 ? best_hit / best_cold : 0.0;
 
   // -- 2. Warm-started vs cold B&B node counts -----------------------------
-  // Walk the ladder; at each cap past the first, seed the incumbent with
-  // the previous cap's schedule re-evaluated at the current cap — the
-  // near-hit path of the cache — and require the identical schedule back.
+  // Walk the ladder; at each cap past the first, donate the previous
+  // cap's (refined) schedule as the warm-start hint — the near-hit path
+  // of the cache — and require the identical schedule back. The search
+  // re-encodes the donor into its own leaf space before pruning on it.
   std::size_t cold_nodes = 0;
   std::size_t warm_nodes = 0;
   sched::Schedule prev;
@@ -136,8 +137,7 @@ int main(int argc, char** argv) {
     if (i > 0) {
       cold_nodes += cold_bnb.nodes_visited();
       sched::SchedulerContext warmed = ctx;
-      warmed.incumbent_hint =
-          sched::MakespanEvaluator(ctx).makespan(prev);
+      warmed.incumbent_hint = prev;
       sched::BranchAndBoundScheduler warm_bnb;
       const sched::Schedule warm_plan = warm_bnb.plan(warmed);
       warm_nodes += warm_bnb.nodes_visited();

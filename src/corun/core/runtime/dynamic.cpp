@@ -11,6 +11,7 @@
 #include "corun/common/rng.hpp"
 #include "corun/common/trace/trace.hpp"
 #include "corun/core/model/corun_predictor.hpp"
+#include "corun/core/sched/branch_and_bound.hpp"
 #include "corun/core/sched/plan_cache/caching_scheduler.hpp"
 #include "corun/core/sched/registry.hpp"
 #include "corun/profile/online_profiler.hpp"
@@ -313,6 +314,19 @@ class Executor {
         const sched::Schedule plan = scheduler->plan(ctx);
         plan.validate(sub.size());
         install(plan, subset);
+        // A budget-truncated B&B produces a valid but interleaving-
+        // dependent plan; flag it so report consumers know the run's
+        // determinism guarantees are off the table (exact cache hits
+        // skip the search entirely and never set this).
+        const sched::Scheduler* algo = scheduler.get();
+        if (const auto* caching =
+                dynamic_cast<const sched::CachingScheduler*>(algo)) {
+          algo = caching->inner();
+        }
+        if (const auto* bnb =
+                dynamic_cast<const sched::BranchAndBoundScheduler*>(algo)) {
+          if (bnb->exhausted_budget()) ++report_.bnb_budget_exhausted;
+        }
         return true;
       } catch (const ContractViolation&) {
         return false;

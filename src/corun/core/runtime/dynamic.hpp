@@ -68,7 +68,12 @@ struct DynamicOptions {
   /// same cap) then skip the search entirely, and near hits warm-start the
   /// branch-and-bound incumbent. Cache state never changes the schedules
   /// or reports produced (exact hits replay identical requests; warm hints
-  /// only tighten pruning), so runs stay byte-identical with it on or off.
+  /// only tighten pruning and are disabled whenever the B&B node budget
+  /// could truncate the search), so runs stay byte-identical with it on or
+  /// off as long as every search ran to completion — a truncated B&B is
+  /// interleaving-dependent with or without a cache, and the report flags
+  /// it via `bnb_budget_exhausted`. The default budget can never bind for
+  /// batches within the default job limit.
   std::shared_ptr<sched::PlanCache> plan_cache;
 };
 
@@ -117,6 +122,13 @@ struct DynamicReport {
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
   std::uint64_t plan_cache_warm_hits = 0;
+
+  /// Plans where branch-and-bound stopped on its node budget. Non-zero
+  /// means those searches were truncated: the schedules are still valid
+  /// ("HCS+ or better"), but the byte-identity guarantees across --jobs,
+  /// engine modes, and plan-cache state are scoped to runs where this
+  /// stays zero (always true at the default budget and job limit).
+  std::size_t bnb_budget_exhausted = 0;
 
   [[nodiscard]] std::string summary() const;
 };

@@ -68,19 +68,6 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
   Schedule best_schedule = seed.plan(ctx);
   Seconds seed_makespan = evaluator.makespan(best_schedule);
 
-  // A warm-start hint (plan cache near hit) tightens the *pruning bound*
-  // only. The final reduction still compares against the HCS+ seed, and the
-  // strict `bound > incumbent` test never cuts a subtree that can reach the
-  // optimum (the hint is achievable, so optimum <= hint): within the node
-  // budget the search visits the same improving leaves and returns a
-  // byte-identical schedule, just through fewer nodes.
-  Seconds start_incumbent = seed_makespan;
-  warm_started_ = ctx.incumbent_hint.has_value();
-  if (ctx.incumbent_hint) {
-    start_incumbent = std::min(start_incumbent, *ctx.incumbent_hint);
-    CORUN_TRACE_INSTANT("sched", "bnb.warm_start");
-  }
-
   auto leaf_schedule = [&](const SearchState& s) {
     Schedule schedule;
     schedule.model_dvfs = true;
@@ -140,13 +127,69 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
     root.remaining += std::min(t_cpu[i], t_gpu[i]);
   }
 
+  // A plan-cache near hit donates a *schedule* for this job set. Its raw
+  // makespan is not a sound pruning bound: the donor was order-refined
+  // and/or levelled under a different cap, so it can lie strictly below
+  // every leaf this search enumerates (index-order sequences at the
+  // current cap's best solo levels) — seeding the strict `bound >
+  // incumbent` test with it would cut the path to the very leaf a cold
+  // run returns and silently fall back to the HCS+ seed. So the donor is
+  // re-encoded into leaf space first: keep only its *placement* (which
+  // device each job runs on), rebuild index order and current-cap levels,
+  // and evaluate that. The re-encoding is itself a reachable leaf, so its
+  // makespan upper-bounds no reachable leaf's minimum away, and strict
+  // pruning keeps every minimum-makespan leaf alive: the reduction below
+  // lands on the same first-found minimum as a cold run. Donors that do
+  // not map into leaf space (solo/shared/batch-launch forms, or a device
+  // the current cap makes infeasible) are dropped, as is the whole hint
+  // whenever the node budget could bind — a truncated search keeps leaves
+  // by visit order, which warm pruning would perturb. The full tree has
+  // at most 2^(n+1)-1 nodes, so the default budget never binds for
+  // default-sized batches and the hint stays active on the hot path.
+  Seconds hint = std::numeric_limits<Seconds>::infinity();
+  warm_started_ = false;
+  const bool budget_cannot_bind =
+      n + 1 < 8 * sizeof(std::size_t) &&
+      options_.node_budget >= (std::size_t{1} << (n + 1)) - 1;
+  if (ctx.incumbent_hint && budget_cannot_bind) {
+    const Schedule& donor = *ctx.incumbent_hint;
+    const bool plain_corun = !donor.cpu_batch_launch && !donor.shared_queue &&
+                             donor.solo.empty() && donor.shared.empty() &&
+                             donor.cpu.size() + donor.gpu.size() == n;
+    if (plain_corun) {
+      SearchState encoded = root;
+      bool feasible = true;
+      auto place = [&](const std::vector<ScheduledJob>& jobs,
+                       const std::vector<Seconds>& t,
+                       std::vector<std::size_t>& device) {
+        for (const ScheduledJob& entry : jobs) {
+          if (entry.job >= n || encoded.placed[entry.job] ||
+              t[entry.job] >= 1e18) {
+            feasible = false;
+            return;
+          }
+          encoded.placed[entry.job] = true;
+          device.push_back(entry.job);
+        }
+        std::sort(device.begin(), device.end());
+      };
+      place(donor.cpu, t_cpu, encoded.cpu);
+      if (feasible) place(donor.gpu, t_gpu, encoded.gpu);
+      if (feasible) {
+        hint = evaluator.makespan(leaf_schedule(encoded));
+        warm_started_ = true;
+        CORUN_TRACE_INSTANT("sched", "bnb.warm_start");
+      }
+    }
+  }
+
   // Shared search telemetry. The incumbent *value* is shared across
   // subtree tasks so every task prunes against the best schedule found
   // anywhere; incumbent *schedules* stay task-local and are reduced in
   // frontier order below, which keeps the returned plan deterministic (the
   // strict `bound > incumbent` pruning test can never cut a subtree's path
   // to its own minimum when that minimum ties the global one).
-  std::atomic<double> incumbent{start_incumbent};
+  std::atomic<double> incumbent{seed_makespan};
   std::atomic<std::size_t> nodes{0};
   std::atomic<std::size_t> pruned{0};
   std::atomic<std::size_t> leaves{0};
@@ -182,6 +225,14 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
     }
     expand(s, [&](SearchState next) { frontier.push_back(std::move(next)); });
   }
+
+  // The warm hint joins only now, after the fan-out: the frontier
+  // decomposition above — and with it the deterministic reduction order
+  // that breaks ties between equal-makespan leaves — is built with the
+  // cold incumbent, so it is identical whether or not a hint exists.
+  // Tightening the shared bound from here on can only skip subtrees whose
+  // every leaf is strictly worse than the hint's leaf-space makespan.
+  if (warm_started_) atomic_min(incumbent, hint);
 
   // Depth-first search of one subtree; returns the subtree's best leaf.
   auto search_subtree = [&](SearchState subtree_root) {
@@ -245,6 +296,7 @@ Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
   CORUN_TRACE_COUNTER("bnb.leaves", leaves_);
   CORUN_TRACE_COUNTER("bnb.incumbent_updates", incumbent_updates_);
   if (warm_started_) CORUN_TRACE_COUNTER("bnb.warm_started_nodes", nodes_);
+  if (budget_exhausted_) CORUN_TRACE_COUNTER("bnb.budget_exhausted", 1);
 
   // Polish the winning placement's per-device order.
   const Refiner refiner;

@@ -47,11 +47,18 @@ class BranchAndBoundScheduler : public Scheduler {
   [[nodiscard]] std::size_t incumbent_updates() const noexcept {
     return incumbent_updates_;
   }
+  /// True when the last plan() stopped on its node budget. A truncated
+  /// search still returns a valid "HCS+ or better" schedule, but which
+  /// leaves it saw depends on task interleaving, so the byte-identity
+  /// guarantees (--jobs, plan cache on/off) are scoped to runs where this
+  /// stays false — which always holds at the default options, whose
+  /// budget exceeds the 2^(max_jobs+1)-1 node full tree.
   [[nodiscard]] bool exhausted_budget() const noexcept {
     return budget_exhausted_;
   }
-  /// True when the last plan() was seeded with a SchedulerContext
-  /// incumbent_hint (plan-cache warm start).
+  /// True when the last plan() accepted a SchedulerContext incumbent_hint
+  /// (plan-cache warm start): the donor mapped into the search's leaf
+  /// space and the node budget provably could not bind.
   [[nodiscard]] bool warm_started() const noexcept { return warm_started_; }
 
  private:

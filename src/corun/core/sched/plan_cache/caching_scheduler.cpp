@@ -37,17 +37,14 @@ Schedule CachingScheduler::plan(const SchedulerContext& ctx) {
 
   SchedulerContext warmed = ctx;
   if (auto near = cache_->near_lookup(sig, batch_names)) {
-    // The candidate is a real, valid schedule for this very job set; its
-    // makespan under the *current* evaluator is achievable, hence a sound
-    // incumbent seed regardless of how far the cap or the profiles moved
-    // since it was stored. Candidates the evaluator rejects (e.g. a level
-    // now infeasible without model-driven DVFS) are simply dropped.
-    try {
-      const MakespanEvaluator evaluator(ctx);
-      warmed.incumbent_hint = evaluator.makespan(near->schedule);
-    } catch (const ContractViolation&) {
-      warmed.incumbent_hint.reset();
-    }
+    // The candidate is a real, valid schedule for this very job set, but
+    // its makespan is *not* handed over directly: the donor was refined
+    // (and possibly levelled under a different cap), so its value can
+    // undercut every solution the inner search enumerates. The search
+    // re-encodes the donor into its own solution space before pruning
+    // against it — and drops donors that do not map — which is what keeps
+    // warm runs byte-identical to cold ones (see branch_and_bound.cpp).
+    warmed.incumbent_hint = std::move(near->schedule);
   }
 
   Schedule planned = inner_->plan(warmed);

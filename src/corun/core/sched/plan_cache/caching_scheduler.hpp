@@ -4,18 +4,20 @@
 // the cache with the request's canonical signature: an exact hit returns
 // the cached schedule (remapped to the requesting batch's indices) without
 // invoking the inner search; a near hit (same family at a different cap,
-// or a cached superset batch) is re-evaluated under the current context
-// and passed to the inner search as SchedulerContext::incumbent_hint — an
-// achievable upper bound that branch-and-bound uses to start pruning
-// tight. Misses run the inner search and store its result.
+// or a cached superset batch) donates its schedule to the inner search as
+// SchedulerContext::incumbent_hint — branch-and-bound re-encodes it into
+// its own leaf space and uses the result to start pruning tight. Misses
+// run the inner search and store its result.
 //
 // Invariant: with the cache attached, the returned schedule is always
 // byte-identical to what the inner scheduler would have produced cold —
 // exact hits replay the stored result of the identical request, and warm
-// hints only tighten the B&B incumbent value without ever being returned
-// themselves. Stochastic planners whose output depends on batch *order*
-// (the "random" baseline) bypass the cache entirely, because the
-// order-invariant signature would alias their order-sensitive results.
+// hints only tighten the B&B incumbent value (after leaf-space
+// re-encoding, and only when the node budget provably cannot truncate the
+// search) without ever being returned themselves. Stochastic planners
+// whose output depends on batch *order* (the "random" baseline) bypass
+// the cache entirely, because the order-invariant signature would alias
+// their order-sensitive results.
 #pragma once
 
 #include <memory>
@@ -39,6 +41,13 @@ class CachingScheduler : public Scheduler {
 
   [[nodiscard]] const PlanCache* cache() const noexcept {
     return cache_.get();
+  }
+
+  /// The wrapped algorithm, for callers that inspect planner-specific
+  /// state after plan() (e.g. B&B budget exhaustion). On an exact cache
+  /// hit the inner planner did not run for the last request.
+  [[nodiscard]] const Scheduler* inner() const noexcept {
+    return inner_.get();
   }
 
  private:

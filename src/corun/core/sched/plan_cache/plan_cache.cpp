@@ -1,5 +1,7 @@
 #include "corun/core/sched/plan_cache/plan_cache.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -253,16 +255,37 @@ std::optional<PlanCache::Entry> PlanCache::load_from_disk_locked(
 }
 
 void PlanCache::save_to_disk_locked(const Entry& entry, std::uint64_t hash) {
+  // Write-then-rename: processes sharing one dir: tier (CORUN_PLAN_CACHE)
+  // may store the same signature concurrently, and interleaved writes to
+  // the final path would leave a torn file that reads as a miss yet
+  // squats on the slot until overwritten. The temp name is per-process
+  // (the mutex already serializes threads), and rename() within one
+  // directory atomically publishes a complete file.
   const std::string path = entry_path(hash);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    ++stats_.io_failures;
-    return;
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      ++stats_.io_failures;
+      return;
+    }
+    out << plan_cache_entry_to_csv(entry.canonical, entry.family,
+                                   entry.job_names, entry.schedule_csv,
+                                   entry.makespan);
+    out.close();
+    if (!out) {
+      ++stats_.io_failures;
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
   }
-  out << plan_cache_entry_to_csv(entry.canonical, entry.family,
-                                 entry.job_names, entry.schedule_csv,
-                                 entry.makespan);
-  if (!out) ++stats_.io_failures;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    ++stats_.io_failures;
+    std::filesystem::remove(tmp, ec);
+  }
 }
 
 }  // namespace corun::sched

@@ -18,13 +18,16 @@
 // search. Near hits — same family (scheduler + model artifacts) with a
 // different cap, or a cached superset of the requested job set — do not
 // short-circuit the search; they donate their *schedule* as a warm-start
-// candidate. The caller re-evaluates that schedule under the current
-// context (making it an achievable, and therefore admissible, upper bound
-// even when the cap moved or profiles drifted) and seeds the
-// branch-and-bound incumbent with it, so pruning starts tight instead of
-// from the heuristic seed alone. Warm starts tighten only the incumbent
-// *value*, never replace the returned schedule — behaviour stays
-// byte-identical to a cold search (see branch_and_bound.cpp).
+// candidate. Branch-and-bound re-encodes the donor into its own leaf
+// space (placement kept, order and levels rebuilt for the current cap)
+// and seeds its incumbent with the re-encoded makespan, so pruning starts
+// tight instead of from the heuristic seed alone; the donor's raw
+// makespan is never used, because a refined or differently-capped donor
+// can undercut every leaf the search enumerates. Warm starts tighten only
+// the incumbent *value*, never replace the returned schedule — behaviour
+// stays byte-identical to a cold search whenever the search runs to
+// completion, which the hint itself guarantees by disabling warm starts
+// when the node budget could bind (see branch_and_bound.cpp).
 #pragma once
 
 #include <cstdint>

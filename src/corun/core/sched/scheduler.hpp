@@ -22,12 +22,16 @@ struct SchedulerContext {
   std::optional<Watts> cap;
   sim::GovernorPolicy policy = sim::GovernorPolicy::kGpuBiased;
 
-  /// Warm-start seed for bounded searches: the makespan of a known
-  /// *achievable* schedule for this very context (the plan cache donates
-  /// these from near hits). Searches may prune against it from the first
-  /// node, but must never return a worse schedule than they would without
-  /// it — the hint is an upper bound on the optimum, not a result.
-  std::optional<Seconds> incumbent_hint;
+  /// Warm-start donor for bounded searches: a known-valid schedule for
+  /// this very job set (the plan cache donates these from near hits). A
+  /// search must first re-encode the donor into its *own* solution space
+  /// before pruning against it — the donor's raw makespan may lie below
+  /// every solution the search can reach (e.g. a refined order, or levels
+  /// picked under a different cap), and seeding a strict pruning bound
+  /// with such a value silently discards the search's real optimum. Used
+  /// correctly the hint only accelerates the search; it is never a result
+  /// and must never change the returned schedule.
+  std::optional<Schedule> incumbent_hint;
 
   [[nodiscard]] const workload::Batch& jobs() const;
   [[nodiscard]] const model::CoRunPredictor& model() const;

@@ -227,10 +227,10 @@ TEST(CachingScheduler, NullCacheAndRandomSchedulerBypass) {
 
 TEST(WarmStart, EqualsColdBnbOnFiftySeededScenarios) {
   const auto& f = motivation_fixture();
-  // Walk a 50-point cap ladder; each scenario seeds the incumbent with the
-  // previous cap's schedule re-evaluated under the current cap — exactly
-  // what a near hit feeds the search. The warm run may only prune harder,
-  // never land on a different schedule.
+  // Walk a 50-point cap ladder; each scenario donates the previous cap's
+  // *refined* schedule as the warm-start hint — exactly what a near hit
+  // feeds the search. The warm run may only prune harder, never land on a
+  // different schedule.
   HcsPlusScheduler hcs_plus;
   Schedule donor = hcs_plus.plan(f.context(10.0));
   std::size_t cold_nodes = 0;
@@ -244,7 +244,7 @@ TEST(WarmStart, EqualsColdBnbOnFiftySeededScenarios) {
     EXPECT_FALSE(cold.warm_started());
 
     SchedulerContext warmed = ctx;
-    warmed.incumbent_hint = MakespanEvaluator(ctx).makespan(donor);
+    warmed.incumbent_hint = donor;
     BranchAndBoundScheduler warm;
     const Schedule warm_plan = warm.plan(warmed);
     EXPECT_TRUE(warm.warm_started());
@@ -256,6 +256,78 @@ TEST(WarmStart, EqualsColdBnbOnFiftySeededScenarios) {
     donor = cold_plan;
   }
   EXPECT_LE(warm_nodes, cold_nodes);
+}
+
+TEST(WarmStart, RefinedSameCapDonorCannotSteerTheSearch) {
+  // The adversarial donor: B&B's own output for the *same* request. Its
+  // order was polished by the post-search Refiner, so its makespan can lie
+  // strictly below every index-order leaf the search enumerates — fed
+  // straight into the strict pruning bound it would cut the path to the
+  // cold winner and degrade the result to the HCS+ seed. The leaf-space
+  // re-encoding must keep warm byte-identical to cold anyway.
+  const auto& f = motivation_fixture();
+  for (const Watts cap : {11.0, 13.0, 15.0, 17.0}) {
+    const auto ctx = f.context(cap);
+    BranchAndBoundScheduler cold;
+    const Schedule cold_plan = cold.plan(ctx);
+
+    SchedulerContext warmed = ctx;
+    warmed.incumbent_hint = cold_plan;
+    BranchAndBoundScheduler warm;
+    const Schedule warm_plan = warm.plan(warmed);
+    EXPECT_TRUE(warm.warm_started());
+    ASSERT_EQ(plan_text(warm_plan, ctx), plan_text(cold_plan, ctx))
+        << "refined same-cap donor steered the search at cap " << cap;
+    EXPECT_LE(warm.nodes_visited(), cold.nodes_visited());
+  }
+}
+
+TEST(WarmStart, BudgetThatCouldBindDisablesTheHint) {
+  // With a node budget a full enumeration could exceed, warm pruning would
+  // shift which leaves the truncated search sees; the hint must turn
+  // itself off and the result must match the equally-budgeted cold run.
+  const auto& f = motivation_fixture();
+  const auto ctx = f.context(15.0);
+  BranchAndBoundOptions opts;
+  opts.node_budget = 16;  // 4 jobs: full tree is 2^5-1 = 31 > 16
+
+  BranchAndBoundScheduler cold(opts);
+  const Schedule cold_plan = cold.plan(ctx);
+
+  SchedulerContext warmed = ctx;
+  warmed.incumbent_hint = BranchAndBoundScheduler().plan(ctx);
+  BranchAndBoundScheduler warm(opts);
+  const Schedule warm_plan = warm.plan(warmed);
+  EXPECT_FALSE(warm.warm_started());
+  EXPECT_EQ(plan_text(warm_plan, ctx), plan_text(cold_plan, ctx));
+}
+
+TEST(CachingScheduler, SupersetDonorAtSameCapStaysByteIdentical) {
+  // The near-hit path most likely to produce an undercutting donor: a
+  // cached *superset* batch at the same cap, restricted to the requested
+  // subset and remapped. End-to-end through near_lookup, the warm-started
+  // plan must match the cold planner byte for byte.
+  const auto& f = motivation_fixture();
+  auto cache = PlanCache::from_spec("mem").value();
+  auto cached = make_cached_scheduler("bnb", 42, cache);
+  auto cold = make_scheduler("bnb", 42);
+
+  const auto full_ctx = f.context(15.0);
+  (void)cached->plan(full_ctx);  // cache the 4-job superset at this cap
+
+  workload::Batch subset;
+  for (std::size_t i = 0; i + 1 < f.batch.jobs().size(); ++i) {
+    const auto& job = f.batch.jobs()[i];
+    subset.add(job.descriptor, job.seed, job.instance_name);
+  }
+  SchedulerContext sub_ctx = f.context(15.0);
+  sub_ctx.batch = &subset;
+
+  const Schedule warm_plan = cached->plan(sub_ctx);
+  EXPECT_EQ(cache->stats().warm_hits, 1u);
+  EXPECT_EQ(cache->stats().hits, 0u);
+  EXPECT_EQ(plan_text(warm_plan, sub_ctx),
+            plan_text(cold->plan(sub_ctx), sub_ctx));
 }
 
 TEST(DynamicRuntimePlanCache, CacheOnAndOffAreByteIdentical) {

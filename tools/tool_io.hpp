@@ -49,7 +49,11 @@ bool finish_trace(const std::string& path);
 /// (falling back to the CORUN_PLAN_CACHE environment variable; default
 /// off). Returns the constructed cache, null when caching stays off, or a
 /// parse error for a malformed spec. Cache state never changes emitted
-/// schedules or reports — only how much search work they cost.
+/// schedules or reports — only how much search work they cost. (Exact hits
+/// replay identical requests; warm starts re-encode the donor into the
+/// B&B leaf space and disable themselves when the node budget could
+/// truncate the search, so the guarantee holds unconditionally at the
+/// default budget and job limit.)
 [[nodiscard]] Expected<std::shared_ptr<sched::PlanCache>> configure_plan_cache(
     const Flags& flags);
 
