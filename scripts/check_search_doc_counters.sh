@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Doc drift guard for the search counters.
+#
+# docs/search.md documents every bnb.* trace counter the branch-and-bound
+# solver emits. Counter names are plain strings on both sides, so nothing
+# stops them drifting apart silently — this check does. It extracts the
+# emitted names from the CORUN_TRACE_* call sites and the documented names
+# from docs/search.md and fails on any one-sided mention, in either
+# direction.
+#
+# Usage: scripts/check_search_doc_counters.sh   (from anywhere in the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+src=src/corun/core/sched/branch_and_bound.cpp
+doc=docs/search.md
+
+emitted=$(grep -o '"bnb\.[a-z_][a-z_]*"' "$src" | tr -d '"' | sort -u)
+documented=$(grep -o 'bnb\.[a-z_][a-z_]*' "$doc" | sort -u)
+
+status=0
+for name in $emitted; do
+  if ! grep -qx "$name" <<<"$documented"; then
+    echo "UNDOCUMENTED: $src emits '$name' but $doc never mentions it" >&2
+    status=1
+  fi
+done
+for name in $documented; do
+  if ! grep -qx "$name" <<<"$emitted"; then
+    echo "STALE: $doc mentions '$name' but $src does not emit it" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "search doc counters in sync ($(wc -w <<<"$emitted" | tr -d ' ') bnb.* names)"
+fi
+exit "$status"

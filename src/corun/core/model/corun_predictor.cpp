@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "corun/common/check.hpp"
@@ -144,6 +145,55 @@ Seconds CoRunPredictor::best_solo_time(const std::string& job,
   CORUN_CHECK_MSG(level.has_value(),
                   "no cap-feasible standalone level for " + job);
   return standalone_time(job, device, *level);
+}
+
+Seconds CoRunPredictor::min_corun_time(const std::string& job,
+                                       sim::DeviceKind device,
+                                       const std::string& partner,
+                                       std::optional<Watts> cap,
+                                       bool include_floor_pair) const {
+  // Exact cap rendering (%.17g, not a quantized bucket): the minimum feeds
+  // admissible lower bounds, where serving a neighbouring cap's value would
+  // silently change pruning decisions.
+  char cap_buf[64];
+  if (cap) {
+    std::snprintf(cap_buf, sizeof(cap_buf), "%.17g", *cap);
+  } else {
+    std::snprintf(cap_buf, sizeof(cap_buf), "none");
+  }
+  std::string key = job;
+  key += device == sim::DeviceKind::kCpu ? "|c|" : "|g|";
+  key += partner;
+  key += '|';
+  key += cap_buf;
+  key += include_floor_pair ? "|f" : "|s";
+  {
+    const std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+    if (const auto it = corun_min_cache_.find(key);
+        it != corun_min_cache_.end()) {
+      return it->second;
+    }
+  }
+
+  const std::string& cpu_job = device == sim::DeviceKind::kCpu ? job : partner;
+  const std::string& gpu_job = device == sim::DeviceKind::kCpu ? partner : job;
+  Seconds best = std::numeric_limits<Seconds>::infinity();
+  for (sim::FreqLevel fc = 0; fc <= config_.cpu_ladder.max_level(); ++fc) {
+    for (sim::FreqLevel fg = 0; fg <= config_.gpu_ladder.max_level(); ++fg) {
+      if (!corun_feasible(cpu_job, fc, gpu_job, fg, cap) &&
+          !(include_floor_pair && fc == 0 && fg == 0)) {
+        continue;
+      }
+      const PairPrediction p = predict(cpu_job, fc, gpu_job, fg);
+      best = std::min(best,
+                      device == sim::DeviceKind::kCpu ? p.cpu_time : p.gpu_time);
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+    corun_min_cache_.emplace(std::move(key), best);
+  }
+  return best;
 }
 
 std::optional<FreqPair> CoRunPredictor::best_pair_min_makespan(

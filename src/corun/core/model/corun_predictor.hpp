@@ -87,6 +87,20 @@ class CoRunPredictor {
                                        sim::DeviceKind device,
                                        std::optional<Watts> cap) const;
 
+  /// Minimum predicted `device`-side co-run time of `job` against
+  /// `partner`, over every cap-feasible frequency pair — the least
+  /// interference `partner` can inflict on `job` under the cap. With
+  /// `include_floor_pair` the floor pair participates even when it
+  /// violates the cap (the governor's tolerated last resort), which the
+  /// search's admissible occupancy bound requires. Infinity when the
+  /// candidate set is empty. Memoized: the lower bounds issue the same
+  /// O(jobs^2) queries on every (re-)plan.
+  [[nodiscard]] Seconds min_corun_time(const std::string& job,
+                                       sim::DeviceKind device,
+                                       const std::string& partner,
+                                       std::optional<Watts> cap,
+                                       bool include_floor_pair) const;
+
   /// Best cap-feasible frequency pair for a co-run, minimizing the pair's
   /// predicted completion bound max(cpu_time, gpu_time). nullopt when no
   /// pair is feasible.
@@ -146,6 +160,7 @@ class CoRunPredictor {
   // itself runs unlocked and may rarely be duplicated).
   mutable std::mutex pair_cache_mutex_;
   mutable std::unordered_map<std::string, std::optional<FreqPair>> pair_cache_;
+  mutable std::unordered_map<std::string, Seconds> corun_min_cache_;
 };
 
 }  // namespace corun::model

@@ -287,11 +287,74 @@ class Executor {
     cursor(d).pending.push_back({rec, config_.ladder(d).max_level()});
   }
 
+  /// Locally repairs the plan being executed for the new pending set:
+  /// survivors keep the device the previous plan gave them (their spots in
+  /// the device queues), jobs the previous plan does not cover (arrivals,
+  /// jobs from a shared queue) join whichever device runs them fastest solo
+  /// under the current cap, GPU winning ties. The result is a valid
+  /// schedule for exactly the new sub-batch — a warm-start donor the search
+  /// re-encodes into leaf space, never a returned plan — so repairing can
+  /// only accelerate the search, not change its answer. Returns nullopt
+  /// when a job has no cap-feasible device (the search itself will reject
+  /// the sub-batch and the fallback ladder takes over).
+  std::optional<sched::Schedule> repair_donor(
+      const std::vector<std::size_t>& subset) const {
+    std::map<std::size_t, sim::DeviceKind> prev_device;
+    for (const QueuedJob& q : cpu_.pending) {
+      prev_device[q.rec] = sim::DeviceKind::kCpu;
+    }
+    for (const QueuedJob& q : gpu_.pending) {
+      prev_device[q.rec] = sim::DeviceKind::kGpu;
+    }
+    if (prev_device.empty()) return std::nullopt;  // nothing to repair from
+
+    const model::CoRunPredictor& m = *predictor_;
+    sched::Schedule donor;
+    donor.model_dvfs = true;
+    for (std::size_t j = 0; j < subset.size(); ++j) {
+      const std::string& name = recs_[subset[j]].name;
+      const auto cpu_level =
+          m.best_solo_level(name, sim::DeviceKind::kCpu, current_cap_);
+      const auto gpu_level =
+          m.best_solo_level(name, sim::DeviceKind::kGpu, current_cap_);
+      std::optional<sim::DeviceKind> device;
+      if (const auto it = prev_device.find(subset[j]);
+          it != prev_device.end()) {
+        // Keep the survivor's device — unless the cap moved it out of
+        // reach, in which case the job is re-placed like an arrival.
+        const bool still_feasible =
+            it->second == sim::DeviceKind::kCpu ? cpu_level.has_value()
+                                                : gpu_level.has_value();
+        if (still_feasible) device = it->second;
+      }
+      if (!device) {
+        if (cpu_level && gpu_level) {
+          const Seconds tc =
+              m.standalone_time(name, sim::DeviceKind::kCpu, *cpu_level);
+          const Seconds tg =
+              m.standalone_time(name, sim::DeviceKind::kGpu, *gpu_level);
+          device = tc < tg ? sim::DeviceKind::kCpu : sim::DeviceKind::kGpu;
+        } else if (cpu_level) {
+          device = sim::DeviceKind::kCpu;
+        } else if (gpu_level) {
+          device = sim::DeviceKind::kGpu;
+        } else {
+          return std::nullopt;  // infeasible job; let the planner decide
+        }
+      }
+      if (*device == sim::DeviceKind::kCpu) {
+        donor.cpu.push_back({j, *cpu_level});
+      } else {
+        donor.gpu.push_back({j, *gpu_level});
+      }
+    }
+    return donor;
+  }
+
   void replan(bool count_as_replan) {
     const std::vector<std::size_t> subset = unstarted();
     if (subset.empty()) return;
     CORUN_TRACE_SPAN("dynamic", "dynamic.replan");
-    if (count_as_replan) ++report_.replans;
 
     workload::Batch sub;
     for (const std::size_t i : subset) {
@@ -302,6 +365,18 @@ class Executor {
     ctx.predictor = predictor_.get();
     ctx.cap = current_cap_;
     ctx.policy = options_.policy;
+
+    // Incremental repair, for B&B re-plans only: the initial plan has no
+    // predecessor, and other planners ignore the hint. Built before the
+    // queues are cleared by install().
+    if (count_as_replan && options_.plan_repair &&
+        options_.scheduler == "bnb") {
+      if (auto donor = repair_donor(subset)) {
+        ctx.incumbent_hint = std::move(donor);
+        ctx.hint_kind = sched::SchedulerContext::HintKind::kRepair;
+      }
+    }
+    if (count_as_replan) ++report_.replans;
 
     // The per-replan seed keeps stochastic planners (random) deterministic
     // yet different across replans of one run.
@@ -314,18 +389,24 @@ class Executor {
         const sched::Schedule plan = scheduler->plan(ctx);
         plan.validate(sub.size());
         install(plan, subset);
-        // A budget-truncated B&B produces a valid but interleaving-
-        // dependent plan; flag it so report consumers know the run's
-        // determinism guarantees are off the table (exact cache hits
-        // skip the search entirely and never set this).
+        // Per-plan search telemetry: budget truncation (the run's
+        // determinism guarantees are off the table when set) and repair
+        // activity. An exact cache hit skips the search entirely, leaving
+        // the inner planner's accessors describing a *previous* request —
+        // so they are only read when the search actually ran.
         const sched::Scheduler* algo = scheduler.get();
+        bool searched = true;
         if (const auto* caching =
                 dynamic_cast<const sched::CachingScheduler*>(algo)) {
+          searched = !caching->last_exact_hit();
           algo = caching->inner();
         }
         if (const auto* bnb =
-                dynamic_cast<const sched::BranchAndBoundScheduler*>(algo)) {
+                dynamic_cast<const sched::BranchAndBoundScheduler*>(algo);
+            bnb != nullptr && searched) {
           if (bnb->exhausted_budget()) ++report_.bnb_budget_exhausted;
+          if (bnb->repair_hint_used()) ++report_.plan_repairs;
+          if (bnb->repair_fallback()) ++report_.repair_fallbacks;
         }
         return true;
       } catch (const ContractViolation&) {

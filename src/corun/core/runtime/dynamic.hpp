@@ -75,6 +75,18 @@ struct DynamicOptions {
   /// it via `bnb_budget_exhausted`. The default budget can never bind for
   /// batches within the default job limit.
   std::shared_ptr<sched::PlanCache> plan_cache;
+
+  /// Incremental plan repair for branch-and-bound re-plans. On an event
+  /// touching k of n pending jobs, the executor locally repairs the plan
+  /// it was executing — survivors keep their device, arrivals join their
+  /// best solo device — and donates the repaired schedule to the search as
+  /// an incumbent hint. The search re-encodes it into leaf space and falls
+  /// back to the full result only when a strictly better leaf exists
+  /// (DynamicReport::repair_fallbacks counts those). Like the plan cache's
+  /// warm starts, repair never changes the schedules or reports produced —
+  /// runs are byte-identical with it on or off — it only lets the search
+  /// start from a near-optimal bound and prune most of the tree.
+  bool plan_repair = true;
 };
 
 /// What happened when one fault event was applied.
@@ -129,6 +141,15 @@ struct DynamicReport {
   /// engine modes, and plan-cache state are scoped to runs where this
   /// stays zero (always true at the default budget and job limit).
   std::size_t bnb_budget_exhausted = 0;
+
+  /// Re-plans where the branch-and-bound search accepted a repaired
+  /// previous plan as its incumbent hint, and how many of those repairs
+  /// the search then beat with a strictly better leaf (the repair
+  /// "fallbacks"). Reported separately from summary() — like the
+  /// plan-cache counters — so repair on/off runs stay byte-identical on
+  /// stdout.
+  std::size_t plan_repairs = 0;
+  std::size_t repair_fallbacks = 0;
 
   [[nodiscard]] std::string summary() const;
 };

@@ -21,6 +21,7 @@ CachingScheduler::CachingScheduler(std::unique_ptr<Scheduler> inner,
 }
 
 Schedule CachingScheduler::plan(const SchedulerContext& ctx) {
+  last_exact_hit_ = false;
   if (!cache_ || bypass_) return inner_->plan(ctx);
   CORUN_TRACE_SPAN("sched", "plan_cache.plan");
 
@@ -32,19 +33,29 @@ Schedule CachingScheduler::plan(const SchedulerContext& ctx) {
   const PlanSignature sig = make_signature(ctx, registry_id_, 0);
   const std::vector<std::string> batch_names = ctx.job_names();
   if (auto hit = cache_->lookup(sig, batch_names)) {
+    last_exact_hit_ = true;
     return std::move(*hit);
   }
 
   SchedulerContext warmed = ctx;
-  if (auto near = cache_->near_lookup(sig, batch_names)) {
-    // The candidate is a real, valid schedule for this very job set, but
-    // its makespan is *not* handed over directly: the donor was refined
-    // (and possibly levelled under a different cap), so its value can
-    // undercut every solution the inner search enumerates. The search
-    // re-encodes the donor into its own solution space before pruning
-    // against it — and drops donors that do not map — which is what keeps
-    // warm runs byte-identical to cold ones (see branch_and_bound.cpp).
-    warmed.incumbent_hint = std::move(near->schedule);
+  // A caller-provided hint (the dynamic runtime's repaired plan) takes
+  // precedence over a near-hit donation — the repair derives from the very
+  // plan that was executing, so it is at least as close to the new optimum
+  // as an arbitrary family neighbour — and the near lookup is skipped so
+  // warm-hit statistics only count donations that were actually offered.
+  // Either way the search re-encodes before pruning, so the choice never
+  // affects the returned schedule.
+  if (!warmed.incumbent_hint) {
+    if (auto near = cache_->near_lookup(sig, batch_names)) {
+      // The candidate is a real, valid schedule for this very job set, but
+      // its makespan is *not* handed over directly: the donor was refined
+      // (and possibly levelled under a different cap), so its value can
+      // undercut every solution the inner search enumerates. The search
+      // re-encodes the donor into its own solution space before pruning
+      // against it — and drops donors that do not map — which is what keeps
+      // warm runs byte-identical to cold ones (see branch_and_bound.cpp).
+      warmed.incumbent_hint = std::move(near->schedule);
+    }
   }
 
   Schedule planned = inner_->plan(warmed);

@@ -45,9 +45,17 @@ class CachingScheduler : public Scheduler {
 
   /// The wrapped algorithm, for callers that inspect planner-specific
   /// state after plan() (e.g. B&B budget exhaustion). On an exact cache
-  /// hit the inner planner did not run for the last request.
+  /// hit the inner planner did not run for the last request — check
+  /// last_exact_hit() before trusting its per-plan accessors, which would
+  /// otherwise report a *previous* request's search.
   [[nodiscard]] const Scheduler* inner() const noexcept {
     return inner_.get();
+  }
+
+  /// True when the last plan() was served from the cache without running
+  /// the inner planner.
+  [[nodiscard]] bool last_exact_hit() const noexcept {
+    return last_exact_hit_;
   }
 
  private:
@@ -56,6 +64,7 @@ class CachingScheduler : public Scheduler {
   std::string registry_id_;
   std::uint64_t seed_;
   bool bypass_;  ///< order-sensitive planners are never cached
+  bool last_exact_hit_ = false;
 };
 
 /// Registry convenience: constructs the named scheduler and, when `cache`

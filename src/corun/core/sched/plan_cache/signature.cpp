@@ -10,12 +10,6 @@
 
 namespace corun::sched {
 
-namespace {
-
-/// Digest of every profile row recorded for one job: the part of the
-/// predictor's state that is specific to that job. Times, bandwidths,
-/// powers and energies all feed scheduling decisions, so all four fields
-/// participate.
 std::uint64_t job_profile_digest(const profile::ProfileDB& db,
                                  const std::string& job) {
   Fnv64 h;
@@ -33,6 +27,8 @@ std::uint64_t job_profile_digest(const profile::ProfileDB& db,
   }
   return h.digest();
 }
+
+namespace {
 
 std::uint64_t ladder_digest(const sim::FrequencyLadder& ladder) {
   Fnv64 h;

@@ -55,6 +55,17 @@ class Fnv64 {
 /// stem.
 [[nodiscard]] std::string hex64(std::uint64_t v);
 
+/// Digest of every profile row recorded for one job: the part of the
+/// predictor's state that is specific to that job. Times, bandwidths,
+/// powers and energies all feed scheduling decisions, so all four fields
+/// participate. Besides keying cache signatures, this is the search's
+/// job-type identity: the predictor (and with it the makespan evaluator)
+/// is a pure function of a job's profile rows, so two jobs with equal
+/// digests are interchangeable in any schedule — the equivalence dominance
+/// pruning exploits.
+[[nodiscard]] std::uint64_t job_profile_digest(const profile::ProfileDB& db,
+                                               const std::string& job);
+
 struct PlanSignature {
   std::string canonical;  ///< exact request identity
   std::string family;     ///< canonical minus cap + job set (warm-start pool)

@@ -1,5 +1,8 @@
 #include "corun/core/sched/registry.hpp"
 
+#include <cstdlib>
+#include <string>
+
 #include "corun/core/sched/branch_and_bound.hpp"
 #include "corun/core/sched/default_scheduler.hpp"
 #include "corun/core/sched/exhaustive.hpp"
@@ -19,7 +22,20 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
   if (name == "hcs") return std::make_unique<HcsScheduler>();
   if (name == "default") return std::make_unique<DefaultScheduler>();
   if (name == "random") return std::make_unique<RandomScheduler>(seed);
-  if (name == "bnb") return std::make_unique<BranchAndBoundScheduler>();
+  if (name == "bnb") {
+    // CORUN_BNB_BUDGET overrides the search's node budget — the knob the
+    // CLI pipeline uses to exercise the truncated-search warning path
+    // without a batch large enough to exhaust the default budget.
+    BranchAndBoundOptions bo;
+    if (const char* env = std::getenv("CORUN_BNB_BUDGET")) {
+      try {
+        bo.node_budget = std::stoull(env);
+      } catch (...) {
+        // Malformed values keep the default budget.
+      }
+    }
+    return std::make_unique<BranchAndBoundScheduler>(bo);
+  }
   if (name == "exhaustive") return std::make_unique<ExhaustiveScheduler>();
   return nullptr;
 }

@@ -22,8 +22,16 @@ struct SchedulerContext {
   std::optional<Watts> cap;
   sim::GovernorPolicy policy = sim::GovernorPolicy::kGpuBiased;
 
+  /// Provenance of `incumbent_hint`, for the search's telemetry only — it
+  /// never changes how the hint is used (re-encoded, then pruned against).
+  enum class HintKind {
+    kPlanCache,  ///< donated by a plan-cache near hit
+    kRepair,     ///< repaired previous plan from the dynamic runtime
+  };
+
   /// Warm-start donor for bounded searches: a known-valid schedule for
-  /// this very job set (the plan cache donates these from near hits). A
+  /// this very job set (the plan cache donates these from near hits; the
+  /// dynamic runtime donates locally repaired previous plans). A
   /// search must first re-encode the donor into its *own* solution space
   /// before pruning against it — the donor's raw makespan may lie below
   /// every solution the search can reach (e.g. a refined order, or levels
@@ -32,6 +40,7 @@ struct SchedulerContext {
   /// correctly the hint only accelerates the search; it is never a result
   /// and must never change the returned schedule.
   std::optional<Schedule> incumbent_hint;
+  HintKind hint_kind = HintKind::kPlanCache;
 
   [[nodiscard]] const workload::Batch& jobs() const;
   [[nodiscard]] const model::CoRunPredictor& model() const;

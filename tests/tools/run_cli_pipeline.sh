@@ -227,6 +227,25 @@ echo "== dynamic run with --plan-cache is byte-identical and warm-starts =="
 cmp dyn_nocache.out dyn_cache.out
 grep -q "plan-cache:" dyn_cache.err
 
+echo "== bnb plan repair reports on stderr, never on stdout =="
+"$TOOLS/corun-run" --batch batch.csv --profiles profiles.csv --grid grid.csv \
+    --cap 15 --scheduler bnb --events faults.csv \
+    > dyn_repair.out 2> dyn_repair.err
+cmp dyn_nocache.out dyn_repair.out
+grep -q "bnb repair:" dyn_repair.err
+if grep -q "budget-truncated" dyn_repair.err; then
+  echo "unexpected truncation warning at the default node budget" >&2
+  exit 1
+fi
+
+echo "== CORUN_BNB_BUDGET=1 truncates the search and warns on stderr =="
+CORUN_BNB_BUDGET=1 "$TOOLS/corun-run" --batch batch.csv \
+    --profiles profiles.csv --grid grid.csv \
+    --cap 15 --scheduler bnb --events faults.csv \
+    > dyn_trunc.out 2> dyn_trunc.err
+grep -q "budget-truncated" dyn_trunc.err
+grep -q "makespan=" dyn_trunc.out
+
 echo "== --plan-cache rejects malformed specs =="
 if "$TOOLS/corun-schedule" --batch batch.csv --profiles profiles.csv \
     --grid grid.csv --plan-cache ram 2>/dev/null; then

@@ -102,6 +102,22 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
                 f.get("power-trace", "").c_str(),
                 report.report.power_trace.size());
   }
+  // Search-side statistics go to stderr (like the plan-cache report) so
+  // stdout stays byte-identical whether repair or the cache is active.
+  if (report.plan_repairs > 0 || report.repair_fallbacks > 0) {
+    std::fprintf(stderr,
+                 "bnb repair: %zu re-plans warm-started from a repaired plan"
+                 " (%zu fell back to the full search)\n",
+                 report.plan_repairs, report.repair_fallbacks);
+  }
+  if (report.bnb_budget_exhausted > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu re-plan(s) served by a budget-truncated"
+                 " branch-and-bound search; schedules are valid but the"
+                 " run's byte-identity guarantees do not apply (raise"
+                 " CORUN_BNB_BUDGET or reduce the pending set)\n",
+                 report.bnb_budget_exhausted);
+  }
   tools::report_plan_cache(plan_cache.get());
   if (!tools::finish_trace(trace_path)) return 1;
   return 0;
