@@ -1,38 +1,48 @@
 #!/usr/bin/env bash
-# Doc drift guard for the search counters.
+# Doc drift guard for the trace-counter families.
 #
 # docs/search.md documents every bnb.* trace counter the branch-and-bound
-# solver emits. Counter names are plain strings on both sides, so nothing
-# stops them drifting apart silently — this check does. It extracts the
-# emitted names from the CORUN_TRACE_* call sites and the documented names
-# from docs/search.md and fails on any one-sided mention, in either
-# direction.
+# solver emits, and docs/architecture.md documents every backend.* counter
+# the machine-model layer emits. Counter names are plain strings on both
+# sides, so nothing stops them drifting apart silently — this check does.
+# It extracts the emitted names from the CORUN_TRACE_* / counter_add call
+# sites and the documented names from the docs and fails on any one-sided
+# mention, in either direction.
 #
 # Usage: scripts/check_search_doc_counters.sh   (from anywhere in the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-src=src/corun/core/sched/branch_and_bound.cpp
-doc=docs/search.md
-
-emitted=$(grep -o '"bnb\.[a-z_][a-z_]*"' "$src" | tr -d '"' | sort -u)
-documented=$(grep -o 'bnb\.[a-z_][a-z_]*' "$doc" | sort -u)
-
 status=0
-for name in $emitted; do
-  if ! grep -qx "$name" <<<"$documented"; then
-    echo "UNDOCUMENTED: $src emits '$name' but $doc never mentions it" >&2
-    status=1
-  fi
-done
-for name in $documented; do
-  if ! grep -qx "$name" <<<"$emitted"; then
-    echo "STALE: $doc mentions '$name' but $src does not emit it" >&2
-    status=1
-  fi
-done
 
-if [ "$status" -eq 0 ]; then
-  echo "search doc counters in sync ($(wc -w <<<"$emitted" | tr -d ' ') bnb.* names)"
-fi
+# check_family PREFIX DOC SRC...
+check_family() {
+  local prefix=$1 doc=$2
+  shift 2
+  local emitted documented name
+  emitted=$(grep -oh "\"${prefix}\.[a-z_][a-z_]*\"" "$@" | tr -d '"' | sort -u)
+  documented=$(grep -oh "${prefix}\.[a-z_][a-z_]*" "$doc" | sort -u)
+  for name in $emitted; do
+    if ! grep -qx "$name" <<<"$documented"; then
+      echo "UNDOCUMENTED: '$name' is emitted but $doc never mentions it" >&2
+      status=1
+    fi
+  done
+  for name in $documented; do
+    if ! grep -qx "$name" <<<"$emitted"; then
+      echo "STALE: $doc mentions '$name' but no source emits it" >&2
+      status=1
+    fi
+  done
+  if [ "$status" -eq 0 ]; then
+    echo "$prefix.* doc counters in sync ($(wc -w <<<"$emitted" | tr -d ' ') names)"
+  fi
+}
+
+check_family bnb docs/search.md src/corun/core/sched/branch_and_bound.cpp
+check_family backend docs/architecture.md \
+  src/corun/sim/backend.cpp \
+  src/corun/sim/engine.cpp \
+  src/corun/core/model/corun_predictor.cpp
+
 exit "$status"

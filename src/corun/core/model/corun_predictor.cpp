@@ -3,17 +3,172 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <string_view>
+#include <vector>
 
 #include "corun/common/check.hpp"
+#include "corun/common/trace/trace.hpp"
 
 namespace corun::model {
 
+bool default_analytic_tables() {
+  static const bool value = [] {
+    const char* env = std::getenv("CORUN_ANALYTIC_EVAL");
+    if (env == nullptr) return true;
+    const std::string_view v(env);
+    return !(v == "0" || v == "off" || v == "false");
+  }();
+  return value;
+}
+
+/// The dense analytic tables. Rows exist only for (job, device) pairs the
+/// DB has profiles for; everything else falls back to the legacy on-demand
+/// path. Cells are computed with the exact legacy arithmetic (entry_at +
+/// staged interpolation), so a table answer and a fallback answer are the
+/// same bits.
+struct CoRunPredictor::AnalyticCore {
+  std::unordered_map<std::string, std::size_t> cpu_index;  ///< job -> row
+  std::unordered_map<std::string, std::size_t> gpu_index;
+  std::size_t cpu_levels = 0;  ///< ladder size (max_level + 1)
+  std::size_t gpu_levels = 0;
+  std::vector<profile::ProfileEntry> cpu_entries;  ///< [row][level]
+  std::vector<profile::ProfileEntry> gpu_entries;
+  std::vector<PairPrediction> pairs;  ///< [cpu row][cl][gpu row][gl]
+
+  [[nodiscard]] const profile::ProfileEntry* entry(
+      sim::DeviceKind device, const std::string& job,
+      sim::FreqLevel level) const {
+    const bool cpu = device == sim::DeviceKind::kCpu;
+    const std::size_t n = cpu ? cpu_levels : gpu_levels;
+    if (level < 0 || static_cast<std::size_t>(level) >= n) return nullptr;
+    const auto& index = cpu ? cpu_index : gpu_index;
+    const auto it = index.find(job);
+    if (it == index.end()) return nullptr;
+    const auto& entries = cpu ? cpu_entries : gpu_entries;
+    return &entries[it->second * n + static_cast<std::size_t>(level)];
+  }
+
+  [[nodiscard]] const PairPrediction* pair(const std::string& cpu_job,
+                                           sim::FreqLevel cpu_level,
+                                           const std::string& gpu_job,
+                                           sim::FreqLevel gpu_level) const {
+    if (cpu_level < 0 ||
+        static_cast<std::size_t>(cpu_level) >= cpu_levels ||
+        gpu_level < 0 || static_cast<std::size_t>(gpu_level) >= gpu_levels) {
+      return nullptr;
+    }
+    const auto ci = cpu_index.find(cpu_job);
+    if (ci == cpu_index.end()) return nullptr;
+    const auto gi = gpu_index.find(gpu_job);
+    if (gi == gpu_index.end()) return nullptr;
+    const std::size_t idx =
+        ((ci->second * cpu_levels + static_cast<std::size_t>(cpu_level)) *
+             gpu_index.size() +
+         gi->second) *
+            gpu_levels +
+        static_cast<std::size_t>(gpu_level);
+    return &pairs[idx];
+  }
+};
+
 CoRunPredictor::CoRunPredictor(const profile::ProfileDB& db,
-                               DegradationGrid grid, sim::MachineConfig config)
-    : db_(db), interp_(std::move(grid)), config_(std::move(config)) {
+                               DegradationGrid grid, sim::MachineConfig config,
+                               PredictorOptions options)
+    : db_(db),
+      interp_(std::move(grid)),
+      config_(std::move(config)),
+      options_(options) {
   CORUN_CHECK_MSG(db_.idle_power() > 0.0,
                   "profile DB lacks the idle-power measurement");
+}
+
+CoRunPredictor::CoRunPredictor(const CoRunPredictor& other,
+                               PredictorOptions options)
+    : db_(other.db_),
+      interp_(other.interp_),
+      config_(other.config_),
+      options_(options) {}
+
+CoRunPredictor::~CoRunPredictor() {
+  const std::uint64_t hits = analytic_hits_.load(std::memory_order_relaxed);
+  if (hits != 0) {
+    trace::counter_add("backend.analytic_hits", static_cast<double>(hits));
+  }
+}
+
+std::unique_ptr<CoRunPredictor::AnalyticCore> CoRunPredictor::build_core()
+    const {
+  auto core = std::make_unique<AnalyticCore>();
+  core->cpu_levels =
+      static_cast<std::size_t>(config_.cpu_ladder.max_level()) + 1;
+  core->gpu_levels =
+      static_cast<std::size_t>(config_.gpu_ladder.max_level()) + 1;
+  for (const std::string& job : db_.jobs()) {
+    for (const sim::DeviceKind device :
+         {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
+      if (db_.levels(job, device).empty()) continue;
+      const bool cpu = device == sim::DeviceKind::kCpu;
+      auto& index = cpu ? core->cpu_index : core->gpu_index;
+      auto& entries = cpu ? core->cpu_entries : core->gpu_entries;
+      const std::size_t n = cpu ? core->cpu_levels : core->gpu_levels;
+      index.emplace(job, index.size());
+      for (std::size_t l = 0; l < n; ++l) {
+        entries.push_back(
+            entry_at(job, device, static_cast<sim::FreqLevel>(l)));
+      }
+    }
+  }
+  const std::size_t n_cpu = core->cpu_index.size();
+  const std::size_t n_gpu = core->gpu_index.size();
+  core->pairs.resize(n_cpu * core->cpu_levels * n_gpu * core->gpu_levels);
+  std::size_t idx = 0;
+  // Row order follows entry storage, which follows the insertion order of
+  // the index maps (db_.jobs() is sorted, so the layout is deterministic).
+  for (std::size_t ci = 0; ci < n_cpu; ++ci) {
+    for (std::size_t cl = 0; cl < core->cpu_levels; ++cl) {
+      const profile::ProfileEntry& ce =
+          core->cpu_entries[ci * core->cpu_levels + cl];
+      for (std::size_t gi = 0; gi < n_gpu; ++gi) {
+        for (std::size_t gl = 0; gl < core->gpu_levels; ++gl) {
+          const profile::ProfileEntry& ge =
+              core->gpu_entries[gi * core->gpu_levels + gl];
+          PairPrediction& p = core->pairs[idx++];
+          p.cpu_degradation = interp_.cpu_degradation(ce.avg_bw, ge.avg_bw);
+          p.gpu_degradation = interp_.gpu_degradation(ce.avg_bw, ge.avg_bw);
+          p.cpu_solo_time = ce.time;
+          p.gpu_solo_time = ge.time;
+          p.cpu_time = ce.time * (1.0 + p.cpu_degradation);
+          p.gpu_time = ge.time * (1.0 + p.gpu_degradation);
+          p.power = ce.avg_power + ge.avg_power - db_.idle_power();
+        }
+      }
+    }
+  }
+  return core;
+}
+
+const CoRunPredictor::AnalyticCore* CoRunPredictor::analytic_core() const {
+  if (!options_.analytic_tables) return nullptr;
+  if (const AnalyticCore* core = core_.load(std::memory_order_acquire)) {
+    return core;
+  }
+  const std::lock_guard<std::mutex> lock(core_mutex_);
+  if (const AnalyticCore* core = core_.load(std::memory_order_relaxed)) {
+    return core;
+  }
+  core_storage_ = build_core();
+  core_.store(core_storage_.get(), std::memory_order_release);
+  return core_storage_.get();
+}
+
+void CoRunPredictor::count_analytic_hit() const {
+  // The tally only feeds the backend.analytic_hits trace counter; skip the
+  // shared-cache-line increment entirely when tracing is off.
+  if (trace::enabled()) {
+    analytic_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 profile::ProfileEntry CoRunPredictor::entry_at(const std::string& job,
@@ -59,18 +214,36 @@ profile::ProfileEntry CoRunPredictor::entry_at(const std::string& job,
 Seconds CoRunPredictor::standalone_time(const std::string& job,
                                         sim::DeviceKind device,
                                         sim::FreqLevel level) const {
+  if (const AnalyticCore* core = analytic_core()) {
+    if (const profile::ProfileEntry* e = core->entry(device, job, level)) {
+      count_analytic_hit();
+      return e->time;
+    }
+  }
   return entry_at(job, device, level).time;
 }
 
 GBps CoRunPredictor::standalone_bw(const std::string& job,
                                    sim::DeviceKind device,
                                    sim::FreqLevel level) const {
+  if (const AnalyticCore* core = analytic_core()) {
+    if (const profile::ProfileEntry* e = core->entry(device, job, level)) {
+      count_analytic_hit();
+      return e->avg_bw;
+    }
+  }
   return entry_at(job, device, level).avg_bw;
 }
 
 Watts CoRunPredictor::standalone_power(const std::string& job,
                                        sim::DeviceKind device,
                                        sim::FreqLevel level) const {
+  if (const AnalyticCore* core = analytic_core()) {
+    if (const profile::ProfileEntry* e = core->entry(device, job, level)) {
+      count_analytic_hit();
+      return e->avg_power;
+    }
+  }
   return entry_at(job, device, level).avg_power;
 }
 
@@ -78,6 +251,13 @@ PairPrediction CoRunPredictor::predict(const std::string& cpu_job,
                                        sim::FreqLevel cpu_level,
                                        const std::string& gpu_job,
                                        sim::FreqLevel gpu_level) const {
+  if (const AnalyticCore* core = analytic_core()) {
+    if (const PairPrediction* p =
+            core->pair(cpu_job, cpu_level, gpu_job, gpu_level)) {
+      count_analytic_hit();
+      return *p;
+    }
+  }
   const profile::ProfileEntry cpu_entry =
       entry_at(cpu_job, sim::DeviceKind::kCpu, cpu_level);
   const profile::ProfileEntry gpu_entry =
@@ -100,6 +280,16 @@ Watts CoRunPredictor::predict_power(const std::string& cpu_job,
                                     sim::FreqLevel cpu_level,
                                     const std::string& gpu_job,
                                     sim::FreqLevel gpu_level) const {
+  if (const AnalyticCore* core = analytic_core()) {
+    const profile::ProfileEntry* ce =
+        core->entry(sim::DeviceKind::kCpu, cpu_job, cpu_level);
+    const profile::ProfileEntry* ge =
+        core->entry(sim::DeviceKind::kGpu, gpu_job, gpu_level);
+    if (ce != nullptr && ge != nullptr) {
+      count_analytic_hit();
+      return ce->avg_power + ge->avg_power - db_.idle_power();
+    }
+  }
   return standalone_power(cpu_job, sim::DeviceKind::kCpu, cpu_level) +
          standalone_power(gpu_job, sim::DeviceKind::kGpu, gpu_level) -
          db_.idle_power();

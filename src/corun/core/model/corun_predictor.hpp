@@ -10,6 +10,9 @@
 // operating points, best co-run frequency pairs — lives here.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -21,6 +24,22 @@
 #include "corun/sim/machine.hpp"
 
 namespace corun::model {
+
+/// Default for PredictorOptions::analytic_tables: on, unless the
+/// CORUN_ANALYTIC_EVAL environment variable is 0/off/false.
+[[nodiscard]] bool default_analytic_tables();
+
+/// Evaluation-backend knobs for the predictor.
+struct PredictorOptions {
+  /// Route the point queries (standalone_*, predict, predict_power) through
+  /// dense cap-independent tables built once per predictor — the analytic
+  /// evaluation fast path the search leans on. The table cells are computed
+  /// by the exact legacy arithmetic (entry_at + staged interpolation), so
+  /// every answer is byte-identical to the on-demand path; the toggle
+  /// exists so A/B pinning (BranchAndBoundOptions::analytic_eval, the
+  /// fidelity bench) can run both sides of that equality.
+  bool analytic_tables = default_analytic_tables();
+};
 
 /// A CPU/GPU frequency operating point.
 struct FreqPair {
@@ -43,9 +62,20 @@ struct PairPrediction {
 
 class CoRunPredictor {
  public:
-  /// `db` must outlive the predictor.
-  CoRunPredictor(const profile::ProfileDB& db, DegradationGrid grid,
-                 sim::MachineConfig config);
+  /// `db` must outlive the predictor — and must not be mutated while the
+  /// predictor is live (the analytic tables and the pair-search memos both
+  /// snapshot DB-derived values; every caller that mutates its DB already
+  /// rebuilds its predictor, see DynamicRuntime::rebuild_predictor).
+  explicit CoRunPredictor(const profile::ProfileDB& db, DegradationGrid grid,
+                          sim::MachineConfig config,
+                          PredictorOptions options = {});
+
+  /// Copy-view: a second predictor over the same DB/grid/machine with
+  /// different evaluation options and fresh caches. Lets a search opt out
+  /// of the analytic tables (analytic_eval=false) without re-profiling.
+  CoRunPredictor(const CoRunPredictor& other, PredictorOptions options);
+
+  ~CoRunPredictor();
 
   // --- standalone quantities (frequency-interpolated when sub-sampled) ---
   [[nodiscard]] Seconds standalone_time(const std::string& job,
@@ -139,8 +169,24 @@ class CoRunPredictor {
   [[nodiscard]] const sim::MachineConfig& machine() const noexcept {
     return config_;
   }
+  [[nodiscard]] const PredictorOptions& options() const noexcept {
+    return options_;
+  }
 
  private:
+  /// Dense cap-independent tables: one ProfileEntry per profiled
+  /// (job, device, level) and one PairPrediction per
+  /// (cpu job, cpu level, gpu job, gpu level) cell. Built lazily on first
+  /// query under core_mutex_ and published through an acquire/release
+  /// pointer, so the parallel schedule searches race-freely share one copy.
+  struct AnalyticCore;
+
+  /// The published tables, building them on first use; nullptr when
+  /// options_.analytic_tables is off.
+  [[nodiscard]] const AnalyticCore* analytic_core() const;
+  [[nodiscard]] std::unique_ptr<AnalyticCore> build_core() const;
+  void count_analytic_hit() const;
+
   /// Linear interpolation of a profiled quantity across frequency.
   [[nodiscard]] profile::ProfileEntry entry_at(const std::string& job,
                                                sim::DeviceKind device,
@@ -149,6 +195,12 @@ class CoRunPredictor {
   const profile::ProfileDB& db_;
   StagedInterpolator interp_;
   sim::MachineConfig config_;
+  PredictorOptions options_;
+
+  mutable std::mutex core_mutex_;
+  mutable std::unique_ptr<AnalyticCore> core_storage_;
+  mutable std::atomic<const AnalyticCore*> core_{nullptr};
+  mutable std::atomic<std::uint64_t> analytic_hits_{0};
 
   // Pair-search memoization. Only the weight *ratio* affects the argmin
   // (scaling both weights scales the whole metric), so the cache keys on

@@ -16,6 +16,7 @@
 
 #include "corun/common/expected.hpp"
 #include "corun/common/units.hpp"
+#include "corun/sim/backend.hpp"
 #include "corun/sim/engine.hpp"
 #include "corun/sim/machine.hpp"
 
@@ -47,6 +48,8 @@ struct CharacterizationOptions {
   double partner_scale = 4.0;       ///< partner runs this much longer
   /// Stepping policy of every cell's co-run engine.
   sim::EngineMode engine_mode = sim::default_engine_mode();
+  /// Machine backend the characterization cells run on.
+  sim::BackendSpec backend = sim::default_backend_spec();
 };
 
 /// Runs the characterization experiment on the simulator.

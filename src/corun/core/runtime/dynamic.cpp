@@ -69,7 +69,8 @@ class Executor {
         options_(options),
         db_(db),
         grid_(grid),
-        engine_(config, engine_options(plan)) {
+        machine_(make_machine(plan)),
+        engine_(*machine_) {
     for (const workload::BatchJob& j : batch.jobs()) {
       recs_.push_back(JobRec{.desc = j.descriptor,
                              .spec = j.spec,
@@ -174,6 +175,26 @@ class Executor {
     return eo;
   }
 
+  /// Machine construction through the backend factory; a requested
+  /// demand-trace recording substitutes the recorder decorator (same
+  /// engine-mode coherence rules as make_machine_model).
+  [[nodiscard]] std::unique_ptr<sim::MachineModel> make_machine(
+      const sim::FaultPlan& plan) {
+    if (!options_.record_trace_path.empty()) {
+      sim::EngineOptions eo = engine_options(plan);
+      if (options_.backend.kind == sim::BackendKind::kAnalytic) {
+        eo.mode = sim::EngineMode::kAnalytic;
+      } else if (eo.mode == sim::EngineMode::kAnalytic) {
+        eo.mode = sim::EngineMode::kEvent;
+      }
+      auto rec = std::make_unique<sim::RecordingMachine>(config_, eo);
+      recorder_ = rec.get();
+      return rec;
+    }
+    return sim::make_machine_model(config_, engine_options(plan),
+                                   options_.backend);
+  }
+
   void rebuild_predictor() {
     predictor_ =
         std::make_unique<model::CoRunPredictor>(db_, grid_, config_);
@@ -213,6 +234,14 @@ class Executor {
     po.sample_seconds = options_.online_sample_seconds;
     po.seed = options_.seed;
     po.engine_mode = options_.engine_mode;
+    // The sampler measures hypothetical standalone runs; a demand trace
+    // only covers the main machine's recorded launches, so under the
+    // replay backend the sampling windows run on the event tier — the
+    // same tier a recording run's sampler used, keeping replay
+    // byte-identical to the recording.
+    po.backend = options_.backend.kind == sim::BackendKind::kReplay
+                     ? sim::BackendSpec{}
+                     : options_.backend;
     const profile::OnlineProfiler profiler(config_, po);
     workload::Batch one;
     one.add(rec.desc, rec.seed, rec.name);
@@ -710,6 +739,13 @@ class Executor {
       report_.plan_cache_warm_hits =
           now.warm_hits - cache_stats_at_start_.warm_hits;
     }
+    if (recorder_ != nullptr) {
+      const auto saved = sim::save_demand_trace(recorder_->trace(),
+                                                options_.record_trace_path);
+      CORUN_CHECK_MSG(saved.has_value(),
+                      "failed to write demand trace: " +
+                          options_.record_trace_path);
+    }
     return std::move(report_);
   }
 
@@ -718,7 +754,9 @@ class Executor {
   profile::ProfileDB db_;          ///< private copy; events mutate it
   model::DegradationGrid grid_;
   std::unique_ptr<model::CoRunPredictor> predictor_;
-  sim::Engine engine_;
+  sim::RecordingMachine* recorder_ = nullptr;  ///< set when recording
+  std::unique_ptr<sim::MachineModel> machine_;
+  sim::MachineModel& engine_;
 
   std::vector<JobRec> recs_;
   std::vector<TimelineEntry> timeline_;

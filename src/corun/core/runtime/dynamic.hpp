@@ -35,6 +35,7 @@
 #include "corun/core/runtime/report.hpp"
 #include "corun/core/sched/plan_cache/plan_cache.hpp"
 #include "corun/profile/profile_db.hpp"
+#include "corun/sim/backend.hpp"
 #include "corun/sim/engine.hpp"
 #include "corun/sim/fault_injector.hpp"
 #include "corun/sim/machine.hpp"
@@ -50,6 +51,12 @@ struct DynamicOptions {
   Seconds sample_interval = 1.0;       ///< power-trace cadence
   bool record_power_trace = true;
   Seconds cap_window = 0.0;            ///< RAPL PL1 window (0 = instantaneous)
+
+  /// Machine backend the run executes on (event/analytic/replay).
+  sim::BackendSpec backend = sim::default_backend_spec();
+  /// When non-empty, record the run's per-phase demand trace (see
+  /// demand_trace.hpp) and write it here after execution.
+  std::string record_trace_path;
 
   /// Registry name of the planner used for the initial plan and every
   /// re-plan ("hcs+", "hcs", "default", "random", "bnb", "exhaustive").

@@ -34,6 +34,9 @@ struct ArtifactOptions {
   std::uint64_t seed = 42;
   /// Stepping policy of every simulation the offline stage runs.
   sim::EngineMode engine_mode = sim::default_engine_mode();
+  /// Machine backend of every offline simulation (profiling sweep and
+  /// degradation characterization alike).
+  sim::BackendSpec backend = sim::default_backend_spec();
   /// Frequency sub-sampling for profiling (empty = every level).
   std::vector<sim::FreqLevel> cpu_levels;
   std::vector<sim::FreqLevel> gpu_levels;
@@ -60,6 +63,7 @@ struct ComparisonOptions {
   int random_seeds = 20;          ///< Random baseline repetitions (paper: 20)
   std::uint64_t seed = 42;
   sim::EngineMode engine_mode = sim::default_engine_mode();
+  sim::BackendSpec backend = sim::default_backend_spec();
   bool include_cpu_biased_default = true;
   bool record_power_traces = false;
 };

@@ -2,6 +2,8 @@
 
 #include <deque>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "corun/common/check.hpp"
 
@@ -34,7 +36,27 @@ sim::EngineOptions CoRunRuntime::engine_options() const {
 ExecutionReport CoRunRuntime::execute(const workload::Batch& batch,
                                       const sched::Schedule& schedule) const {
   schedule.validate(batch.size());
-  sim::Engine engine(config_, engine_options());
+  // The machine comes from the backend factory (event / analytic / replay);
+  // a requested demand-trace recording wraps it in the recorder decorator
+  // instead (recording an analytic run is fine — the spec's engine mode is
+  // honoured the same way make_machine_model honours it).
+  std::unique_ptr<sim::MachineModel> machine;
+  sim::RecordingMachine* recorder = nullptr;
+  if (!options_.record_trace_path.empty()) {
+    sim::EngineOptions eo = engine_options();
+    if (options_.backend.kind == sim::BackendKind::kAnalytic) {
+      eo.mode = sim::EngineMode::kAnalytic;
+    } else if (eo.mode == sim::EngineMode::kAnalytic) {
+      eo.mode = sim::EngineMode::kEvent;
+    }
+    auto rec = std::make_unique<sim::RecordingMachine>(config_, eo);
+    recorder = rec.get();
+    machine = std::move(rec);
+  } else {
+    machine = sim::make_machine_model(config_, engine_options(),
+                                      options_.backend);
+  }
+  sim::MachineModel& engine = *machine;
 
   std::map<sim::JobId, std::size_t> id_to_batch;
   DeviceCursor cpu;
@@ -187,6 +209,14 @@ ExecutionReport CoRunRuntime::execute(const workload::Batch& batch,
   report.avg_power = telemetry.avg_power();
   report.cap_stats = telemetry.cap_stats();
   report.power_trace = telemetry.samples();
+
+  if (recorder != nullptr) {
+    const auto saved = sim::save_demand_trace(recorder->trace(),
+                                              options_.record_trace_path);
+    CORUN_CHECK_MSG(saved.has_value(),
+                    "failed to write demand trace: " +
+                        options_.record_trace_path);
+  }
   return report;
 }
 

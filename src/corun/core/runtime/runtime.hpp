@@ -12,9 +12,12 @@
 
 #include <optional>
 
+#include <string>
+
 #include "corun/core/model/corun_predictor.hpp"
 #include "corun/core/runtime/report.hpp"
 #include "corun/core/sched/schedule.hpp"
+#include "corun/sim/backend.hpp"
 #include "corun/sim/engine.hpp"
 #include "corun/sim/machine.hpp"
 #include "corun/workload/batch.hpp"
@@ -28,6 +31,12 @@ struct RuntimeOptions {
   sim::EngineMode engine_mode = sim::default_engine_mode();
   Seconds sample_interval = 1.0;  ///< power-trace cadence
   bool record_power_trace = true;
+
+  /// Machine backend executing the schedule (event/analytic/replay).
+  sim::BackendSpec backend = sim::default_backend_spec();
+  /// When non-empty, wrap the machine in a RecordingMachine and write the
+  /// per-phase demand trace (demand_trace.hpp CSV) here after execution.
+  std::string record_trace_path;
 
   /// Required to execute Schedule::model_dvfs schedules: the runtime
   /// re-derives the operating point for each new pairing from this model

@@ -44,6 +44,20 @@ BranchAndBoundScheduler::BranchAndBoundScheduler(BranchAndBoundOptions options)
     : options_(options) {}
 
 Schedule BranchAndBoundScheduler::plan(const SchedulerContext& ctx) {
+  // Analytic-eval opt-out: re-plan against a legacy copy-view of the
+  // predictor (same DB/grid/machine, tables off). The tables are
+  // byte-identical by construction, so this can only ever reproduce the
+  // same schedule — it exists to let tests and the fidelity bench prove
+  // that claim.
+  if (!options_.analytic_eval && ctx.predictor != nullptr &&
+      ctx.predictor->options().analytic_tables) {
+    const model::CoRunPredictor legacy(
+        *ctx.predictor, model::PredictorOptions{.analytic_tables = false});
+    SchedulerContext legacy_ctx = ctx;
+    legacy_ctx.predictor = &legacy;
+    return plan(legacy_ctx);
+  }
+
   CORUN_TRACE_SPAN("sched", "bnb.plan");
   const std::size_t n = ctx.jobs().size();
   CORUN_CHECK_MSG(n <= options_.max_jobs,

@@ -45,6 +45,12 @@ struct BranchAndBoundOptions {
   std::size_t node_budget = 200000; ///< DFS nodes before settling
   bool strong_bound = true;  ///< IncrementalBound in the subtree search
   bool dominance = true;     ///< equivalence dominance in the subtree search
+  /// Evaluate leaves through the predictor's dense analytic tables
+  /// (PredictorOptions::analytic_tables). The tables return byte-identical
+  /// values, so this never changes the planned schedule; turning it off
+  /// makes the search query the legacy on-demand path — the A/B switch the
+  /// equivalence tests and the backend fidelity bench pin the identity with.
+  bool analytic_eval = true;
 };
 
 class BranchAndBoundScheduler : public Scheduler {

@@ -1,6 +1,7 @@
 #include "corun/profile/online_profiler.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "corun/common/check.hpp"
 #include "corun/common/task_pool.hpp"
@@ -40,7 +41,9 @@ ProfileEntry OnlineProfiler::sample_one(const sim::JobSpec& spec,
   eo.mode = options_.engine_mode;
   eo.seed = options_.seed;
   eo.record_samples = false;
-  sim::Engine engine(config_, eo);
+  const std::unique_ptr<sim::MachineModel> machine =
+      sim::make_machine_model(config_, eo, options_.backend);
+  sim::MachineModel& engine = *machine;
   engine.set_ceilings(device == sim::DeviceKind::kCpu ? level : 0,
                       device == sim::DeviceKind::kGpu ? level : 0);
   const sim::JobId id = engine.launch(spec, device);
@@ -80,10 +83,11 @@ ProfileDB OnlineProfiler::profile_batch(const workload::Batch& batch) const {
     eo.mode = options_.engine_mode;
     eo.seed = options_.seed;
     eo.record_samples = false;
-    sim::Engine engine(config_, eo);
-    engine.set_ceilings(0, 0);
-    engine.run_for(1.0);
-    db.set_idle_power(engine.telemetry().avg_power());
+    const std::unique_ptr<sim::MachineModel> machine =
+        sim::make_machine_model(config_, eo, options_.backend);
+    machine->set_ceilings(0, 0);
+    machine->run_for(1.0);
+    db.set_idle_power(machine->telemetry().avg_power());
   }
   // Same deterministic fan-out as the offline profiler: each sampling
   // window is an independent engine run, collected in task-index order.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "corun/profile/profile_db.hpp"
+#include "corun/sim/backend.hpp"
 #include "corun/sim/machine.hpp"
 #include "corun/workload/batch.hpp"
 
@@ -31,6 +32,8 @@ struct OnlineProfilerOptions {
   std::uint64_t seed = 42;
   /// Stepping policy of every sampling engine.
   sim::EngineMode engine_mode = sim::default_engine_mode();
+  /// Machine backend the sampling windows run on.
+  sim::BackendSpec backend = sim::default_backend_spec();
 };
 
 class OnlineProfiler {

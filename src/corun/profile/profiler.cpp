@@ -1,6 +1,7 @@
 #include "corun/profile/profiler.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "corun/common/check.hpp"
 #include "corun/common/task_pool.hpp"
@@ -44,9 +45,14 @@ ProfileEntry Profiler::profile_one(const sim::JobSpec& spec,
       device == sim::DeviceKind::kCpu ? level : 0;
   const sim::FreqLevel gpu_level =
       device == sim::DeviceKind::kGpu ? level : 0;
+  // The event backend defers to engine_mode (the --engine tick|event
+  // choice); other backends measure through the factory.
   const sim::StandaloneResult r =
-      sim::run_standalone(config_, spec, device, cpu_level, gpu_level,
-                          options_.seed, options_.engine_mode);
+      options_.backend.kind == sim::BackendKind::kEvent
+          ? sim::run_standalone(config_, spec, device, cpu_level, gpu_level,
+                                options_.seed, options_.engine_mode)
+          : sim::run_standalone(config_, spec, device, cpu_level, gpu_level,
+                                options_.seed, options_.backend);
   return ProfileEntry{.time = r.time,
                       .avg_bw = r.avg_bandwidth,
                       .avg_power = r.avg_power,
@@ -98,10 +104,11 @@ Watts Profiler::measure_idle_power() const {
   options.mode = options_.engine_mode;
   options.seed = options_.seed;
   options.record_samples = false;
-  sim::Engine engine(config_, options);
-  engine.set_ceilings(0, 0);
-  engine.run_for(1.0);
-  return engine.telemetry().avg_power();
+  const std::unique_ptr<sim::MachineModel> machine =
+      sim::make_machine_model(config_, options, options_.backend);
+  machine->set_ceilings(0, 0);
+  machine->run_for(1.0);
+  return machine->telemetry().avg_power();
 }
 
 }  // namespace corun::profile

@@ -1,0 +1,202 @@
+#include "corun/sim/backend.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "corun/common/check.hpp"
+#include "corun/common/trace/trace.hpp"
+
+namespace corun::sim {
+
+namespace {
+
+std::mutex g_default_backend_mutex;
+
+/// Seeded lazily from CORUN_BACKEND (event | analytic | replay:PATH). Bad
+/// values fall back to event; the tools' --backend flag reports them
+/// properly.
+BackendSpec& default_backend_storage() {
+  static BackendSpec spec = [] {
+    if (const char* env = std::getenv("CORUN_BACKEND")) {
+      const auto parsed = parse_backend_spec(env);
+      if (parsed.has_value()) return parsed.value();
+    }
+    return BackendSpec{};
+  }();
+  return spec;
+}
+
+}  // namespace
+
+const char* backend_kind_name(BackendKind k) noexcept {
+  switch (k) {
+    case BackendKind::kEvent: return "event";
+    case BackendKind::kAnalytic: return "analytic";
+    case BackendKind::kReplay: return "replay";
+  }
+  return "?";
+}
+
+std::string BackendSpec::name() const {
+  if (kind == BackendKind::kReplay) return "replay:" + replay_path;
+  return backend_kind_name(kind);
+}
+
+Expected<BackendSpec> parse_backend_spec(const std::string& text) {
+  BackendSpec spec;
+  if (text == "event") {
+    spec.kind = BackendKind::kEvent;
+    return spec;
+  }
+  if (text == "analytic") {
+    spec.kind = BackendKind::kAnalytic;
+    return spec;
+  }
+  if (text.rfind("replay:", 0) == 0) {
+    spec.kind = BackendKind::kReplay;
+    spec.replay_path = text.substr(7);
+    if (spec.replay_path.empty()) {
+      return fail("replay backend needs a trace path: replay:PATH",
+                  ErrorCategory::kInvalidArgument);
+    }
+    return spec;
+  }
+  return fail("unknown backend '" + text +
+                  "' (expected event|analytic|replay:PATH)",
+              ErrorCategory::kInvalidArgument);
+}
+
+BackendSpec default_backend_spec() {
+  const std::lock_guard<std::mutex> lock(g_default_backend_mutex);
+  return default_backend_storage();
+}
+
+void set_default_backend(const BackendSpec& spec) {
+  {
+    const std::lock_guard<std::mutex> lock(g_default_backend_mutex);
+    default_backend_storage() = spec;
+  }
+  // Keep the engine-mode default coherent: the analytic backend *is* an
+  // engine stepping mode, so library code that constructs Engines directly
+  // (EngineOptions{} picks up default_engine_mode()) follows the backend
+  // choice. Leaving kAnalytic behind when switching away would mislabel
+  // event-backend runs; a pinned tick oracle (CORUN_ENGINE=tick /
+  // --engine tick) is never overridden.
+  if (spec.kind == BackendKind::kAnalytic) {
+    set_default_engine_mode(EngineMode::kAnalytic);
+  } else if (default_engine_mode() == EngineMode::kAnalytic) {
+    set_default_engine_mode(EngineMode::kEvent);
+  }
+}
+
+std::unique_ptr<MachineModel> make_machine_model(const MachineConfig& config,
+                                                 EngineOptions options,
+                                                 const BackendSpec& spec) {
+  if (trace::enabled()) trace::counter_add("backend.evaluations", 1.0);
+  switch (spec.kind) {
+    case BackendKind::kAnalytic:
+      options.mode = EngineMode::kAnalytic;
+      return std::make_unique<Engine>(config, options);
+    case BackendKind::kReplay: {
+      auto trace = load_demand_trace(spec.replay_path);
+      CORUN_CHECK_MSG(trace.has_value(),
+                      "replay backend: cannot load demand trace");
+      return std::make_unique<ReplayMachine>(config, options,
+                                             std::move(trace.value()));
+    }
+    case BackendKind::kEvent:
+      break;
+  }
+  // Event backend: --engine (tick|event) picks the stepping core; a stray
+  // kAnalytic mode (e.g. a default captured before the backend was chosen)
+  // is demoted so "event" means what it says.
+  if (options.mode == EngineMode::kAnalytic) options.mode = EngineMode::kEvent;
+  return std::make_unique<Engine>(config, options);
+}
+
+JobId RecordingMachine::launch(const JobSpec& spec, DeviceKind device) {
+  const DeviceProfile& profile = spec.profile(device);
+  for (std::size_t i = 0; i < profile.phases().size(); ++i) {
+    DemandTraceRow row;
+    row.job = spec.name;
+    row.device = device;
+    row.launch_time = engine_.now();
+    row.phase_idx = i;
+    row.phase = profile.phases()[i];
+    row.llc = profile.llc();
+    trace_.rows.push_back(std::move(row));
+  }
+  return engine_.launch(spec, device);
+}
+
+ReplayMachine::ReplayMachine(const MachineConfig& config,
+                             const EngineOptions& options, DemandTrace trace)
+    : engine_(config, options) {
+  auto launches = trace.launches();
+  CORUN_CHECK_MSG(launches.has_value(), "replay backend: malformed trace");
+  launches_ = std::move(launches.value());
+  consumed_.assign(launches_.size(), false);
+}
+
+ReplayMachine::~ReplayMachine() {
+  if (!trace::enabled()) return;
+  trace::counter_add("backend.replay_phases",
+                     static_cast<double>(phases_replayed_));
+}
+
+JobId ReplayMachine::launch(const JobSpec& spec, DeviceKind device) {
+  for (std::size_t i = 0; i < launches_.size(); ++i) {
+    if (consumed_[i] || launches_[i].device != device ||
+        launches_[i].name != spec.name) {
+      continue;
+    }
+    consumed_[i] = true;
+    phases_replayed_ += launches_[i].profile.phases().size();
+    // Substitute the recorded demands for the synthetic descriptor; the
+    // engine only ever reads the launched device's profile.
+    JobSpec replayed = spec;
+    if (device == DeviceKind::kCpu) {
+      replayed.cpu = launches_[i].profile;
+    } else {
+      replayed.gpu = launches_[i].profile;
+    }
+    return engine_.launch(replayed, device);
+  }
+  CORUN_CHECK_MSG(false, "replay backend: no recorded launch left for job '" +
+                             spec.name + "'");
+  return -1;
+}
+
+std::size_t ReplayMachine::remaining_launches() const noexcept {
+  std::size_t n = 0;
+  for (const bool c : consumed_) {
+    if (!c) ++n;
+  }
+  return n;
+}
+
+StandaloneResult run_standalone(const MachineConfig& config,
+                                const JobSpec& spec, DeviceKind device,
+                                FreqLevel cpu_level, FreqLevel gpu_level,
+                                std::uint64_t seed,
+                                const BackendSpec& backend) {
+  EngineOptions options;
+  options.seed = seed;
+  options.policy = GovernorPolicy::kNone;
+  options.record_samples = false;
+  const std::unique_ptr<MachineModel> machine =
+      make_machine_model(config, options, backend);
+  machine->set_ceilings(cpu_level, gpu_level);
+  const JobId id = machine->launch(spec, device);
+  machine->run_until_idle();
+  const JobStats& st = machine->stats(id);
+  StandaloneResult result;
+  result.time = st.runtime();
+  result.avg_bandwidth = st.avg_bandwidth();
+  result.energy = machine->telemetry().energy();
+  result.avg_power = machine->telemetry().avg_power();
+  return result;
+}
+
+}  // namespace corun::sim

@@ -1,0 +1,64 @@
+// Recorded per-phase demand traces — the data format of the ODIN-style
+// replay backend (see backend.hpp).
+//
+// A demand trace captures what a run actually demanded from the machine:
+// one row per (job launch, phase) holding the phase's reference duration,
+// compute fraction, memory bandwidth, and the job's LLC behaviour, plus the
+// launch time and device for bookkeeping. Replaying a trace substitutes the
+// recorded demands for the launched jobs' synthetic descriptors, so a
+// recorded run reproduces byte-identically (doubles round-trip through the
+// CSV via %.17g) and recorded workloads can be re-run under different caps,
+// policies, or schedules without the original workload catalogue.
+//
+// CSV schema (one row per phase, launch order preserved):
+//   job,device,launch_time,phase_idx,dur_ref,compute_frac,mem_bw,
+//   llc_footprint_mb,llc_sensitivity
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "corun/common/expected.hpp"
+#include "corun/sim/job.hpp"
+
+namespace corun::sim {
+
+/// One recorded phase of one launched job.
+struct DemandTraceRow {
+  std::string job;
+  DeviceKind device = DeviceKind::kCpu;
+  Seconds launch_time = 0.0;
+  std::size_t phase_idx = 0;
+  Phase phase;
+  LlcBehavior llc;
+};
+
+/// One launch reassembled from its rows: the unit ReplayMachine consumes.
+struct RecordedLaunch {
+  std::string name;
+  DeviceKind device = DeviceKind::kCpu;
+  Seconds launch_time = 0.0;
+  DeviceProfile profile;
+};
+
+struct DemandTrace {
+  std::vector<DemandTraceRow> rows;
+
+  /// Groups consecutive rows into per-launch profiles (rows of one launch
+  /// are contiguous and phase_idx-ordered, as the recorder writes them).
+  /// Fails on gaps or out-of-order phase indices.
+  [[nodiscard]] Expected<std::vector<RecordedLaunch>> launches() const;
+};
+
+/// Serializes with %.17g doubles so a save/load round trip is exact.
+void demand_trace_to_csv(const DemandTrace& trace, std::ostream& out);
+[[nodiscard]] Expected<DemandTrace> demand_trace_from_csv(
+    const std::string& text);
+
+[[nodiscard]] Expected<DemandTrace> load_demand_trace(const std::string& path);
+[[nodiscard]] Expected<bool> save_demand_trace(const DemandTrace& trace,
+                                               const std::string& path);
+
+}  // namespace corun::sim

@@ -15,12 +15,17 @@ namespace {
 
 /// Seed the process-wide default from CORUN_ENGINE so whole test suites and
 /// pipelines can be flipped to the tick oracle without touching flags
-/// (`CORUN_ENGINE=tick ctest ...`). Bad values fall back to kEvent; the
-/// tools' --engine flag reports them properly.
+/// (`CORUN_ENGINE=tick ctest ...`); CORUN_BACKEND=analytic likewise flips
+/// the default to the closed-form core (`CORUN_BACKEND=analytic ctest ...`)
+/// unless CORUN_ENGINE pins a stepping mode explicitly. Bad values fall
+/// back to kEvent; the tools' --engine/--backend flags report them properly.
 EngineMode initial_engine_mode() {
   if (const char* env = std::getenv("CORUN_ENGINE")) {
     if (env == std::string_view("tick")) return EngineMode::kTick;
     if (env == std::string_view("event")) return EngineMode::kEvent;
+  }
+  if (const char* env = std::getenv("CORUN_BACKEND")) {
+    if (env == std::string_view("analytic")) return EngineMode::kAnalytic;
   }
   return EngineMode::kEvent;
 }
@@ -33,6 +38,7 @@ const char* engine_mode_name(EngineMode m) noexcept {
   switch (m) {
     case EngineMode::kTick: return "tick";
     case EngineMode::kEvent: return "event";
+    case EngineMode::kAnalytic: return "analytic";
   }
   return "?";
 }
@@ -91,6 +97,12 @@ Engine::~Engine() {
                      static_cast<double>(counters_.cancellations));
   trace::counter_add("engine.cap_updates",
                      static_cast<double>(counters_.cap_updates));
+  if (options_.mode == EngineMode::kAnalytic) {
+    // Backend observability (see docs/architecture.md § "Machine backends"):
+    // how many ticks the closed-form fast path absorbed on this machine.
+    trace::counter_add("backend.analytic_replayed_ticks",
+                       static_cast<double>(counters_.analytic_ticks));
+  }
 }
 
 JobId Engine::launch(const JobSpec& spec, DeviceKind device) {
@@ -622,22 +634,151 @@ void Engine::fast_replay(const std::optional<Seconds>& end,
   counters_.cache_hit_ticks += ticks;
 }
 
+void Engine::advance_jobs_bulk(std::size_t ticks) {
+  // One fused update per job instead of `ticks` repeated subtractions. The
+  // closed form rounds once where the replay rounds `ticks` times, so the
+  // progress accumulators drift from the oracle by O(ticks * eps) relative —
+  // orders of magnitude inside the 1e-9 cross-backend tolerance — while
+  // every control decision (made on now_, not on these accumulators) stays
+  // bit-identical.
+  const double n = static_cast<double>(ticks);
+  for (const JobAdvance& j : cache_.jobs) {
+    running_[j.run_idx].phase_ref_remaining -= n * j.ref_per_tick;
+    j.stats->total_gb += n * j.gb_per_tick;
+  }
+}
+
+void Engine::analytic_replay(const std::optional<Seconds>& end,
+                             std::vector<JobEvent>& events) {
+  if (!cache_.valid) return;
+
+  const Seconds dt = options_.dt;
+  // Same conservative phase-boundary bound as fast_replay: the per-tick
+  // event path re-checks everything exactly, so an underestimate only costs
+  // a few slow ticks at the horizon's edge.
+  constexpr double kSlack = 2.0;
+  double safe = 1e18;
+  for (const JobAdvance& j : cache_.jobs) {
+    safe = std::min(
+        safe, running_[j.run_idx].phase_ref_remaining / j.ref_per_tick - kSlack);
+  }
+  if (!(safe >= 1.0)) return;  // also rejects NaN
+  std::size_t budget = static_cast<std::size_t>(safe);
+  std::size_t ticks = 0;
+
+  if (options_.policy != GovernorPolicy::kNone && options_.power_cap) {
+    // Cap-managed machine: the control loop is observable (every tick reads
+    // the noisy meter and may move a level), so it replays exactly as in
+    // fast_replay — only the per-job advance is hoisted out into one bulk
+    // update when the window closes.
+    Seconds stop = std::min(next_governor_, next_sample_);
+    if (end) stop = std::min(stop, *end);
+    const Watts cap = *options_.power_cap;
+    const bool windowed = options_.cap_window > 0.0;
+    const double alpha =
+        windowed ? std::min(1.0, dt / options_.cap_window) : 0.0;
+    const PowerGovernor governor(options_.policy, options_.power_cap);
+    while (budget > 0 && now_ + 1e-12 < stop) {
+      Watts measured = meter_.read(last_true_power_);
+      if (windowed) {
+        if (!ema_primed_) {
+          power_ema_ = measured;
+          ema_primed_ = true;
+        } else {
+          power_ema_ += alpha * (measured - power_ema_);
+        }
+        measured = power_ema_;
+      }
+      if (measured > cap) {
+        const DvfsState before = dvfs_;
+        dvfs_ = governor.step(measured, dvfs_);
+        if (before.cpu_level != dvfs_.cpu_level ||
+            before.gpu_level != dvfs_.gpu_level ||
+            before.cpu_ceiling != dvfs_.cpu_ceiling ||
+            before.gpu_ceiling != dvfs_.gpu_ceiling) {
+          // Level move: the horizon ends here. Materialize the bulk job
+          // advance, bank the replayed ticks, then finish this tick on the
+          // event path (flush + rebuild with the new levels happen inside).
+          if (ticks > 0) {
+            advance_jobs_bulk(ticks);
+            last_true_power_ = cache_.true_power;
+            pending_ticks_ += ticks;
+            counters_.ticks += ticks;
+            counters_.replayed_ticks += ticks;
+            counters_.analytic_ticks += ticks;
+            counters_.cache_hit_ticks += ticks;
+          }
+          complete_event_tick(/*dvfs_moved=*/true, events);
+          return;
+        }
+      }
+      now_ += dt;
+      --budget;
+      ++ticks;
+    }
+  } else if (options_.policy == GovernorPolicy::kNone &&
+             !options_.record_samples) {
+    // Control-free machine (the profiler workload): under kNone the
+    // governor unconditionally snaps the levels to the ceilings — which the
+    // constructor and set_ceilings already did — so its cadence work and
+    // its meter reads are unobservable, and with sampling off so are the
+    // sample-point reads. Skip the RNG draws entirely and replay only the
+    // cadence bookkeeping (the exact recurrences the oracle executes), so
+    // next_governor_/next_sample_ leave the window bit-identical.
+    while (budget > 0 && (!end || now_ + 1e-12 < *end)) {
+      if (now_ + 1e-12 >= next_governor_) {
+        next_governor_ = now_ + options_.governor_interval;
+      }
+      if (now_ + 1e-12 >= next_sample_) {
+        next_sample_ = now_ + options_.sample_interval;
+      }
+      now_ += dt;
+      --budget;
+      ++ticks;
+    }
+  } else {
+    // Uncapped but observed (samples on, or a non-kNone governor idling
+    // without a cap): stop at the next governor/sample point and let the
+    // event path execute it — those ticks read the meter.
+    Seconds stop = std::min(next_governor_, next_sample_);
+    if (end) stop = std::min(stop, *end);
+    while (budget > 0 && now_ + 1e-12 < stop) {
+      now_ += dt;
+      --budget;
+      ++ticks;
+    }
+  }
+  if (ticks == 0) return;
+  advance_jobs_bulk(ticks);
+  last_true_power_ = cache_.true_power;
+  pending_ticks_ += ticks;
+  counters_.ticks += ticks;
+  counters_.replayed_ticks += ticks;
+  counters_.analytic_ticks += ticks;
+  counters_.cache_hit_ticks += ticks;
+}
+
 void Engine::run_event_mode(std::vector<JobEvent>& events,
                             const std::optional<Seconds>& end,
                             bool stop_on_event) {
   // Loop conditions replicate the tick-mode drivers: run_for ticks an idle
   // machine until `end`; run_until_event/run_until_idle stop when drained.
+  const bool analytic = options_.mode == EngineMode::kAnalytic;
   while ((end ? now_ + 1e-12 < *end : !idle()) &&
          !(stop_on_event && !events.empty())) {
     step_event_tick(events);
-    fast_replay(end, events);
+    if (analytic) {
+      analytic_replay(end, events);
+    } else {
+      fast_replay(end, events);
+    }
   }
   flush_pending_telemetry();
 }
 
 std::vector<JobEvent> Engine::run_until_event() {
   std::vector<JobEvent> events;
-  if (options_.mode == EngineMode::kEvent) {
+  if (options_.mode != EngineMode::kTick) {
     run_event_mode(events, std::nullopt, /*stop_on_event=*/true);
     return events;
   }
@@ -651,7 +792,7 @@ std::vector<JobEvent> Engine::run_for(Seconds duration) {
   CORUN_CHECK(duration >= 0.0);
   std::vector<JobEvent> events;
   const Seconds end = now_ + duration;
-  if (options_.mode == EngineMode::kEvent) {
+  if (options_.mode != EngineMode::kTick) {
     run_event_mode(events, end, /*stop_on_event=*/false);
     return events;
   }
@@ -665,7 +806,7 @@ std::vector<JobEvent> Engine::run_for_until_event(Seconds duration) {
   CORUN_CHECK(duration >= 0.0);
   std::vector<JobEvent> events;
   const Seconds end = now_ + duration;
-  if (options_.mode == EngineMode::kEvent) {
+  if (options_.mode != EngineMode::kTick) {
     run_event_mode(events, end, /*stop_on_event=*/true);
     return events;
   }
@@ -680,7 +821,7 @@ std::vector<JobEvent> Engine::run_for_until_event(Seconds duration) {
 
 void Engine::run_until_idle() {
   std::vector<JobEvent> events;
-  if (options_.mode == EngineMode::kEvent) {
+  if (options_.mode != EngineMode::kTick) {
     run_event_mode(events, std::nullopt, /*stop_on_event=*/false);
     return;
   }

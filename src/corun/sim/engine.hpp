@@ -1,4 +1,6 @@
-// Discrete-time co-simulation engine for the integrated CPU-GPU machine.
+// Discrete-time co-simulation engine for the integrated CPU-GPU machine —
+// the canonical MachineModel implementation (see machine_model.hpp for the
+// interface and backend.hpp for the factory).
 //
 // The machine model advances in fixed ticks (default 10 ms). Each tick
 // it (a) resolves shared-memory contention between the domains' offered
@@ -7,7 +9,7 @@
 // (c) evaluates the package power model and RAPL-style sampling, and (d)
 // runs the DVFS governor control loop at its own cadence.
 //
-// Two stepping engines implement those semantics (EngineOptions::mode):
+// Three stepping engines implement those semantics (EngineOptions::mode):
 //
 //  - kTick: the legacy reference oracle. Every tick re-resolves contention,
 //    re-evaluates the power model, and walks every job — O(full model) per
@@ -22,6 +24,16 @@
 //    oracle performs so both modes produce bit-identical trajectories
 //    (pinned by tests/sim/test_engine_equivalence.cpp). Meter reads replay
 //    at the same points so the noise RNG stream stays in lockstep.
+//  - kAnalytic: the closed-form backend. Shares kEvent's horizon machinery
+//    but replaces the per-tick job replay with one bulk advance per horizon
+//    (rem -= n * ref_per_tick instead of n subtractions) and, on
+//    control-free machines (GovernorPolicy::kNone, no sample recording),
+//    skips the governor/sample stops and the unobservable meter RNG draws
+//    entirely. Every clock/threshold decision still uses the oracle's exact
+//    per-tick `now_ += dt` chain, so trajectories match kEvent to 1e-9
+//    (bit-identical control decisions; only the job-progress accumulators
+//    carry closed-form rounding). Pinned by
+//    tests/sim/test_backend_equivalence.cpp.
 //
 // Placement rules mirror the paper's platform semantics: the GPU executes
 // one OpenCL job at a time; the CPU normally does too, but *can* be
@@ -42,6 +54,7 @@
 #include "corun/sim/governor.hpp"
 #include "corun/sim/job.hpp"
 #include "corun/sim/machine.hpp"
+#include "corun/sim/machine_model.hpp"
 #include "corun/sim/memory_system.hpp"
 #include "corun/sim/power_meter.hpp"
 #include "corun/sim/power_model.hpp"
@@ -49,161 +62,84 @@
 
 namespace corun::sim {
 
-using JobId = int;
-
-/// Emitted when a job finishes.
-struct JobEvent {
-  JobId id = -1;
-  std::string name;
-  DeviceKind device = DeviceKind::kCpu;
-  Seconds finish_time = 0.0;
-};
-
-/// Lifetime record of one launched job.
-struct JobStats {
-  JobId id = -1;
-  std::string name;
-  DeviceKind device = DeviceKind::kCpu;
-  Seconds start_time = 0.0;
-  Seconds finish_time = 0.0;
-  double total_gb = 0.0;  ///< bytes moved, in GB
-  bool finished = false;
-  bool cancelled = false;  ///< evicted mid-run; finish_time = cancel time
-
-  [[nodiscard]] Seconds runtime() const noexcept {
-    return finish_time - start_time;
-  }
-  [[nodiscard]] GBps avg_bandwidth() const noexcept {
-    const Seconds rt = runtime();
-    return rt > 0.0 ? total_gb / rt : 0.0;
-  }
-};
-
-/// Aggregate stepping statistics of one engine instance: where simulated
-/// time went and how well the event-horizon cache worked. Maintained
-/// unconditionally (plain integer adds), exported as trace counters when
-/// tracing is enabled (see common/trace), and readable in tests.
-struct EngineCounters {
-  std::uint64_t ticks = 0;            ///< simulated ticks, both modes
-  std::uint64_t replayed_ticks = 0;   ///< ticks executed by fast_replay
-  std::uint64_t horizons = 0;         ///< dynamics rebuilds (event horizons)
-  std::uint64_t cache_hit_ticks = 0;  ///< event-mode ticks served from cache
-  std::uint64_t job_events = 0;       ///< job completions emitted
-  std::uint64_t cancellations = 0;    ///< jobs evicted via cancel()
-  std::uint64_t cap_updates = 0;      ///< mid-run set_power_cap calls
-};
-
-/// Stepping policy of the simulation core. Both modes execute the same
-/// machine semantics; kTick recomputes everything every tick (the reference
-/// oracle), kEvent jumps between state-change events with cached dynamics.
-enum class EngineMode {
-  kTick,   ///< legacy fixed-tick loop; the equivalence oracle
-  kEvent,  ///< event-horizon stepping; bit-identical and 10-100x faster
-};
-
-[[nodiscard]] const char* engine_mode_name(EngineMode m) noexcept;
-
-/// Parses "tick" / "event" (as accepted by the tools' --engine flag).
-[[nodiscard]] Expected<EngineMode> parse_engine_mode(const std::string& text);
-
-/// Process-wide default for EngineOptions::mode. Seeded at startup from
-/// CORUN_ENGINE (tick|event) when set; tools override it from `--engine`;
-/// library callers can override per engine via EngineOptions::mode.
-/// Defaults to kEvent.
-[[nodiscard]] EngineMode default_engine_mode() noexcept;
-void set_default_engine_mode(EngineMode mode) noexcept;
-
-struct EngineOptions {
-  EngineMode mode = default_engine_mode();  ///< stepping policy
-  Seconds dt = 0.01;                ///< simulation tick
-  Seconds governor_interval = 0.1;  ///< DVFS control-loop cadence
-  Seconds sample_interval = 1.0;    ///< power-trace sampling cadence
-  std::uint64_t seed = 42;          ///< meter-noise stream seed
-  Watts meter_noise_stddev = 0.25;
-  std::optional<Watts> power_cap;   ///< nullopt = uncapped
-  GovernorPolicy policy = GovernorPolicy::kNone;
-  bool record_samples = true;       ///< keep the PowerSample trace
-
-  /// RAPL-style enforcement window: the governor reacts to an exponential
-  /// moving average of measured power with this time constant, instead of
-  /// instantaneous readings. 0 = instantaneous (the default; what the rest
-  /// of the suite uses). A window tolerates short bursts above the cap as
-  /// long as the average fits — the PL1 semantics of real RAPL.
-  Seconds cap_window = 0.0;
-};
-
-class Engine {
+class Engine : public MachineModel {
  public:
   Engine(MachineConfig config, EngineOptions options);
 
   /// Emits the final counter values (plus cap-violation ticks) to the trace
   /// layer when tracing is enabled. The counters themselves are always
   /// maintained; only the export is conditional.
-  ~Engine();
+  ~Engine() override;
 
   /// Starts a job on `device` immediately. The GPU must be idle; the CPU may
   /// already host jobs (time sharing).
-  JobId launch(const JobSpec& spec, DeviceKind device);
+  JobId launch(const JobSpec& spec, DeviceKind device) override;
 
   /// Sets the requested (ceiling) frequency levels; the governor will not
   /// raise either domain above its ceiling. With GovernorPolicy::kNone the
   /// levels snap to the ceilings at the next control step.
-  void set_ceilings(FreqLevel cpu, FreqLevel gpu);
+  void set_ceilings(FreqLevel cpu, FreqLevel gpu) override;
 
   /// Replaces the power cap mid-run (nullopt = uncapped). Enforcement still
   /// requires a non-kNone governor policy; the governor reacts from the next
   /// tick on. Both engine modes apply the change at the same tick boundary,
   /// so trajectories stay bit-identical across modes.
-  void set_power_cap(std::optional<Watts> cap);
+  void set_power_cap(std::optional<Watts> cap) override;
 
   /// Evicts a running job: it stops consuming machine time at the current
   /// clock, its stats freeze with `cancelled` set (finished stays false),
   /// and the machine re-resolves contention without it. Returns false when
   /// `id` is not currently running (already finished, cancelled, or
   /// unknown).
-  bool cancel(JobId id);
+  bool cancel(JobId id) override;
 
   /// Starts/ends a transient power-meter fault: while active the sensor
   /// serves its last healthy reading (the governor flies blind) but the
   /// noise RNG keeps advancing so replay stays deterministic.
-  void set_meter_dropout(bool active);
-  [[nodiscard]] bool meter_dropout() const noexcept;
+  void set_meter_dropout(bool active) override;
+  [[nodiscard]] bool meter_dropout() const noexcept override;
 
-  [[nodiscard]] DvfsState dvfs() const noexcept { return dvfs_; }
-  [[nodiscard]] Seconds now() const noexcept { return now_; }
-  [[nodiscard]] bool idle() const noexcept { return running_.empty(); }
-  [[nodiscard]] bool device_idle(DeviceKind d) const noexcept;
-  [[nodiscard]] int resident_count(DeviceKind d) const noexcept;
+  [[nodiscard]] DvfsState dvfs() const noexcept override { return dvfs_; }
+  [[nodiscard]] Seconds now() const noexcept override { return now_; }
+  [[nodiscard]] bool idle() const noexcept override { return running_.empty(); }
+  [[nodiscard]] bool device_idle(DeviceKind d) const noexcept override;
+  [[nodiscard]] int resident_count(DeviceKind d) const noexcept override;
 
   /// Advances time until at least one job finishes (returning all the
   /// completions from that tick) or until the machine is idle (empty vector).
-  std::vector<JobEvent> run_until_event();
+  std::vector<JobEvent> run_until_event() override;
 
   /// Advances exactly `duration` simulated seconds.
-  std::vector<JobEvent> run_for(Seconds duration);
+  std::vector<JobEvent> run_for(Seconds duration) override;
 
   /// Advances until at least one job finishes or `duration` simulated
   /// seconds elapse, whichever comes first — run_until_event with a
   /// deadline. Returns the completions of the finishing tick (empty when
   /// the deadline or idleness cut the run short).
-  std::vector<JobEvent> run_for_until_event(Seconds duration);
+  std::vector<JobEvent> run_for_until_event(Seconds duration) override;
 
   /// Drains every running job.
-  void run_until_idle();
+  void run_until_idle() override;
 
   /// Fraction of the job's total (reference) work completed, in [0, 1].
   /// 1.0 for finished jobs. Used by online profiling to extrapolate a full
   /// runtime from a truncated sample.
-  [[nodiscard]] double progress(JobId id) const;
+  [[nodiscard]] double progress(JobId id) const override;
 
-  [[nodiscard]] const Telemetry& telemetry() const noexcept { return telemetry_; }
-  [[nodiscard]] const EngineCounters& counters() const noexcept {
+  [[nodiscard]] const Telemetry& telemetry() const noexcept override {
+    return telemetry_;
+  }
+  [[nodiscard]] const EngineCounters& counters() const noexcept override {
     return counters_;
   }
-  [[nodiscard]] const JobStats& stats(JobId id) const;
-  [[nodiscard]] std::vector<JobStats> all_stats() const;
-  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const JobStats& stats(JobId id) const override;
+  [[nodiscard]] std::vector<JobStats> all_stats() const override;
+  [[nodiscard]] const MachineConfig& config() const noexcept override {
+    return config_;
+  }
+  [[nodiscard]] const EngineOptions& options() const noexcept override {
+    return options_;
+  }
 
  private:
   struct RunningJob {
@@ -275,6 +211,17 @@ class Engine {
   /// moves a level. A no-op when the cache is cold.
   void fast_replay(const std::optional<Seconds>& end,
                    std::vector<JobEvent>& events);
+  /// kAnalytic's replacement for fast_replay: same horizon bound and the
+  /// same exact per-tick clock/threshold decisions, but the per-job advance
+  /// is closed-formed into one bulk update per horizon, and on control-free
+  /// machines (kNone policy, samples off) the governor/sample stops and the
+  /// unobservable meter RNG draws are skipped entirely.
+  void analytic_replay(const std::optional<Seconds>& end,
+                       std::vector<JobEvent>& events);
+  /// Advances every cached job by `ticks` ticks in one fused update
+  /// (rem -= n * ref_per_tick). Only called when the horizon bound proves
+  /// no phase boundary lies inside the window.
+  void advance_jobs_bulk(std::size_t ticks);
   /// Flushes deferred record_tick accumulation (see pending_ticks_).
   void flush_pending_telemetry();
   [[nodiscard]] DeviceTick device_demand(DeviceKind d, double sigma) const;

@@ -1,0 +1,160 @@
+// The machine-model interface: everything a caller can do to a simulated
+// integrated CPU-GPU machine, independent of how the trajectory is produced.
+//
+// Three interchangeable backends implement it (see backend.hpp for the
+// factory and the trace-replay decorators):
+//
+//  - event   : sim::Engine stepping per tick (EngineMode::kTick, the
+//              reference oracle) or per event horizon (kEvent, the default).
+//  - analytic: sim::Engine with EngineMode::kAnalytic — no per-tick event
+//              loop; whole horizons are closed-formed from the cached
+//              roofline dynamics and cap-clipped frequency levels. Matches
+//              the event backend to 1e-9 on the equivalence corpus.
+//  - replay  : RecordingMachine / ReplayMachine — an ODIN-style pair that
+//              dumps the per-phase demand trace of a run to CSV and later
+//              reproduces the run from the recorded demands byte-identically.
+//
+// The interface is exactly the surface sim::Engine always had: launch /
+// run-to-completion / run-until-event drivers, the dynamic hooks
+// (set_power_cap, cancel, set_meter_dropout), and the telemetry/stats
+// surface. Code that holds a concrete Engine keeps working unchanged;
+// code that wants backend pluggability holds a MachineModel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corun/common/expected.hpp"
+#include "corun/sim/governor.hpp"
+#include "corun/sim/job.hpp"
+#include "corun/sim/machine.hpp"
+#include "corun/sim/telemetry.hpp"
+
+namespace corun::sim {
+
+using JobId = int;
+
+/// Emitted when a job finishes.
+struct JobEvent {
+  JobId id = -1;
+  std::string name;
+  DeviceKind device = DeviceKind::kCpu;
+  Seconds finish_time = 0.0;
+};
+
+/// Lifetime record of one launched job.
+struct JobStats {
+  JobId id = -1;
+  std::string name;
+  DeviceKind device = DeviceKind::kCpu;
+  Seconds start_time = 0.0;
+  Seconds finish_time = 0.0;
+  double total_gb = 0.0;  ///< bytes moved, in GB
+  bool finished = false;
+  bool cancelled = false;  ///< evicted mid-run; finish_time = cancel time
+
+  [[nodiscard]] Seconds runtime() const noexcept {
+    return finish_time - start_time;
+  }
+  [[nodiscard]] GBps avg_bandwidth() const noexcept {
+    const Seconds rt = runtime();
+    return rt > 0.0 ? total_gb / rt : 0.0;
+  }
+};
+
+/// Aggregate stepping statistics of one engine instance: where simulated
+/// time went and how well the event-horizon cache worked. Maintained
+/// unconditionally (plain integer adds), exported as trace counters when
+/// tracing is enabled (see common/trace), and readable in tests.
+struct EngineCounters {
+  std::uint64_t ticks = 0;            ///< simulated ticks, all modes
+  std::uint64_t replayed_ticks = 0;   ///< ticks executed by a replay loop
+  std::uint64_t analytic_ticks = 0;   ///< ticks closed-formed by kAnalytic
+  std::uint64_t horizons = 0;         ///< dynamics rebuilds (event horizons)
+  std::uint64_t cache_hit_ticks = 0;  ///< event-mode ticks served from cache
+  std::uint64_t job_events = 0;       ///< job completions emitted
+  std::uint64_t cancellations = 0;    ///< jobs evicted via cancel()
+  std::uint64_t cap_updates = 0;      ///< mid-run set_power_cap calls
+};
+
+/// Stepping policy of the simulation core. All modes execute the same
+/// machine semantics; kTick recomputes everything every tick (the reference
+/// oracle), kEvent jumps between state-change events with cached dynamics,
+/// kAnalytic additionally closed-forms the job advance across each horizon
+/// instead of replaying it tick by tick.
+enum class EngineMode {
+  kTick,      ///< legacy fixed-tick loop; the equivalence oracle
+  kEvent,     ///< event-horizon stepping; bit-identical and 10-100x faster
+  kAnalytic,  ///< closed-form horizon advance; matches kEvent to 1e-9
+};
+
+[[nodiscard]] const char* engine_mode_name(EngineMode m) noexcept;
+
+/// Parses "tick" / "event" (as accepted by the tools' --engine flag, which
+/// selects the stepping core of the *event* backend; the analytic backend
+/// is selected via --backend / CORUN_BACKEND, see backend.hpp).
+[[nodiscard]] Expected<EngineMode> parse_engine_mode(const std::string& text);
+
+/// Process-wide default for EngineOptions::mode. Seeded at startup from
+/// CORUN_ENGINE (tick|event) when set, else from CORUN_BACKEND=analytic;
+/// tools override it from `--engine` / `--backend`; library callers can
+/// override per engine via EngineOptions::mode. Defaults to kEvent.
+[[nodiscard]] EngineMode default_engine_mode() noexcept;
+void set_default_engine_mode(EngineMode mode) noexcept;
+
+struct EngineOptions {
+  EngineMode mode = default_engine_mode();  ///< stepping policy
+  Seconds dt = 0.01;                ///< simulation tick
+  Seconds governor_interval = 0.1;  ///< DVFS control-loop cadence
+  Seconds sample_interval = 1.0;    ///< power-trace sampling cadence
+  std::uint64_t seed = 42;          ///< meter-noise stream seed
+  Watts meter_noise_stddev = 0.25;
+  std::optional<Watts> power_cap;   ///< nullopt = uncapped
+  GovernorPolicy policy = GovernorPolicy::kNone;
+  bool record_samples = true;       ///< keep the PowerSample trace
+
+  /// RAPL-style enforcement window: the governor reacts to an exponential
+  /// moving average of measured power with this time constant, instead of
+  /// instantaneous readings. 0 = instantaneous (the default; what the rest
+  /// of the suite uses). A window tolerates short bursts above the cap as
+  /// long as the average fits — the PL1 semantics of real RAPL.
+  Seconds cap_window = 0.0;
+};
+
+/// Abstract machine backend. See the file comment for the three
+/// implementations; every method carries the contract documented on
+/// sim::Engine (the canonical implementation).
+class MachineModel {
+ public:
+  virtual ~MachineModel() = default;
+
+  virtual JobId launch(const JobSpec& spec, DeviceKind device) = 0;
+  virtual void set_ceilings(FreqLevel cpu, FreqLevel gpu) = 0;
+  virtual void set_power_cap(std::optional<Watts> cap) = 0;
+  virtual bool cancel(JobId id) = 0;
+  virtual void set_meter_dropout(bool active) = 0;
+  [[nodiscard]] virtual bool meter_dropout() const noexcept = 0;
+
+  [[nodiscard]] virtual DvfsState dvfs() const noexcept = 0;
+  [[nodiscard]] virtual Seconds now() const noexcept = 0;
+  [[nodiscard]] virtual bool idle() const noexcept = 0;
+  [[nodiscard]] virtual bool device_idle(DeviceKind d) const noexcept = 0;
+  [[nodiscard]] virtual int resident_count(DeviceKind d) const noexcept = 0;
+
+  virtual std::vector<JobEvent> run_until_event() = 0;
+  virtual std::vector<JobEvent> run_for(Seconds duration) = 0;
+  virtual std::vector<JobEvent> run_for_until_event(Seconds duration) = 0;
+  virtual void run_until_idle() = 0;
+
+  [[nodiscard]] virtual double progress(JobId id) const = 0;
+  [[nodiscard]] virtual const Telemetry& telemetry() const noexcept = 0;
+  [[nodiscard]] virtual const EngineCounters& counters() const noexcept = 0;
+  [[nodiscard]] virtual const JobStats& stats(JobId id) const = 0;
+  [[nodiscard]] virtual std::vector<JobStats> all_stats() const = 0;
+  [[nodiscard]] virtual const MachineConfig& config() const noexcept = 0;
+  [[nodiscard]] virtual const EngineOptions& options() const noexcept = 0;
+};
+
+}  // namespace corun::sim

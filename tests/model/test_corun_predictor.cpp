@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "corun/common/check.hpp"
 #include "corun/core/model/degradation_space.hpp"
 #include "corun/profile/profiler.hpp"
 #include "corun/workload/rodinia.hpp"
@@ -162,6 +163,74 @@ TEST_F(CoRunPredictorTest, PowerPredictionMatchesPowerPredictorFormula) {
       predictor_->standalone_power("streamcluster", sim::DeviceKind::kGpu, 9) -
       db_->idle_power();
   EXPECT_DOUBLE_EQ(p, expected);
+}
+
+/// The analytic-tables contract: every point query answered from the dense
+/// tables returns the same BITS as the legacy on-demand path, for every
+/// profiled job at every ladder level (recorded and interpolated alike).
+/// The legacy side is a copy-view of the suite predictor with tables off.
+TEST_F(CoRunPredictorTest, AnalyticTablesAreByteIdenticalToLegacy) {
+  const CoRunPredictor tables(*predictor_,
+                              PredictorOptions{.analytic_tables = true});
+  const CoRunPredictor legacy(*predictor_,
+                              PredictorOptions{.analytic_tables = false});
+  ASSERT_TRUE(tables.options().analytic_tables);
+  ASSERT_FALSE(legacy.options().analytic_tables);
+
+  const auto jobs = db_->jobs();
+  for (const std::string& job : jobs) {
+    for (const sim::DeviceKind d :
+         {sim::DeviceKind::kCpu, sim::DeviceKind::kGpu}) {
+      const sim::FrequencyLadder& ladder = config_->ladder(d);
+      for (sim::FreqLevel l = 0; l <= ladder.max_level(); ++l) {
+        EXPECT_EQ(tables.standalone_time(job, d, l),
+                  legacy.standalone_time(job, d, l))
+            << job << " level " << l;
+        EXPECT_EQ(tables.standalone_bw(job, d, l),
+                  legacy.standalone_bw(job, d, l));
+        EXPECT_EQ(tables.standalone_power(job, d, l),
+                  legacy.standalone_power(job, d, l));
+      }
+    }
+  }
+  for (const std::string& cpu_job : jobs) {
+    for (const std::string& gpu_job : jobs) {
+      for (sim::FreqLevel fc = 0; fc <= config_->cpu_ladder.max_level();
+           fc += 3) {
+        for (sim::FreqLevel fg = 0; fg <= config_->gpu_ladder.max_level();
+             fg += 2) {
+          const PairPrediction a = tables.predict(cpu_job, fc, gpu_job, fg);
+          const PairPrediction b = legacy.predict(cpu_job, fc, gpu_job, fg);
+          EXPECT_EQ(a.cpu_degradation, b.cpu_degradation);
+          EXPECT_EQ(a.gpu_degradation, b.gpu_degradation);
+          EXPECT_EQ(a.cpu_solo_time, b.cpu_solo_time);
+          EXPECT_EQ(a.gpu_solo_time, b.gpu_solo_time);
+          EXPECT_EQ(a.cpu_time, b.cpu_time);
+          EXPECT_EQ(a.gpu_time, b.gpu_time);
+          EXPECT_EQ(a.power, b.power);
+          EXPECT_EQ(tables.predict_power(cpu_job, fc, gpu_job, fg),
+                    legacy.predict_power(cpu_job, fc, gpu_job, fg));
+        }
+      }
+    }
+  }
+}
+
+/// Queries outside the table domain — unknown jobs, out-of-ladder levels —
+/// must fall back to the legacy path, not crash or misindex.
+TEST_F(CoRunPredictorTest, AnalyticTablesFallBackOutsideDomain) {
+  const CoRunPredictor tables(*predictor_,
+                              PredictorOptions{.analytic_tables = true});
+  const CoRunPredictor legacy(*predictor_,
+                              PredictorOptions{.analytic_tables = false});
+  // A ladder-clamped out-of-range level goes through entry_at both ways.
+  const sim::FreqLevel over = config_->cpu_ladder.max_level() + 5;
+  EXPECT_EQ(tables.standalone_time("dwt2d", sim::DeviceKind::kCpu, over),
+            legacy.standalone_time("dwt2d", sim::DeviceKind::kCpu, over));
+  // Unknown jobs CHECK-fail identically on both paths.
+  EXPECT_THROW(
+      (void)tables.standalone_time("nope", sim::DeviceKind::kCpu, 0),
+      corun::ContractViolation);
 }
 
 }  // namespace

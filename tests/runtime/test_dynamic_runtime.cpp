@@ -9,6 +9,7 @@
 //      counts, byte for byte.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "../support/fixtures.hpp"
@@ -135,6 +136,34 @@ TEST(DynamicRuntime, UnknownProgramArrivalIsSkippedGracefully) {
   EXPECT_EQ(r.report.jobs.size(), motivation_fixture().batch.size());
   ASSERT_EQ(r.log.size(), 1u);
   EXPECT_NE(r.log[0].detail.find("skipped"), std::string::npos);
+}
+
+TEST(DynamicRuntime, RecordThenReplayWithSamplingArrivalIsByteIdentical) {
+  // Regression: an arriving unknown program forces rung-3 online sampling,
+  // whose machines must run on the event tier even when the run's backend
+  // is replay — the demand trace only covers the main machine's launches.
+  // (The sampler used to inherit the process-default backend and abort.)
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("corun_dynamic_replay_test_" +
+                     std::to_string(
+                         ::testing::UnitTest::GetInstance()->random_seed()) +
+                     ".csv");
+  sim::FaultPlan plan;
+  plan.events.push_back(arrival_at(5.0, "kmeans", 0.5, 9));
+
+  DynamicOptions rec = base_options();
+  rec.record_trace_path = path.string();
+  const DynamicReport recorded = run(rec, plan);
+  EXPECT_EQ(recorded.online_sampled, 1u);
+
+  DynamicOptions rep = base_options();
+  rep.backend = {.kind = sim::BackendKind::kReplay,
+                 .replay_path = path.string()};
+  const DynamicReport replayed = run(rep, plan);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(replayed.online_sampled, 1u);
+  EXPECT_EQ(digest(recorded), digest(replayed));
 }
 
 TEST(DynamicRuntime, CancellationRemovesExactlyOneJob) {

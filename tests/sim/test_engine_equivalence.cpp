@@ -2,150 +2,29 @@
 // reproduce the tick engine's trajectories exactly — finish times, telemetry
 // aggregates, and every power sample — across a randomized scenario space
 // covering mixed phase traces, caps on/off, windowed caps, meter noise
-// on/off, oversubscribed CPUs, and staged launches. The implementation
-// replays bit-identical arithmetic, so the 1e-9 tolerance asserted here is
-// generous; any drift means the horizon logic diverged from the oracle.
+// on/off, oversubscribed CPUs, and staged launches. The corpus generator is
+// shared with the backend suite (sim/scenario_corpus.hpp); the assertions
+// live in expect_equivalent.hpp.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "corun/common/rng.hpp"
 #include "corun/sim/engine.hpp"
+#include "corun/sim/scenario_corpus.hpp"
+#include "expect_equivalent.hpp"
 
 namespace corun::sim {
 namespace {
 
-constexpr double kTol = 1e-9;
-
-/// Everything a scenario does, decided up front so both modes execute the
-/// exact same script.
-struct LaunchStep {
-  Seconds advance_before = 0.0;  ///< run_for() this long, then launch
-  JobSpec spec;
-  DeviceKind device = DeviceKind::kCpu;
-};
-
-struct Scenario {
-  EngineOptions options;  ///< mode overwritten per execution
-  FreqLevel cpu_ceiling = 15;
-  FreqLevel gpu_ceiling = 9;
-  std::vector<LaunchStep> steps;
-};
-
-JobSpec random_job(Rng& rng, int tag) {
-  JobSpec spec;
-  spec.name = "rand_" + std::to_string(tag);
-  for (DeviceKind d : {DeviceKind::kCpu, DeviceKind::kGpu}) {
-    std::vector<Phase> phases;
-    const int n = static_cast<int>(rng.uniform_int(1, 4));
-    for (int p = 0; p < n; ++p) {
-      phases.push_back(Phase{.dur_ref = rng.uniform(0.3, 6.0),
-                             .compute_frac = rng.uniform(0.0, 1.0),
-                             .mem_bw = rng.uniform(0.0, 11.0)});
-    }
-    (d == DeviceKind::kCpu ? spec.cpu : spec.gpu) = DeviceProfile(phases);
-  }
-  return spec;
-}
-
-Scenario random_scenario(std::uint64_t seed) {
-  Rng rng(seed * 1315423911ULL + 17);
-  Scenario s;
-  s.options.seed = seed + 1;
-  s.options.record_samples = true;
-  s.options.sample_interval = rng.chance(0.5) ? 0.5 : 1.0;
-  s.options.meter_noise_stddev = rng.chance(0.7) ? 0.25 : 0.0;
-  if (rng.chance(0.5)) {
-    s.options.power_cap = rng.uniform(11.0, 20.0);
-    s.options.policy = rng.chance(0.5) ? GovernorPolicy::kGpuBiased
-                                       : GovernorPolicy::kCpuBiased;
-    if (rng.chance(0.4)) s.options.cap_window = 1.0;
-  }
-  s.cpu_ceiling = static_cast<FreqLevel>(rng.uniform_int(4, 15));
-  s.gpu_ceiling = static_cast<FreqLevel>(rng.uniform_int(3, 9));
-
-  // 1-3 CPU jobs (2+ = oversubscription) and usually a GPU co-runner.
-  const int cpu_jobs = static_cast<int>(rng.uniform_int(1, 3));
-  int tag = 0;
-  for (int j = 0; j < cpu_jobs; ++j) {
-    LaunchStep step;
-    step.advance_before = j == 0 ? 0.0 : rng.uniform(0.3, 2.5);
-    step.spec = random_job(rng, tag++);
-    step.device = DeviceKind::kCpu;
-    s.steps.push_back(step);
-  }
-  if (rng.chance(0.8)) {
-    LaunchStep step;
-    step.advance_before = rng.chance(0.5) ? 0.0 : rng.uniform(0.3, 2.5);
-    step.spec = random_job(rng, tag++);
-    step.device = DeviceKind::kGpu;
-    s.steps.push_back(step);
-  }
-  return s;
-}
-
-/// Runs the scenario's script to completion in the given mode.
-Engine execute(const Scenario& s, EngineMode mode) {
-  EngineOptions options = s.options;
-  options.mode = mode;
-  Engine engine(ivy_bridge(), options);
-  engine.set_ceilings(s.cpu_ceiling, s.gpu_ceiling);
-  for (const LaunchStep& step : s.steps) {
-    if (step.advance_before > 0.0) (void)engine.run_for(step.advance_before);
-    engine.launch(step.spec, step.device);
-  }
-  engine.run_until_idle();
-  return engine;
-}
-
-void expect_equivalent(const Engine& tick, const Engine& event) {
-  EXPECT_NEAR(tick.now(), event.now(), kTol);
-
-  const std::vector<JobStats> ts = tick.all_stats();
-  const std::vector<JobStats> es = event.all_stats();
-  ASSERT_EQ(ts.size(), es.size());
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    EXPECT_EQ(ts[i].id, es[i].id);
-    EXPECT_EQ(ts[i].finished, es[i].finished);
-    EXPECT_NEAR(ts[i].start_time, es[i].start_time, kTol);
-    EXPECT_NEAR(ts[i].finish_time, es[i].finish_time, kTol)
-        << "job " << ts[i].name;
-    EXPECT_NEAR(ts[i].total_gb, es[i].total_gb, kTol) << "job " << ts[i].name;
-  }
-
-  const Telemetry& tt = tick.telemetry();
-  const Telemetry& et = event.telemetry();
-  EXPECT_NEAR(tt.energy(), et.energy(), kTol);
-  EXPECT_NEAR(tt.elapsed(), et.elapsed(), kTol);
-  EXPECT_NEAR(tt.cpu_busy_time(), et.cpu_busy_time(), kTol);
-  EXPECT_NEAR(tt.gpu_busy_time(), et.gpu_busy_time(), kTol);
-  EXPECT_EQ(tt.cap_stats().samples, et.cap_stats().samples);
-  EXPECT_EQ(tt.cap_stats().over_cap, et.cap_stats().over_cap);
-  EXPECT_NEAR(tt.cap_stats().worst_overshoot, et.cap_stats().worst_overshoot,
-              kTol);
-  EXPECT_NEAR(tt.cap_stats().time_over_cap, et.cap_stats().time_over_cap,
-              kTol);
-
-  ASSERT_EQ(tt.samples().size(), et.samples().size());
-  for (std::size_t i = 0; i < tt.samples().size(); ++i) {
-    const PowerSample& a = tt.samples()[i];
-    const PowerSample& b = et.samples()[i];
-    EXPECT_NEAR(a.t, b.t, kTol) << "sample " << i;
-    EXPECT_NEAR(a.measured, b.measured, kTol) << "sample " << i;
-    EXPECT_NEAR(a.true_power, b.true_power, kTol) << "sample " << i;
-    EXPECT_EQ(a.cpu_level, b.cpu_level) << "sample " << i;
-    EXPECT_EQ(a.gpu_level, b.gpu_level) << "sample " << i;
-    EXPECT_NEAR(a.cpu_bw, b.cpu_bw, kTol) << "sample " << i;
-    EXPECT_NEAR(a.gpu_bw, b.gpu_bw, kTol) << "sample " << i;
-  }
-}
+constexpr double kTol = kEquivTol;
 
 class RandomWorkloadEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomWorkloadEquivalence, EventMatchesTickOracle) {
   const Scenario s = random_scenario(static_cast<std::uint64_t>(GetParam()));
-  const Engine tick = execute(s, EngineMode::kTick);
-  const Engine event = execute(s, EngineMode::kEvent);
+  const Engine tick = execute_scenario(s, EngineMode::kTick);
+  const Engine event = execute_scenario(s, EngineMode::kEvent);
   expect_equivalent(tick, event);
 }
 
@@ -200,8 +79,8 @@ TEST(EngineEquivalenceEdge, ExactTickBoundaryFinish) {
       LaunchStep{.advance_before = 0.0,
                  .spec = plain_job(2.0, 1.0, 0.0),
                  .device = DeviceKind::kCpu});
-  const Engine tick = execute(s, EngineMode::kTick);
-  const Engine event = execute(s, EngineMode::kEvent);
+  const Engine tick = execute_scenario(s, EngineMode::kTick);
+  const Engine event = execute_scenario(s, EngineMode::kEvent);
   expect_equivalent(tick, event);
   EXPECT_NEAR(tick.stats(0).finish_time, 2.0, 1e-6);
 }

@@ -14,14 +14,15 @@
 namespace {
 const char kUsage[] =
     "corun-characterize --out grid.csv [--axis-points 11] [--max-bw 11.0] "
-    "[--seed 42] [--jobs N] [--engine event|tick] [--trace trace.json]";
+    "[--seed 42] [--jobs N] [--engine event|tick] "
+    "[--backend event|analytic|replay:PATH] [--trace trace.json]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags =
       Flags::parse(argc, argv, {"out", "axis-points", "max-bw", "seed", "jobs",
-                                "engine", "trace"});
+                                "engine", "backend", "trace"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
   }
@@ -41,14 +42,21 @@ int main(int argc, char** argv) {
     axis[i] = max_bw * static_cast<double>(i) / static_cast<double>(points - 1);
   }
 
-  model::CharacterizationOptions options;
-  options.seed = static_cast<std::uint64_t>(f.get_int("seed", 42));
   const std::size_t jobs = tools::configure_jobs(f);
   const auto engine_mode = tools::configure_engine(f);
   if (!engine_mode.has_value()) {
     return tools::usage_error(engine_mode.error().message, kUsage);
   }
+  const auto backend = tools::configure_backend(f);
+  if (!backend.has_value()) {
+    return tools::usage_error(backend.error().message, kUsage);
+  }
   const std::string trace_path = tools::configure_trace(f);
+
+  model::CharacterizationOptions options;
+  options.seed = static_cast<std::uint64_t>(f.get_int("seed", 42));
+  options.engine_mode = engine_mode.value();
+  options.backend = backend.value();
   const model::DegradationSpaceBuilder builder(sim::ivy_bridge(), options);
   std::printf("characterizing %zux%zu grid (%zu co-runs, %zu jobs)...\n",
               points, points, 2 * points * points, jobs);

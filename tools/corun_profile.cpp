@@ -17,7 +17,8 @@ namespace {
 const char kUsage[] =
     "corun-profile --batch batch.csv --out profiles.csv [--online] "
     "[--sample-seconds 3.0] [--seed 42] [--cpu-levels 0,8] [--gpu-levels 0,5] "
-    "[--jobs N] [--engine event|tick] [--trace trace.json]";
+    "[--jobs N] [--engine event|tick] [--backend event|analytic|replay:PATH] "
+    "[--trace trace.json]";
 
 std::vector<corun::sim::FreqLevel> parse_levels(const std::string& csv) {
   std::vector<corun::sim::FreqLevel> levels;
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
   const auto flags = Flags::parse(
       argc, argv,
       {"batch", "out", "sample-seconds", "seed", "cpu-levels", "gpu-levels",
-       "jobs", "engine", "trace"},
+       "jobs", "engine", "backend", "trace"},
       {"online"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -62,12 +63,17 @@ int main(int argc, char** argv) {
   if (!engine_mode.has_value()) {
     return tools::usage_error(engine_mode.error().message, kUsage);
   }
+  const auto backend = tools::configure_backend(f);
+  if (!backend.has_value()) {
+    return tools::usage_error(backend.error().message, kUsage);
+  }
   const std::string trace_path = tools::configure_trace(f);
 
   profile::ProfileDB db;
   if (f.has("online")) {
     profile::OnlineProfilerOptions options;
     options.seed = seed;
+    options.backend = backend.value();
     options.sample_seconds = f.get_double("sample-seconds", 3.0);
     if (f.has("cpu-levels")) options.cpu_levels = parse_levels(f.get("cpu-levels", ""));
     if (f.has("gpu-levels")) options.gpu_levels = parse_levels(f.get("gpu-levels", ""));
@@ -79,6 +85,7 @@ int main(int argc, char** argv) {
   } else {
     profile::ProfilerOptions options;
     options.seed = seed;
+    options.backend = backend.value();
     if (f.has("cpu-levels")) options.cpu_levels = parse_levels(f.get("cpu-levels", ""));
     if (f.has("gpu-levels")) options.gpu_levels = parse_levels(f.get("gpu-levels", ""));
     const profile::Profiler profiler(config, options);

@@ -27,6 +27,7 @@ const char kUsage[] =
     "[--plan plan.csv] [--policy gpu|cpu] [--seed 42] "
     "[--events faults.csv|random:arrivals=2,caps=1,...] [--reschedule on|off] "
     "[--power-trace power.csv] [--gantt] [--jobs N] [--engine event|tick] "
+    "[--backend event|analytic|replay:PATH] [--record-trace demand.csv] "
     "[--trace trace.json] [--plan-cache off|mem|mem:N|dir:PATH]";
 
 /// Dynamic-mode execution: drives the batch through the fault stream with
@@ -38,6 +39,7 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
                      const corun::sim::GovernorPolicy policy,
                      const std::string& scheduler, std::uint64_t seed,
                      const std::string& trace_path,
+                     const corun::sim::BackendSpec& backend,
                      std::shared_ptr<corun::sched::PlanCache> plan_cache) {
   using namespace corun;
   const std::string events = f.get("events", "");
@@ -64,8 +66,14 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
   opts.scheduler = scheduler;
   opts.reschedule = resched == "on";
   opts.plan_cache = plan_cache;
+  opts.backend = backend;
+  opts.record_trace_path = f.get("record-trace", "");
   const runtime::DynamicRuntime runner(config, opts);
   const runtime::DynamicReport report = runner.execute(batch, db, grid, plan.value());
+  if (!opts.record_trace_path.empty()) {
+    std::fprintf(stderr, "demand trace: recorded to %s\n",
+                 opts.record_trace_path.c_str());
+  }
 
   std::printf("scheduler: %s (dynamic, reschedule %s)\n", scheduler.c_str(),
               resched.c_str());
@@ -131,8 +139,8 @@ int main(int argc, char** argv) {
                                   {"batch", "profiles", "grid", "cap",
                                    "scheduler", "policy", "seed",
                                    "power-trace", "plan", "jobs", "engine",
-                                   "trace", "events", "reschedule",
-                                   "plan-cache"},
+                                   "backend", "record-trace", "trace",
+                                   "events", "reschedule", "plan-cache"},
                                   {"gantt"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -142,6 +150,10 @@ int main(int argc, char** argv) {
   const auto engine_mode = tools::configure_engine(f);
   if (!engine_mode.has_value()) {
     return tools::usage_error(engine_mode.error().message, kUsage);
+  }
+  const auto backend = tools::configure_backend(f);
+  if (!backend.has_value()) {
+    return tools::usage_error(backend.error().message, kUsage);
   }
   const std::string trace_path = tools::configure_trace(f);
   const auto plan_cache = tools::configure_plan_cache(f);
@@ -194,7 +206,7 @@ int main(int argc, char** argv) {
     }
     return run_dynamic_mode(f, batch.value(), db.value(), grid.value(),
                             config, policy, which, seed, trace_path,
-                            plan_cache.value());
+                            backend.value(), plan_cache.value());
   }
 
   sched::Schedule schedule;
@@ -224,9 +236,15 @@ int main(int argc, char** argv) {
   rt.policy = policy;
   rt.seed = seed;
   rt.predictor = &predictor;
+  rt.backend = backend.value();
+  rt.record_trace_path = f.get("record-trace", "");
   const runtime::CoRunRuntime runner(config, rt);
   const runtime::ExecutionReport report =
       runner.execute(batch.value(), schedule);
+  if (!rt.record_trace_path.empty()) {
+    std::fprintf(stderr, "demand trace: recorded to %s\n",
+                 rt.record_trace_path.c_str());
+  }
 
   std::printf("scheduler: %s\n", plan_source.c_str());
   std::printf("plan:      %s\n", schedule.to_string(ctx.job_names()).c_str());

@@ -49,6 +49,24 @@ Expected<sim::EngineMode> configure_engine(const Flags& flags) {
   return mode;
 }
 
+Expected<sim::BackendSpec> configure_backend(const Flags& flags) {
+  std::string name = flags.get("backend", "");
+  if (name.empty()) {
+    if (const char* env = std::getenv("CORUN_BACKEND")) name = env;
+  }
+  if (name.empty()) return sim::default_backend_spec();
+  auto spec = sim::parse_backend_spec(name);
+  if (!spec.has_value()) return spec.error();
+  if (spec.value().kind == sim::BackendKind::kReplay) {
+    // Surface a bad trace file as a usage error up front instead of a
+    // contract violation inside make_machine_model.
+    const auto trace = sim::load_demand_trace(spec.value().replay_path);
+    if (!trace.has_value()) return trace.error();
+  }
+  sim::set_default_backend(spec.value());
+  return spec;
+}
+
 std::string configure_trace(const Flags& flags) {
   std::string path = flags.get("trace", "");
   if (path.empty()) {

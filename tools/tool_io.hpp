@@ -8,6 +8,7 @@
 #include "corun/common/expected.hpp"
 #include "corun/common/flags.hpp"
 #include "corun/core/sched/plan_cache/plan_cache.hpp"
+#include "corun/sim/backend.hpp"
 #include "corun/sim/engine.hpp"
 
 namespace corun::tools {
@@ -32,6 +33,16 @@ std::size_t configure_jobs(const Flags& flags);
 /// the slow reference oracle — so, like --jobs, the flag only changes
 /// wall-clock time. Returns an error on an unrecognized mode name.
 [[nodiscard]] Expected<sim::EngineMode> configure_engine(const Flags& flags);
+
+/// Applies the shared `--backend event|analytic|replay:PATH` flag (falling
+/// back to the CORUN_BACKEND environment variable; default event) and
+/// installs the spec process-wide via sim::set_default_backend. Call it
+/// after configure_engine: `--backend analytic` switches the default
+/// stepping mode to the closed-form core, while `--backend event` keeps an
+/// explicit `--engine tick` pin. For replay specs the trace file is
+/// pre-validated here, so a missing or malformed CSV is a usage error
+/// rather than a mid-run contract violation.
+[[nodiscard]] Expected<sim::BackendSpec> configure_backend(const Flags& flags);
 
 /// Applies the shared `--trace <file.json>` flag (falling back to the
 /// CORUN_TRACE environment variable, mirroring --engine/CORUN_ENGINE): when
