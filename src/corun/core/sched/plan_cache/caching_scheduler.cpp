@@ -30,7 +30,9 @@ Schedule CachingScheduler::plan(const SchedulerContext& ctx) {
   // so the seed is pinned to 0 in the signature: dynamic re-plans derive a
   // fresh seed per event, and keying on it would split identical
   // sub-problems into distinct cache lines.
-  const PlanSignature sig = make_signature(ctx, registry_id_, 0);
+  const PlanSignature sig = signature_builder_
+                                ? signature_builder_->build(ctx, registry_id_, 0)
+                                : make_signature(ctx, registry_id_, 0);
   const std::vector<std::string> batch_names = ctx.job_names();
   if (auto hit = cache_->lookup(sig, batch_names)) {
     last_exact_hit_ = true;

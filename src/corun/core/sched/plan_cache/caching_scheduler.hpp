@@ -58,6 +58,14 @@ class CachingScheduler : public Scheduler {
     return last_exact_hit_;
   }
 
+  /// Installs an amortized signature builder (see signature.hpp). The
+  /// serving daemon shares one builder across all request schedulers so
+  /// the per-request signature cost is string assembly, not re-digesting
+  /// the model artifacts. Signatures are byte-identical either way.
+  void set_signature_builder(std::shared_ptr<const SignatureBuilder> builder) {
+    signature_builder_ = std::move(builder);
+  }
+
  private:
   std::unique_ptr<Scheduler> inner_;
   std::shared_ptr<PlanCache> cache_;
@@ -65,6 +73,7 @@ class CachingScheduler : public Scheduler {
   std::uint64_t seed_;
   bool bypass_;  ///< order-sensitive planners are never cached
   bool last_exact_hit_ = false;
+  std::shared_ptr<const SignatureBuilder> signature_builder_;
 };
 
 /// Registry convenience: constructs the named scheduler and, when `cache`

@@ -15,6 +15,8 @@ namespace corun::sched {
 
 namespace {
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 /// True when every name in `needed` (sorted) appears in `have` (sorted).
 bool covers(const std::vector<std::string>& have,
             const std::vector<std::string>& needed) {
@@ -48,6 +50,8 @@ std::optional<std::string> restrict_schedule_csv(
 
 PlanCache::PlanCache(PlanCacheConfig config) : config_(std::move(config)) {
   CORUN_CHECK_MSG(config_.capacity > 0, "plan cache capacity must be > 0");
+  CORUN_CHECK_MSG(config_.shards > 0, "plan cache shard count must be > 0");
+  shards_ = std::vector<Shard>(config_.shards);
   if (!config_.dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(config_.dir, ec);
@@ -60,12 +64,27 @@ Expected<std::shared_ptr<PlanCache>> PlanCache::from_spec(
   PlanCacheConfig config;
   if (spec == "mem") return std::make_shared<PlanCache>(config);
   if (spec.rfind("mem:", 0) == 0) {
+    // mem:<capacity> or mem:<capacity>:<shards>.
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.find(':');
+    const std::string cap_text = rest.substr(0, colon);
     try {
-      const long long capacity = std::stoll(spec.substr(4));
-      if (capacity <= 0) throw std::invalid_argument("non-positive");
+      std::size_t consumed = 0;
+      const long long capacity = std::stoll(cap_text, &consumed);
+      if (consumed != cap_text.size() || capacity <= 0) {
+        throw std::invalid_argument("capacity");
+      }
       config.capacity = static_cast<std::size_t>(capacity);
+      if (colon != std::string::npos) {
+        const std::string shard_text = rest.substr(colon + 1);
+        const long long shards = std::stoll(shard_text, &consumed);
+        if (consumed != shard_text.size() || shards <= 0) {
+          throw std::invalid_argument("shards");
+        }
+        config.shards = static_cast<std::size_t>(shards);
+      }
     } catch (const std::exception&) {
-      return fail("plan cache: bad capacity in '" + spec + "'",
+      return fail("plan cache: bad capacity/shards in '" + spec + "'",
                   ErrorCategory::kParse);
     }
     return std::make_shared<PlanCache>(config);
@@ -74,50 +93,59 @@ Expected<std::shared_ptr<PlanCache>> PlanCache::from_spec(
     config.dir = spec.substr(4);
     return std::make_shared<PlanCache>(config);
   }
-  return fail("plan cache: spec must be off|mem|mem:<capacity>|dir:<path>, "
-              "got '" + spec + "'",
+  return fail("plan cache: spec must be off|mem|mem:<capacity>[:<shards>]"
+              "|dir:<path>, got '" + spec + "'",
               ErrorCategory::kParse);
 }
 
 std::optional<Schedule> PlanCache::lookup(
     const PlanSignature& sig, const std::vector<std::string>& batch_names) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(sig.canonical);
-  if (it == index_.end()) {
-    if (auto loaded = load_from_disk_locked(sig)) {
-      ++stats_.disk_hits;
-      insert_locked(std::move(*loaded));
-      it = index_.find(sig.canonical);
+  Shard& shard = shard_for(sig);
+  std::string schedule_csv;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(sig.canonical);
+    if (it == shard.index.end()) {
+      if (auto loaded = load_from_disk(shard, sig)) {
+        shard.stats.disk_hits.fetch_add(1, kRelaxed);
+        insert_locked(shard, std::move(*loaded));
+        it = shard.index.find(sig.canonical);
+      }
     }
+    if (it == shard.index.end()) {
+      shard.stats.misses.fetch_add(1, kRelaxed);
+      CORUN_TRACE_COUNTER("plan_cache.misses", 1);
+      return std::nullopt;
+    }
+    // Touch: splice to the MRU end. The CSV text is copied out so the
+    // (comparatively expensive) parse below runs outside the lock.
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second);
+    it->second = std::prev(shard.lru.end());
+    schedule_csv = it->second->schedule_csv;
   }
-  if (it == index_.end()) {
-    ++stats_.misses;
-    CORUN_TRACE_COUNTER("plan_cache.misses", 1);
-    return std::nullopt;
-  }
-  // Touch: splice to the MRU end.
-  lru_.splice(lru_.end(), lru_, it->second);
-  it->second = std::prev(lru_.end());
-  auto schedule = schedule_from_csv(it->second->schedule_csv, batch_names);
+  auto schedule = schedule_from_csv(schedule_csv, batch_names);
   if (!schedule.has_value()) {
     // A stored plan that no longer resolves (should not happen for an
     // exact signature match) is treated as a miss rather than an error.
-    ++stats_.misses;
+    shard.stats.misses.fetch_add(1, kRelaxed);
     CORUN_TRACE_COUNTER("plan_cache.misses", 1);
     return std::nullopt;
   }
-  ++stats_.hits;
+  shard.stats.hits.fetch_add(1, kRelaxed);
   CORUN_TRACE_COUNTER("plan_cache.hits", 1);
   return std::move(schedule).value();
 }
 
 std::optional<WarmStartCandidate> PlanCache::near_lookup(
     const PlanSignature& sig, const std::vector<std::string>& batch_names) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Family entries colocate in one shard by construction, so the scan
+  // never needs to leave it.
+  Shard& shard = shard_for(sig);
+  std::lock_guard<std::mutex> lock(shard.mutex);
   // Most recently used first: re-plans typically follow the entry that was
   // just stored (previous cap, pre-arrival batch), so recency is both the
   // best heuristic and a deterministic tie-break.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
     if (it->family != sig.family) continue;
     if (it->canonical == sig.canonical) continue;
     if (!covers(it->job_names, sig.job_names)) continue;
@@ -126,7 +154,7 @@ std::optional<WarmStartCandidate> PlanCache::near_lookup(
     if (!restricted) continue;
     auto schedule = schedule_from_csv(*restricted, batch_names);
     if (!schedule.has_value()) continue;
-    ++stats_.warm_hits;
+    shard.stats.warm_hits.fetch_add(1, kRelaxed);
     CORUN_TRACE_COUNTER("plan_cache.warm_hits", 1);
     return WarmStartCandidate{.schedule = std::move(schedule).value(),
                               .cached_makespan = it->makespan};
@@ -144,47 +172,62 @@ void PlanCache::store(const PlanSignature& sig, const Schedule& schedule,
               .job_names = sig.job_names,
               .schedule_csv = oss.str(),
               .makespan = makespan};
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.stores;
+  Shard& shard = shard_for(sig);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.stats.stores.fetch_add(1, kRelaxed);
   CORUN_TRACE_COUNTER("plan_cache.stores", 1);
-  if (!config_.dir.empty()) save_to_disk_locked(entry, sig.hash);
-  insert_locked(std::move(entry));
+  if (!config_.dir.empty()) save_to_disk(shard, entry, sig.hash);
+  insert_locked(shard, std::move(entry));
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  PlanCacheStats total;
+  for (const Shard& shard : shards_) {
+    total.hits += shard.stats.hits.load(kRelaxed);
+    total.misses += shard.stats.misses.load(kRelaxed);
+    total.warm_hits += shard.stats.warm_hits.load(kRelaxed);
+    total.evictions += shard.stats.evictions.load(kRelaxed);
+    total.disk_hits += shard.stats.disk_hits.load(kRelaxed);
+    total.stores += shard.stats.stores.load(kRelaxed);
+    total.io_failures += shard.stats.io_failures.load(kRelaxed);
+  }
+  return total;
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
 }
 
 std::vector<std::string> PlanCache::lru_keys() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> keys;
-  keys.reserve(lru_.size());
-  for (const Entry& e : lru_) keys.push_back(e.canonical);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Entry& e : shard.lru) keys.push_back(e.canonical);
+  }
   return keys;
 }
 
-void PlanCache::insert_locked(Entry entry) {
-  const auto it = index_.find(entry.canonical);
-  if (it != index_.end()) {
+void PlanCache::insert_locked(Shard& shard, Entry entry) {
+  const auto it = shard.index.find(entry.canonical);
+  if (it != shard.index.end()) {
     *it->second = std::move(entry);
-    lru_.splice(lru_.end(), lru_, it->second);
-    it->second = std::prev(lru_.end());
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second);
+    it->second = std::prev(shard.lru.end());
     return;
   }
-  if (lru_.size() >= config_.capacity) {
-    index_.erase(lru_.front().canonical);
-    lru_.pop_front();
-    ++stats_.evictions;
+  if (shard.lru.size() >= config_.capacity) {
+    shard.index.erase(shard.lru.front().canonical);
+    shard.lru.pop_front();
+    shard.stats.evictions.fetch_add(1, kRelaxed);
     CORUN_TRACE_COUNTER("plan_cache.evictions", 1);
   }
-  lru_.push_back(std::move(entry));
-  index_[lru_.back().canonical] = std::prev(lru_.end());
+  shard.lru.push_back(std::move(entry));
+  shard.index[shard.lru.back().canonical] = std::prev(shard.lru.end());
 }
 
 std::string PlanCache::entry_path(std::uint64_t hash) const {
@@ -208,27 +251,27 @@ std::string plan_cache_entry_to_csv(const std::string& canonical,
   return oss.str();
 }
 
-std::optional<PlanCache::Entry> PlanCache::load_from_disk_locked(
-    const PlanSignature& sig) {
+std::optional<PlanCache::Entry> PlanCache::load_from_disk(
+    Shard& shard, const PlanSignature& sig) {
   if (config_.dir.empty()) return std::nullopt;
   std::ifstream in(entry_path(sig.hash), std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream content;
   content << in.rdbuf();
   if (in.bad()) {
-    ++stats_.io_failures;
+    shard.stats.io_failures.fetch_add(1, kRelaxed);
     return std::nullopt;
   }
   const auto rows = parse_csv(content.str());
   if (!rows.has_value() || rows.value().size() < 4) {
-    ++stats_.io_failures;
+    shard.stats.io_failures.fetch_add(1, kRelaxed);
     return std::nullopt;
   }
   const auto& r = rows.value();
   if (r[0].size() != 2 || r[0][0] != "sig" || r[1].size() != 2 ||
       r[1][0] != "family" || r[2].size() != 2 || r[2][0] != "makespan" ||
       r[3].empty() || r[3][0] != "jobs") {
-    ++stats_.io_failures;
+    shard.stats.io_failures.fetch_add(1, kRelaxed);
     return std::nullopt;
   }
   // The full signature is stored precisely so a file-name hash collision or
@@ -240,7 +283,7 @@ std::optional<PlanCache::Entry> PlanCache::load_from_disk_locked(
   try {
     entry.makespan = std::stod(r[2][1]);
   } catch (const std::exception&) {
-    ++stats_.io_failures;
+    shard.stats.io_failures.fetch_add(1, kRelaxed);
     return std::nullopt;
   }
   entry.job_names.assign(r[3].begin() + 1, r[3].end());
@@ -254,19 +297,26 @@ std::optional<PlanCache::Entry> PlanCache::load_from_disk_locked(
   return entry;
 }
 
-void PlanCache::save_to_disk_locked(const Entry& entry, std::uint64_t hash) {
+void PlanCache::save_to_disk(Shard& shard, const Entry& entry,
+                             std::uint64_t hash) {
   // Write-then-rename: processes sharing one dir: tier (CORUN_PLAN_CACHE)
   // may store the same signature concurrently, and interleaved writes to
   // the final path would leave a torn file that reads as a miss yet
-  // squats on the slot until overwritten. The temp name is per-process
-  // (the mutex already serializes threads), and rename() within one
-  // directory atomically publishes a complete file.
+  // squats on the slot until overwritten. The temp name carries the pid
+  // *and* a process-wide counter: two shards of one process (or a
+  // recycled pid on a shared dir: tier) can flush the same signature hash
+  // concurrently, and a pid-only suffix would let their writes interleave
+  // in one temp file. rename() within one directory then atomically
+  // publishes a complete file.
+  static std::atomic<std::uint64_t> tmp_serial{0};
   const std::string path = entry_path(hash);
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(tmp_serial.fetch_add(1, kRelaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      ++stats_.io_failures;
+      shard.stats.io_failures.fetch_add(1, kRelaxed);
       return;
     }
     out << plan_cache_entry_to_csv(entry.canonical, entry.family,
@@ -274,7 +324,7 @@ void PlanCache::save_to_disk_locked(const Entry& entry, std::uint64_t hash) {
                                    entry.makespan);
     out.close();
     if (!out) {
-      ++stats_.io_failures;
+      shard.stats.io_failures.fetch_add(1, kRelaxed);
       std::error_code ec;
       std::filesystem::remove(tmp, ec);
       return;
@@ -283,7 +333,7 @@ void PlanCache::save_to_disk_locked(const Entry& entry, std::uint64_t hash) {
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
-    ++stats_.io_failures;
+    shard.stats.io_failures.fetch_add(1, kRelaxed);
     std::filesystem::remove(tmp, ec);
   }
 }

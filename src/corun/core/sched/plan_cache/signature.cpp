@@ -93,12 +93,19 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
-PlanSignature make_signature(const SchedulerContext& ctx,
-                             const std::string& scheduler_id,
-                             std::uint64_t seed) {
-  const model::CoRunPredictor& m = ctx.model();
-  const profile::ProfileDB& db = m.db();
+namespace {
 
+/// Shared assembly tail of make_signature and SignatureBuilder::build:
+/// the caller supplies the precomputed digest renderings; `job_hex(name)`
+/// returns hex64 of that job's profile digest.
+template <typename JobHexFn>
+PlanSignature assemble_signature(const SchedulerContext& ctx,
+                                 const std::string& scheduler_id,
+                                 std::uint64_t seed,
+                                 const std::string& machine_hex,
+                                 const std::string& grid_hex,
+                                 const std::string& idle_text,
+                                 const JobHexFn& job_hex) {
   PlanSignature sig;
   sig.job_names = ctx.job_names();
   std::sort(sig.job_names.begin(), sig.job_names.end());
@@ -106,17 +113,15 @@ PlanSignature make_signature(const SchedulerContext& ctx,
   std::ostringstream family;
   family << "v1;scheduler=" << scheduler_id << ";seed=" << seed << ";policy="
          << (ctx.policy == sim::GovernorPolicy::kCpuBiased ? "cpu" : "gpu")
-         << ";machine=" << hex64(machine_digest(m.machine()))
-         << ";grid=" << hex64(grid_digest(m.interpolator().grid()))
-         << ";idle=" << signature_double(db.idle_power());
+         << ";machine=" << machine_hex << ";grid=" << grid_hex
+         << ";idle=" << idle_text;
   sig.family = family.str();
 
   std::ostringstream canonical;
   canonical << sig.family << ";cap=";
   canonical << (ctx.cap ? signature_double(*ctx.cap) : "none");
   for (const std::string& name : sig.job_names) {
-    canonical << ";job{" << name << "|"
-              << hex64(job_profile_digest(db, name)) << "}";
+    canonical << ";job{" << name << "|" << job_hex(name) << "}";
   }
   sig.canonical = canonical.str();
 
@@ -127,6 +132,49 @@ PlanSignature make_signature(const SchedulerContext& ctx,
   fh.update(sig.family);
   sig.family_hash = fh.digest();
   return sig;
+}
+
+}  // namespace
+
+PlanSignature make_signature(const SchedulerContext& ctx,
+                             const std::string& scheduler_id,
+                             std::uint64_t seed) {
+  const model::CoRunPredictor& m = ctx.model();
+  const profile::ProfileDB& db = m.db();
+  return assemble_signature(
+      ctx, scheduler_id, seed, hex64(machine_digest(m.machine())),
+      hex64(grid_digest(m.interpolator().grid())),
+      signature_double(db.idle_power()),
+      [&db](const std::string& name) {
+        return hex64(job_profile_digest(db, name));
+      });
+}
+
+SignatureBuilder::SignatureBuilder(const model::CoRunPredictor& predictor)
+    : predictor_(&predictor),
+      machine_hex_(hex64(machine_digest(predictor.machine()))),
+      grid_hex_(hex64(grid_digest(predictor.interpolator().grid()))),
+      idle_text_(signature_double(predictor.db().idle_power())) {
+  for (const std::string& job : predictor.db().jobs()) {
+    job_digest_hex_[job] = hex64(job_profile_digest(predictor.db(), job));
+  }
+}
+
+PlanSignature SignatureBuilder::build(const SchedulerContext& ctx,
+                                      const std::string& scheduler_id,
+                                      std::uint64_t seed) const {
+  CORUN_CHECK_MSG(ctx.predictor == predictor_,
+                  "SignatureBuilder used with a different predictor than it "
+                  "was built from");
+  return assemble_signature(
+      ctx, scheduler_id, seed, machine_hex_, grid_hex_, idle_text_,
+      [this](const std::string& name) -> const std::string& {
+        const auto it = job_digest_hex_.find(name);
+        CORUN_CHECK_MSG(it != job_digest_hex_.end(),
+                        "SignatureBuilder: job '" + name +
+                            "' has no profile rows in the builder's db");
+        return it->second;
+      });
 }
 
 }  // namespace corun::sched

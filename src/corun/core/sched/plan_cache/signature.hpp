@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -80,5 +81,36 @@ struct PlanSignature {
 [[nodiscard]] PlanSignature make_signature(const SchedulerContext& ctx,
                                            const std::string& scheduler_id,
                                            std::uint64_t seed);
+
+/// Amortized signature construction for long-lived processes (the serving
+/// daemon): the machine, grid, and idle-power digests — and each job's
+/// profile digest — are pure functions of the predictor's immutable
+/// artifacts, so they are computed once here and reused per request.
+/// `build()` produces signatures byte-identical to `make_signature` over
+/// the same predictor; the per-request cost drops to string assembly.
+///
+/// The builder is immutable after construction and safe to share across
+/// threads. It must only be used with contexts whose predictor is the one
+/// it was built from (checked), because the cached digests would otherwise
+/// alias a different model's identity.
+class SignatureBuilder {
+ public:
+  explicit SignatureBuilder(const model::CoRunPredictor& predictor);
+
+  [[nodiscard]] PlanSignature build(const SchedulerContext& ctx,
+                                    const std::string& scheduler_id,
+                                    std::uint64_t seed) const;
+
+  [[nodiscard]] const model::CoRunPredictor& predictor() const noexcept {
+    return *predictor_;
+  }
+
+ private:
+  const model::CoRunPredictor* predictor_;
+  std::string machine_hex_;  ///< hex64(machine_digest)
+  std::string grid_hex_;     ///< hex64(grid_digest)
+  std::string idle_text_;    ///< signature_double(idle_power)
+  std::map<std::string, std::string> job_digest_hex_;  ///< name -> hex64
+};
 
 }  // namespace corun::sched

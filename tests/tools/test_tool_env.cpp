@@ -1,0 +1,103 @@
+// Environment-variable fallbacks of the shared tool plumbing: an exported
+// but empty (or whitespace-only) CORUN_BACKEND / CORUN_TRACE /
+// CORUN_PLAN_CACHE must mean "unset", not "the empty spec" — a stray
+// `export CORUN_BACKEND=` in a CI script used to turn every tool run into
+// a usage error. One regression test per variable.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "corun/common/flags.hpp"
+#include "corun/common/trace/trace.hpp"
+#include "corun/sim/backend.hpp"
+#include "tool_io.hpp"
+
+namespace corun::tools {
+namespace {
+
+/// Flags with no backend/trace/plan-cache switches, so the env fallback is
+/// what decides.
+Flags bare_flags() {
+  const char* argv[] = {"test"};
+  return Flags::parse(1, const_cast<char**>(argv),
+                      {"backend", "trace", "plan-cache"}, {})
+      .value();
+}
+
+/// Scoped setenv/unsetenv so a failing assertion cannot leak state into
+/// the next test.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ToolEnv, EmptyOrBlankCorunBackendMeansUnset) {
+  const sim::BackendSpec original = sim::default_backend_spec();
+  for (const char* value : {"", " ", " \t\n"}) {
+    EnvGuard guard("CORUN_BACKEND", value);
+    const auto spec = configure_backend(bare_flags());
+    ASSERT_TRUE(spec.has_value()) << "blank CORUN_BACKEND='" << value
+                                  << "' must fall back to the default";
+    EXPECT_EQ(spec.value().kind, original.kind);
+  }
+  // A real value still takes effect — and survives whitespace padding.
+  {
+    EnvGuard guard("CORUN_BACKEND", "  analytic  ");
+    const auto spec = configure_backend(bare_flags());
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec.value().kind, sim::BackendKind::kAnalytic);
+  }
+  sim::set_default_backend(original);
+}
+
+TEST(ToolEnv, EmptyOrBlankCorunTraceMeansUnset) {
+  for (const char* value : {"", "   ", "\t"}) {
+    EnvGuard guard("CORUN_TRACE", value);
+    EXPECT_EQ(configure_trace(bare_flags()), "")
+        << "blank CORUN_TRACE='" << value << "' must not arm tracing";
+  }
+  {
+    EnvGuard guard("CORUN_TRACE", " padded.json ");
+    EXPECT_EQ(configure_trace(bare_flags()), "padded.json");
+    trace::set_enabled(false);
+    trace::reset();
+  }
+}
+
+TEST(ToolEnv, EmptyOrBlankCorunPlanCacheMeansUnset) {
+  for (const char* value : {"", " ", "\n"}) {
+    EnvGuard guard("CORUN_PLAN_CACHE", value);
+    const auto cache = configure_plan_cache(bare_flags());
+    ASSERT_TRUE(cache.has_value())
+        << "blank CORUN_PLAN_CACHE='" << value << "' must not be parsed";
+    EXPECT_EQ(cache.value(), nullptr);  // caching stays off
+
+    // ...and a caller-supplied default still applies when blank.
+    const auto defaulted = configure_plan_cache(bare_flags(), "mem:4");
+    ASSERT_TRUE(defaulted.has_value());
+    ASSERT_NE(defaulted.value(), nullptr);
+    EXPECT_EQ(defaulted.value()->config().capacity, 4u);
+  }
+  {
+    EnvGuard guard("CORUN_PLAN_CACHE", " mem:7 ");
+    const auto cache = configure_plan_cache(bare_flags());
+    ASSERT_TRUE(cache.has_value());
+    ASSERT_NE(cache.value(), nullptr);
+    EXPECT_EQ(cache.value()->config().capacity, 7u);
+    // An explicit env spec beats the caller default.
+    const auto still = configure_plan_cache(bare_flags(), "mem:4");
+    ASSERT_TRUE(still.has_value());
+    EXPECT_EQ(still.value()->config().capacity, 7u);
+  }
+}
+
+}  // namespace
+}  // namespace corun::tools

@@ -15,6 +15,7 @@
 #include "corun/core/sched/hcs.hpp"
 #include "corun/core/sched/plan_cache/caching_scheduler.hpp"
 #include "corun/core/sched/registry.hpp"
+#include "corun/core/serve/plan_service.hpp"
 #include "tool_io.hpp"
 
 namespace {
@@ -106,10 +107,14 @@ int main(int argc, char** argv) {
   const sched::MakespanEvaluator evaluator(ctx);
   const sched::LowerBoundResult bound = sched::compute_lower_bound(ctx);
 
-  std::printf("scheduler: %s\n", scheduler->name().c_str());
-  std::printf("plan:      %s\n", schedule.to_string(ctx.job_names()).c_str());
-  std::printf("predicted makespan: %.2f s\n", evaluator.makespan(schedule));
-  std::printf("lower bound:        %.2f s\n", bound.t_low_tight);
+  // Rendered through the same helper the serving daemon uses, so a daemon
+  // `ok` body is byte-identical to this stdout by construction.
+  std::fputs(serve::render_plan_report(scheduler->name(),
+                                       schedule.to_string(ctx.job_names()),
+                                       evaluator.makespan(schedule),
+                                       bound.t_low_tight)
+                 .c_str(),
+             stdout);
   if (f.has("explain") && !trace.preference.empty()) {
     std::printf("\n-- decision trace --\n%s",
                 trace.to_string(ctx.job_names()).c_str());

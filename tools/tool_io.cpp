@@ -11,6 +11,25 @@
 
 namespace corun::tools {
 
+namespace {
+
+/// Environment fallback for the shared flags: returns the variable's value
+/// with surrounding whitespace stripped, or "" when it is unset, empty, or
+/// whitespace-only. An empty/blank exported variable (`CORUN_BACKEND=`,
+/// a stray `CORUN_TRACE=" "`) means "unset", not "the empty spec" — passing
+/// it through verbatim used to surface as a usage error or a bogus path.
+std::string trimmed_env(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return "";
+  std::string text(value);
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = text.find_last_not_of(" \t\r\n");
+  return text.substr(first, last - first + 1);
+}
+
+}  // namespace
+
 Expected<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return fail("cannot open '" + path + "' for reading", ErrorCategory::kIo);
@@ -51,9 +70,7 @@ Expected<sim::EngineMode> configure_engine(const Flags& flags) {
 
 Expected<sim::BackendSpec> configure_backend(const Flags& flags) {
   std::string name = flags.get("backend", "");
-  if (name.empty()) {
-    if (const char* env = std::getenv("CORUN_BACKEND")) name = env;
-  }
+  if (name.empty()) name = trimmed_env("CORUN_BACKEND");
   if (name.empty()) return sim::default_backend_spec();
   auto spec = sim::parse_backend_spec(name);
   if (!spec.has_value()) return spec.error();
@@ -69,9 +86,7 @@ Expected<sim::BackendSpec> configure_backend(const Flags& flags) {
 
 std::string configure_trace(const Flags& flags) {
   std::string path = flags.get("trace", "");
-  if (path.empty()) {
-    if (const char* env = std::getenv("CORUN_TRACE")) path = env;
-  }
+  if (path.empty()) path = trimmed_env("CORUN_TRACE");
   if (path.empty()) return "";
   trace::reset();
   trace::set_enabled(true);
@@ -79,11 +94,10 @@ std::string configure_trace(const Flags& flags) {
 }
 
 Expected<std::shared_ptr<sched::PlanCache>> configure_plan_cache(
-    const Flags& flags) {
+    const Flags& flags, const std::string& default_spec) {
   std::string spec = flags.get("plan-cache", "");
-  if (spec.empty()) {
-    if (const char* env = std::getenv("CORUN_PLAN_CACHE")) spec = env;
-  }
+  if (spec.empty()) spec = trimmed_env("CORUN_PLAN_CACHE");
+  if (spec.empty()) spec = default_spec;
   return sched::PlanCache::from_spec(spec);
 }
 

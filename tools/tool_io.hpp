@@ -65,8 +65,11 @@ bool finish_trace(const std::string& path);
 /// B&B leaf space and disable themselves when the node budget could
 /// truncate the search, so the guarantee holds unconditionally at the
 /// default budget and job limit.)
+/// `default_spec` applies when neither the flag nor the environment picks a
+/// spec: one-shot tools keep the historical "" (off); the serving daemon
+/// passes "mem" so a bare `corun-served` answers exact repeats from cache.
 [[nodiscard]] Expected<std::shared_ptr<sched::PlanCache>> configure_plan_cache(
-    const Flags& flags);
+    const Flags& flags, const std::string& default_spec = "");
 
 /// Prints the cache's activity counters to stderr (mirroring the trace
 /// metrics summary, and keeping stdout byte-identical to uncached runs).
