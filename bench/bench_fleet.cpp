@@ -1,0 +1,174 @@
+// Fleet-level power budgeting: makespan and cap-violation rate of the
+// demand-aware PowerStrategy allocators against the naive equal split, at
+// 64, 256, and 1024 machines under one facility budget and a seeded
+// dropout / cap-change / arrival-wave event stream.
+//
+// Emits BENCH_fleet.json for scripts/check_bench_regression.py; the gated
+// rate is fleet_machine_runs_per_wall (full per-machine dynamic runs per
+// wall second, summed over every scale and strategy). The makespan and
+// violation keys are recorded for trend tracking but do not gate — they
+// are asserted here instead: demand and marginal must beat uniform at
+// every scale, and steady-state global-cap violations must be zero.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "corun/common/check.hpp"
+#include "corun/core/fleet/fleet.hpp"
+#include "corun/core/runtime/experiment.hpp"
+#include "corun/sim/backend.hpp"
+
+using namespace corun;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct StrategyOutcome {
+  std::string strategy;
+  double makespan = 0.0;
+  std::size_t over_cap = 0;
+  std::size_t steady_over_cap = 0;
+  std::size_t power_samples = 0;
+  double wall = 0.0;
+};
+
+/// One fleet run: N machines, heterogeneous demands (2..6 jobs each), an
+/// 11 W/machine budget that binds without starving anyone, and the same
+/// seeded event stream for every strategy at a given scale.
+StrategyOutcome run_fleet(std::size_t machines, const std::string& strategy,
+                          const fleet::FleetPlan& plan,
+                          const runtime::ModelArtifacts& artifacts) {
+  fleet::FleetOptions options;
+  options.machines = machines;
+  options.global_cap = 11.0 * static_cast<double>(machines);
+  options.strategy = strategy;
+  options.jobs_per_machine = 2;
+  options.jobs_spread = 4;
+  options.backend.kind = sim::BackendKind::kAnalytic;
+  const fleet::Fleet runner(sim::ivy_bridge(), options);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report = runner.execute(plan, artifacts);
+  CORUN_CHECK_MSG(report.has_value(),
+                  ("fleet run failed: " +
+                   (report.has_value() ? std::string() : report.error().message))
+                      .c_str());
+  StrategyOutcome out;
+  out.strategy = strategy;
+  out.wall = seconds_since(t0);
+  out.makespan = report.value().fleet_makespan;
+  out.over_cap = report.value().over_cap;
+  out.steady_over_cap = report.value().steady_over_cap;
+  out.power_samples = report.value().power_samples;
+  return out;
+}
+
+double violation_rate(const StrategyOutcome& o) {
+  return o.power_samples == 0
+             ? 0.0
+             : static_cast<double>(o.over_cap) /
+                   static_cast<double>(o.power_samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Fleet",
+                "Hierarchical power budgeting over N simulated APUs: "
+                "demand-aware allocators vs. naive equal split.");
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  const bool quick = bench::quick_mode();
+
+  // Shared artifacts, pinned to the analytic backend at sparse levels —
+  // the same construction the corun-fleet tool uses, so the bench measures
+  // the fleet layer, not N redundant profiling passes.
+  const auto reference =
+      fleet::make_fleet_reference_batch(fleet::default_fleet_programs());
+  CORUN_CHECK(reference.has_value());
+  runtime::ArtifactOptions art;
+  art.seed = 42;
+  art.backend.kind = sim::BackendKind::kAnalytic;
+  art.backend.replay_path.clear();
+  art.cpu_levels = {0, 5, 10, 15};
+  art.gpu_levels = {0, 3, 6, 9};
+  art.grid_axis = {0.0, 4.0, 8.0, 11.0};
+  const runtime::ModelArtifacts artifacts =
+      runtime::build_artifacts(sim::ivy_bridge(), reference.value(), art);
+
+  const std::vector<std::size_t> scales =
+      quick ? std::vector<std::size_t>{16, 32}
+            : std::vector<std::size_t>{64, 256, 1024};
+  const std::vector<std::string> strategies = {"uniform", "demand",
+                                               "marginal"};
+  const char kSpec[] =
+      "random:dropouts=1,caps=1,waves=1,horizon=40,wave_jobs=6,seed=7";
+
+  std::string json = "{\n  \"bench\": \"fleet\",\n";
+  Table table({"machines", "strategy", "fleet makespan", "vs uniform",
+               "over-cap", "steady"});
+  std::size_t total_runs = 0;
+  double total_wall = 0.0;
+  for (const std::size_t n : scales) {
+    const auto plan = fleet::generate_fleet_plan_from_spec(kSpec, n);
+    CORUN_CHECK(plan.has_value());
+    double uniform_makespan = 0.0;
+    for (const std::string& strategy : strategies) {
+      const StrategyOutcome o =
+          run_fleet(n, strategy, plan.value(), artifacts);
+      if (strategy == "uniform") uniform_makespan = o.makespan;
+      // The acceptance bar: demand-awareness must pay at every scale, and
+      // conservation must hold once the post-event governors settle.
+      CORUN_CHECK_MSG(
+          strategy == "uniform" || o.makespan < uniform_makespan,
+          (strategy + " did not beat uniform at " + std::to_string(n) +
+           " machines")
+              .c_str());
+      CORUN_CHECK_MSG(o.steady_over_cap == 0,
+                      ("steady-state cap violations at " + std::to_string(n) +
+                       " machines")
+                          .c_str());
+      total_runs += n;
+      total_wall += o.wall;
+      table.add_row({std::to_string(n), strategy, Table::num(o.makespan),
+                     bench::pct(uniform_makespan > 0.0
+                                    ? 1.0 - o.makespan / uniform_makespan
+                                    : 0.0),
+                     std::to_string(o.over_cap),
+                     std::to_string(o.steady_over_cap)});
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "  \"fleet_makespan_%s_%zu\": %.4f,\n"
+                    "  \"fleet_violation_rate_%s_%zu\": %.6f,\n",
+                    strategy.c_str(), n, o.makespan, strategy.c_str(), n,
+                    violation_rate(o));
+      json += buf;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double rate =
+      total_wall > 0.0 ? static_cast<double>(total_runs) / total_wall : 0.0;
+  std::printf("fleet throughput: %zu machine-runs in %.2f s wall "
+              "(%.1f machine-runs/s)\n",
+              total_runs, total_wall, rate);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "  \"fleet_machine_runs_per_wall\": %.1f\n}\n", rate);
+  json += buf;
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -19,7 +19,8 @@ police single-digit-percent drift.
 
 Accepts several NEW files and scores each rate by its best run: a slow run
 proves nothing on a shared machine, but one fast run proves the fast path
-still exists.
+still exists. Both the pass and the fail paths label the scored rate
+"best-of-N" so a CI log never reads as if a single run was judged.
 
 Usage: check_bench_regression.py BASELINE.json NEW.json [NEW2.json ...]
        [--factor 2.0]
@@ -69,12 +70,17 @@ def main():
         print(f"error: no *_per_wall rates in {args.baseline}")
         return 2
 
+    # Every verdict line reports the same quantity with the same label: the
+    # best rate across the N new runs.
+    best_of = f"best-of-{len(args.new)}"
+
     failures = []
     for path, base_rate in sorted(base.items()):
         new_rate = new.get(path)
         if new_rate is None:
             print(f"FAIL {path}: baseline {base_rate:.1f}, "
-                  f"no matching rate in new results")
+                  f"no matching rate in any of the {len(args.new)} new "
+                  f"result file(s)")
             failures.append(
                 f"{path}: baseline rate missing from new results — the "
                 f"bench that produces it did not run or renamed the key")
@@ -82,10 +88,10 @@ def main():
         floor = base_rate / args.factor
         verdict = "FAIL" if new_rate < floor else "ok"
         print(f"{verdict:4} {path}: baseline {base_rate:.1f}, "
-              f"new {new_rate:.1f} (floor {floor:.1f})")
+              f"{best_of} {new_rate:.1f} (floor {floor:.1f})")
         if new_rate < floor:
             failures.append(
-                f"{path}: {new_rate:.1f} < {floor:.1f} "
+                f"{path}: {best_of} {new_rate:.1f} < {floor:.1f} "
                 f"(baseline {base_rate:.1f} / {args.factor}x)")
 
     if failures:
@@ -94,7 +100,8 @@ def main():
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nall {len(base)} rates within {args.factor}x of baseline")
+    print(f"\nall {len(base)} {best_of} rates within {args.factor}x "
+          f"of baseline")
     return 0
 
 

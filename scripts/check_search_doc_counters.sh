@@ -22,18 +22,20 @@ check_family() {
   local emitted documented name
   emitted=$(grep -oh "\"${prefix}\.[a-z_][a-z_]*\"" "$@" | tr -d '"' | sort -u)
   documented=$(grep -oh "${prefix}\.[a-z_][a-z_]*" "$doc" | sort -u)
-  for name in $emitted; do
+  while IFS= read -r name; do
+    [ -n "$name" ] || continue
     if ! grep -qx "$name" <<<"$documented"; then
       echo "UNDOCUMENTED: '$name' is emitted but $doc never mentions it" >&2
       status=1
     fi
-  done
-  for name in $documented; do
+  done <<<"$emitted"
+  while IFS= read -r name; do
+    [ -n "$name" ] || continue
     if ! grep -qx "$name" <<<"$emitted"; then
       echo "STALE: $doc mentions '$name' but no source emits it" >&2
       status=1
     fi
-  done
+  done <<<"$documented"
   if [ "$status" -eq 0 ]; then
     echo "$prefix.* doc counters in sync ($(wc -w <<<"$emitted" | tr -d ' ') names)"
   fi

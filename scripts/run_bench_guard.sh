@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Bench regression guard driver: auto-enumerates the checked-in
+# BENCH_*.json baselines, maps each to its bench binary by stem (the
+# baseline BENCH_<stem>.json must match exactly one
+# BUILD_DIR/bench/bench_<stem>* executable), reruns it REPS times, and
+# gates the *_per_wall rates with scripts/check_bench_regression.py.
+#
+# Enumerating the baselines instead of hard-coding the bench list means a
+# newly checked-in BENCH_foo.json is guarded from its first commit — and a
+# baseline whose bench binary disappeared (renamed, dropped from the build)
+# fails loudly instead of silently falling out of CI.
+#
+# Usage: scripts/run_bench_guard.sh BUILD_DIR [OUT_DIR] [REPS]
+#   BUILD_DIR  finished CMake build tree (benches in BUILD_DIR/bench)
+#   OUT_DIR    where the fresh per-run JSONs land (default: bench-out)
+#   REPS       runs per bench, scored best-of (default: 3)
+set -euo pipefail
+
+if [ "$#" -lt 1 ] || [ "$#" -gt 3 ]; then
+  echo "usage: scripts/run_bench_guard.sh BUILD_DIR [OUT_DIR] [REPS]" >&2
+  exit 2
+fi
+BUILD_DIR=$1
+OUT_DIR=${2:-bench-out}
+REPS=${3:-3}
+FACTOR=${FACTOR:-2.0}
+
+cd "$(dirname "$0")/.."
+if ! compgen -G "BENCH_*.json" > /dev/null; then
+  echo "error: no BENCH_*.json baselines in $(pwd)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+status=0
+for baseline in BENCH_*.json; do
+  stem=${baseline#BENCH_}
+  stem=${stem%.json}
+
+  matches=()
+  for candidate in "$BUILD_DIR/bench/bench_$stem"*; do
+    [ -f "$candidate" ] && [ -x "$candidate" ] && matches+=("$candidate")
+  done
+  if [ "${#matches[@]}" -eq 0 ]; then
+    echo "FAIL $baseline: no bench binary matches" \
+      "$BUILD_DIR/bench/bench_$stem* — baseline orphaned?" >&2
+    status=1
+    continue
+  fi
+  if [ "${#matches[@]}" -gt 1 ]; then
+    echo "FAIL $baseline: ambiguous bench binaries: ${matches[*]}" >&2
+    status=1
+    continue
+  fi
+
+  runs=()
+  for i in $(seq 1 "$REPS"); do
+    out="$OUT_DIR/BENCH_$stem.$i.json"
+    echo "--- $baseline run $i/$REPS: ${matches[0]}"
+    "${matches[0]}" "$out"
+    runs+=("$out")
+  done
+  python3 scripts/check_bench_regression.py "$baseline" "${runs[@]}" \
+    --factor "$FACTOR" || status=1
+done
+
+exit "$status"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Backend smoke tests: (a) record a demand trace and replay it — the
+# replayed report must be byte-identical to the recording run; (b) the
+# analytic backend's report must be byte-identical to the event backend's
+# for the same static run.
+set -euo pipefail
+# shellcheck source=scripts/smoke/common.sh
+source "$(dirname "$0")/common.sh"
+smoke_init backend_record_replay "$@"
+ensure_pipeline_fixtures
+
+"$TOOLS/corun-run" --batch "$WORK/batch.csv" --profiles "$WORK/profiles.csv" \
+  --grid "$WORK/grid.csv" --cap 15 --scheduler bnb \
+  --record-trace "$WORK/demand.csv" > "$WORK/backend_rec.out"
+"$TOOLS/corun-run" --batch "$WORK/batch.csv" --profiles "$WORK/profiles.csv" \
+  --grid "$WORK/grid.csv" --cap 15 --scheduler bnb \
+  --backend "replay:$WORK/demand.csv" > "$WORK/backend_rep.out"
+cmp "$WORK/backend_rec.out" "$WORK/backend_rep.out"
+
+"$TOOLS/corun-run" --batch "$WORK/batch.csv" --profiles "$WORK/profiles.csv" \
+  --grid "$WORK/grid.csv" --cap 15 --scheduler bnb \
+  --backend analytic > "$WORK/backend_ana.out"
+"$TOOLS/corun-run" --batch "$WORK/batch.csv" --profiles "$WORK/profiles.csv" \
+  --grid "$WORK/grid.csv" --cap 15 --scheduler bnb > "$WORK/backend_evt.out"
+cmp "$WORK/backend_ana.out" "$WORK/backend_evt.out"
+echo "backend record/replay smoke OK"

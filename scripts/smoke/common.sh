@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Shared plumbing for the scripts/smoke/*.sh end-to-end smoke tests.
+#
+# Every smoke script takes the same arguments:
+#
+#   scripts/smoke/<name>.sh BUILD_DIR [WORK_DIR]
+#
+# BUILD_DIR is a finished CMake build tree (the tools live in
+# BUILD_DIR/tools); WORK_DIR (default: smoke-work) holds the generated
+# fixtures and captured outputs, and is safe to share between scripts —
+# the pipeline fixtures are built once and reused. CI calls each script as
+# its own step; locally, any script runs standalone against any build dir.
+
+# smoke_init NAME "$@" — parses the common arguments into TOOLS/WORK and
+# verifies the build tree actually contains the tools.
+# shellcheck disable=SC2034  # TOOLS and WORK are consumed by the sourcing script
+smoke_init() {
+  local name=$1
+  shift
+  if [ "$#" -lt 1 ] || [ "$#" -gt 2 ]; then
+    echo "usage: scripts/smoke/${name}.sh BUILD_DIR [WORK_DIR]" >&2
+    exit 2
+  fi
+  TOOLS="$1/tools"
+  WORK=${2:-smoke-work}
+  if [ ! -x "$TOOLS/corun-run" ]; then
+    echo "error: '$TOOLS/corun-run' not found — is '$1' a finished build?" >&2
+    exit 2
+  fi
+  mkdir -p "$WORK"
+}
+
+# ensure_pipeline_fixtures — the two-instance batch plus its profiles and
+# degradation grid that every pipeline smoke consumes. Built only when
+# missing so the scripts compose without redundant profiling passes.
+ensure_pipeline_fixtures() {
+  if [ ! -f "$WORK/batch.csv" ]; then
+    printf 'instance,program,input_scale,seed\nsc,streamcluster,1.0,42\nlud,lud,0.9,44\n' \
+      > "$WORK/batch.csv"
+  fi
+  if [ ! -f "$WORK/profiles.csv" ]; then
+    "$TOOLS/corun-profile" --batch "$WORK/batch.csv" --out "$WORK/profiles.csv" \
+      --cpu-levels 0,5,10 --gpu-levels 0,4
+  fi
+  if [ ! -f "$WORK/grid.csv" ]; then
+    "$TOOLS/corun-characterize" --out "$WORK/grid.csv" --axis-points 4
+  fi
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Dynamic-event smoke test: a seeded fault stream through corun-run must
+# replay byte-identically across worker counts.
+set -euo pipefail
+# shellcheck source=scripts/smoke/common.sh
+source "$(dirname "$0")/common.sh"
+smoke_init dynamic_events "$@"
+ensure_pipeline_fixtures
+
+EVENTS="random:arrivals=1,caps=1,horizon=40,seed=7,programs=lud"
+"$TOOLS/corun-run" --batch "$WORK/batch.csv" --profiles "$WORK/profiles.csv" \
+  --grid "$WORK/grid.csv" --cap 15 --events "$EVENTS" \
+  --jobs 1 > "$WORK/dyn_j1.out"
+"$TOOLS/corun-run" --batch "$WORK/batch.csv" --profiles "$WORK/profiles.csv" \
+  --grid "$WORK/grid.csv" --cap 15 --events "$EVENTS" \
+  --jobs 4 > "$WORK/dyn_j4.out"
+cmp "$WORK/dyn_j1.out" "$WORK/dyn_j4.out"
+grep -q "dynamic, reschedule on" "$WORK/dyn_j1.out"
+echo "dynamic events smoke OK"

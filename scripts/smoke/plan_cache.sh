@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Plan-cache roundtrip smoke test: a persistent-tier run repeated with the
+# same artifacts must (a) leave stdout byte-identical — caching is
+# behaviour-invariant by contract — and (b) report an exact hit served from
+# disk on the second run.
+set -euo pipefail
+# shellcheck source=scripts/smoke/common.sh
+source "$(dirname "$0")/common.sh"
+smoke_init plan_cache "$@"
+ensure_pipeline_fixtures
+
+rm -rf "$WORK/plancache"  # the hit/miss counters assume a cold start
+"$TOOLS/corun-schedule" --batch "$WORK/batch.csv" --profiles "$WORK/profiles.csv" \
+  --grid "$WORK/grid.csv" --cap 15 --scheduler bnb \
+  --plan-cache "dir:$WORK/plancache" > "$WORK/pc1.out" 2> "$WORK/pc1.err"
+"$TOOLS/corun-schedule" --batch "$WORK/batch.csv" --profiles "$WORK/profiles.csv" \
+  --grid "$WORK/grid.csv" --cap 15 --scheduler bnb \
+  --plan-cache "dir:$WORK/plancache" > "$WORK/pc2.out" 2> "$WORK/pc2.err"
+cmp "$WORK/pc1.out" "$WORK/pc2.out"
+grep -q "plan-cache: hits=0 misses=1" "$WORK/pc1.err"
+grep -q "plan-cache: hits=1 misses=0" "$WORK/pc2.err"
+grep -q "disk_hits=1" "$WORK/pc2.err"
+echo "plan cache smoke OK"

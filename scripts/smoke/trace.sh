@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Trace smoke test: run the pipeline tools with --trace and check the output
+# is well-formed JSON that a Chrome-trace viewer (Perfetto, chrome://tracing)
+# would accept, with the solver's bnb.* counters present.
+set -euo pipefail
+# shellcheck source=scripts/smoke/common.sh
+source "$(dirname "$0")/common.sh"
+smoke_init trace "$@"
+
+printf 'instance,program,input_scale,seed\nsc,streamcluster,1.0,42\nlud,lud,0.9,44\n' \
+  > "$WORK/batch.csv"
+"$TOOLS/corun-profile" --batch "$WORK/batch.csv" --out "$WORK/profiles.csv" \
+  --cpu-levels 0,5,10 --gpu-levels 0,4 --trace "$WORK/profile_trace.json"
+"$TOOLS/corun-characterize" --out "$WORK/grid.csv" --axis-points 4 \
+  --trace "$WORK/characterize_trace.json"
+"$TOOLS/corun-schedule" --batch "$WORK/batch.csv" --profiles "$WORK/profiles.csv" \
+  --grid "$WORK/grid.csv" --cap 15 --scheduler bnb --trace "$WORK/schedule_trace.json"
+for f in profile_trace characterize_trace schedule_trace; do
+  python3 -m json.tool "$WORK/$f.json" > /dev/null
+done
+grep -q bnb.nodes "$WORK/schedule_trace.json"
+echo "trace smoke OK"

@@ -1,0 +1,134 @@
+// Hierarchical power budgeting: dividing one datacenter-level cap across a
+// fleet of simulated APUs.
+//
+// The paper enforces a single cap on a single integrated CPU-GPU node. At
+// fleet scale the cap is a facility number (breaker panels, cooling, a
+// colocation power contract) and must be subdivided node by node — the shape
+// production managers like flux_pwr_manager use: a global budget split
+// job -> node -> device with pluggable distribution strategies. This header
+// is the node-level split: a PowerStrategy maps (global cap, per-machine
+// demand) to per-machine caps which the fleet runtime then installs through
+// each machine's ordinary set_power_cap path.
+//
+// Strategy contract (pinned by tests/fleet/test_power_strategy.cpp):
+//   * conservation: the per-machine caps of live machines sum to at most the
+//     global cap — never above, however the arithmetic rounds;
+//   * floors: every live machine receives at least StrategyLimits::floor
+//     (callers must offer a global cap >= floor * live_machines; Fleet
+//     validates this before asking);
+//   * ceilings: no machine receives more than StrategyLimits::ceiling —
+//     watts beyond a node's physical draw are wasted budget;
+//   * dead machines receive exactly 0 W;
+//   * purity: the division is a function of its arguments alone, so any
+//     caller (any thread count, any call ordering) gets identical caps.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corun/common/expected.hpp"
+#include "corun/common/units.hpp"
+#include "corun/sim/machine.hpp"
+
+namespace corun::fleet {
+
+/// What the allocator knows about one machine at division time.
+struct MachineDemand {
+  bool alive = true;           ///< dropped machines get 0 W
+  double demand_seconds = 0.0; ///< predicted assigned work at max frequency
+  std::size_t jobs = 0;        ///< jobs behind that estimate
+};
+
+/// Per-machine bounds every strategy honours.
+struct StrategyLimits {
+  Watts floor = 8.0;     ///< minimum cap a live machine receives
+  Watts ceiling = 35.0;  ///< budget beyond a node's max draw is wasted
+  Watts quantum = 0.25;  ///< marginal-utility allocation granularity
+};
+
+/// Normalized machine speed as a function of the power cap: the fraction of
+/// the machine's uncapped throughput the DVFS ladders can sustain under a
+/// cap. Built from the machine's own power model as the Pareto frontier of
+/// (worst-case package power, mean frequency fraction) over all level pairs;
+/// piecewise-linear and non-decreasing in between. The marginal-utility
+/// strategy uses it to turn watts into estimated completion times.
+class SpeedCurve {
+ public:
+  /// Linear fallback: speed proportional to cap (clamped to [0.05, 1]).
+  SpeedCurve();
+
+  [[nodiscard]] static SpeedCurve from_machine(const sim::MachineConfig& config);
+
+  /// Speed fraction in (0, 1]; below the first knot the curve holds its
+  /// lowest value (a machine never stops entirely while powered).
+  [[nodiscard]] double speed_at(Watts cap) const noexcept;
+
+ private:
+  struct Knot {
+    Watts power = 0.0;
+    double speed = 0.0;
+  };
+  std::vector<Knot> knots_;  ///< strictly increasing in power and speed
+};
+
+/// Abstract budget divider. See the file comment for the contract.
+class PowerStrategy {
+ public:
+  virtual ~PowerStrategy() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Divides `global_cap` into one cap per machine (same order as
+  /// `demands`). The curve describes how caps translate into machine speed
+  /// (only the marginal-utility strategy consults it today, but it is part
+  /// of the interface so future strategies need no signature change).
+  [[nodiscard]] virtual std::vector<Watts> divide(
+      Watts global_cap, const std::vector<MachineDemand>& demands,
+      const StrategyLimits& limits, const SpeedCurve& curve) const = 0;
+};
+
+/// Every machine gets the same share: min(ceiling, global / live). The
+/// naive equal-split baseline the benches compare against.
+class UniformStrategy final : public PowerStrategy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "uniform"; }
+  [[nodiscard]] std::vector<Watts> divide(
+      Watts global_cap, const std::vector<MachineDemand>& demands,
+      const StrategyLimits& limits, const SpeedCurve& curve) const override;
+};
+
+/// Floor for everyone, then the remaining budget proportional to each
+/// machine's predicted demand, water-filling past machines that hit the
+/// ceiling. Demand-aware but speed-curve-blind.
+class DemandProportionalStrategy final : public PowerStrategy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "demand"; }
+  [[nodiscard]] std::vector<Watts> divide(
+      Watts global_cap, const std::vector<MachineDemand>& demands,
+      const StrategyLimits& limits, const SpeedCurve& curve) const override;
+};
+
+/// Greedy quantum allocation against the fleet makespan objective: every
+/// quantum of budget goes to the machine with the longest estimated
+/// completion time demand / speed(cap) — the machine where a watt has the
+/// highest marginal utility to the fleet's bottleneck. Ties break on the
+/// lower machine index.
+class MarginalUtilityStrategy final : public PowerStrategy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "marginal"; }
+  [[nodiscard]] std::vector<Watts> divide(
+      Watts global_cap, const std::vector<MachineDemand>& demands,
+      const StrategyLimits& limits, const SpeedCurve& curve) const override;
+};
+
+/// Strategy names accepted by make_power_strategy, in presentation order.
+[[nodiscard]] std::vector<std::string> power_strategy_names();
+
+/// Constructs a strategy by name ("uniform", "demand", "marginal").
+/// Returns an error for unknown names.
+[[nodiscard]] Expected<std::unique_ptr<PowerStrategy>> make_power_strategy(
+    const std::string& name);
+
+}  // namespace corun::fleet

@@ -77,7 +77,7 @@ class VerdictTest(unittest.TestCase):
             self.BASE,
             [{"cold_plans_per_wall": 60.0, "hit_plans_per_wall": 900.0}])
         self.assertEqual(code, 0)
-        self.assertIn("all 2 rates within", out)
+        self.assertIn("all 2 best-of-1 rates within", out)
 
     def test_regression_beyond_factor_fails(self):
         code, _, err = run_guard(
@@ -93,7 +93,8 @@ class VerdictTest(unittest.TestCase):
         self.assertIn("hit_plans_per_wall", err)
         self.assertIn("missing from new results", err)
         self.assertIn("did not run or renamed the key", err)
-        self.assertIn("no matching rate in new results", out)
+        self.assertIn("no matching rate in any of the 1 new result file(s)",
+                      out)
 
     def test_best_of_multiple_new_files_wins(self):
         code, _, _ = run_guard(
@@ -101,6 +102,35 @@ class VerdictTest(unittest.TestCase):
             [{"cold_plans_per_wall": 10.0, "hit_plans_per_wall": 10.0},
              {"cold_plans_per_wall": 95.0, "hit_plans_per_wall": 990.0}])
         self.assertEqual(code, 0)
+
+    def test_pass_path_reports_best_of_n(self):
+        code, out, _ = run_guard(
+            self.BASE,
+            [{"cold_plans_per_wall": 60.0, "hit_plans_per_wall": 900.0},
+             {"cold_plans_per_wall": 80.0, "hit_plans_per_wall": 700.0},
+             {"cold_plans_per_wall": 55.0, "hit_plans_per_wall": 950.0}])
+        self.assertEqual(code, 0)
+        # Per-rate verdicts and the closing summary both carry the label,
+        # with the best value across the three runs next to it.
+        self.assertIn("best-of-3 80.0", out)
+        self.assertIn("best-of-3 950.0", out)
+        self.assertIn("all 2 best-of-3 rates within", out)
+
+    def test_fail_path_reports_best_of_n(self):
+        code, out, err = run_guard(
+            self.BASE,
+            [{"cold_plans_per_wall": 10.0, "hit_plans_per_wall": 900.0},
+             {"cold_plans_per_wall": 30.0, "hit_plans_per_wall": 950.0}])
+        self.assertEqual(code, 1)
+        self.assertIn("best-of-2 30.0", out)
+        self.assertIn("best-of-2 30.0", err)
+
+    def test_missing_key_names_the_run_count(self):
+        code, out, _ = run_guard(self.BASE,
+                                 [{"cold_plans_per_wall": 100.0},
+                                  {"cold_plans_per_wall": 90.0}])
+        self.assertEqual(code, 1)
+        self.assertIn("any of the 2 new result file(s)", out)
 
     def test_custom_factor_is_honoured(self):
         new = [{"cold_plans_per_wall": 30.0, "hit_plans_per_wall": 300.0}]
