@@ -1,0 +1,132 @@
+// Thermal model cost: what turning --thermal on costs the event-horizon
+// engine (per-tick temperature step + the split power accounting + the
+// per-tick throttle check), and the raw throughput of the ThermalNetwork
+// primitives themselves (the nine-multiply-add step and the closed-form
+// horizon advance). Writes BENCH_thermal.json for the CI regression guard;
+// the equivalence suite (tests/sim/test_thermal.cpp) separately pins the
+// thermal trajectories to the tick oracle.
+//
+//   ./bench_thermal [out.json]     (default: BENCH_thermal.json)
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "bench_util.hpp"
+#include "corun/common/check.hpp"
+#include "corun/sim/engine.hpp"
+#include "corun/sim/thermal.hpp"
+#include "corun/workload/batch.hpp"
+
+namespace {
+
+using namespace corun;
+
+struct Measurement {
+  Seconds simulated = 0.0;
+  double wall = 0.0;
+};
+
+/// The pipeline's execution shape: a cap-governed co-run mix drained from
+/// make_batch_8, with and without the thermal model engaged.
+Measurement run_engine_mix(bool thermal) {
+  const sim::MachineConfig config = sim::ivy_bridge();
+  const workload::Batch batch = workload::make_batch_8(42);
+  constexpr int kReps = 8;
+  Measurement m;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const workload::BatchJob& cpu_job =
+        batch.jobs()[static_cast<std::size_t>(rep) % batch.size()];
+    const workload::BatchJob& gpu_job =
+        batch.jobs()[static_cast<std::size_t>(rep + 3) % batch.size()];
+    sim::EngineOptions eo;
+    eo.mode = sim::EngineMode::kEvent;
+    eo.seed = 42 + static_cast<std::uint64_t>(rep);
+    eo.power_cap = 15.0;
+    eo.policy = sim::GovernorPolicy::kGpuBiased;
+    eo.record_samples = false;
+    eo.thermal = thermal;
+    sim::Engine engine(config, eo);
+    engine.set_ceilings(config.cpu_ladder.max_level(),
+                        config.gpu_ladder.max_level());
+    engine.launch(cpu_job.spec, sim::DeviceKind::kCpu);
+    engine.launch(gpu_job.spec, sim::DeviceKind::kGpu);
+    (void)engine.run_for(20.0);
+    m.simulated += engine.now();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  m.wall = std::chrono::duration<double>(t1 - t0).count();
+  return m;
+}
+
+double rate(const Measurement& m) {
+  return m.wall > 0.0 ? m.simulated / m.wall : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Thermal model cost",
+                "Event-engine throughput with the RC thermal model off vs "
+                "on, plus the ThermalNetwork primitive rates.");
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_thermal.json";
+
+  const Measurement off = run_engine_mix(false);
+  const Measurement on = run_engine_mix(true);
+  const double overhead = rate(on) > 0.0 ? rate(off) / rate(on) : 0.0;
+
+  // Primitive rates: per-tick steps and closed-form horizon advances per
+  // wall second. The checksum keeps the loops from being optimized away.
+  const sim::ThermalNetwork net(sim::ThermalParams{}, 0.01);
+  const sim::ThermalVec b = net.injection(6.0, 4.0, 2.0);
+  constexpr int kSteps = 2'000'000;
+  sim::ThermalVec temps = {40.0, 40.0, 40.0};
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSteps; ++i) temps = net.step(temps, b);
+  auto t1 = std::chrono::steady_clock::now();
+  const double step_rate =
+      kSteps / std::chrono::duration<double>(t1 - t0).count();
+
+  constexpr int kAdvances = 200'000;
+  double checksum = temps[0];
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kAdvances; ++i) {
+    // 6000 ticks (one 60 s horizon) per advance, via binary powering.
+    const sim::ThermalVec out = net.advance(temps, b, 6000);
+    checksum += out[sim::kThermalPackage];
+  }
+  t1 = std::chrono::steady_clock::now();
+  const double advance_rate =
+      kAdvances / std::chrono::duration<double>(t1 - t0).count();
+  CORUN_CHECK_MSG(checksum > 0.0, "thermal bench checksum underflow");
+
+  Table table({"metric", "value"});
+  table.add_row({"thermal OFF sim-s/s", Table::num(rate(off))});
+  table.add_row({"thermal ON sim-s/s", Table::num(rate(on))});
+  table.add_row({"overhead factor", Table::num(overhead) + "x"});
+  table.add_row({"network steps/s", Table::num(step_rate)});
+  table.add_row({"horizon advances/s", Table::num(advance_rate)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("thermal-on overhead on the capped co-run mix: %.2fx\n",
+              overhead);
+
+  char json[768];
+  std::snprintf(json, sizeof(json),
+                "{\n  \"bench\": \"thermal\",\n"
+                "  \"thermal_off_sim_per_wall\": %.1f,\n"
+                "  \"thermal_on_sim_per_wall\": %.1f,\n"
+                "  \"thermal_overhead_factor\": %.3f,\n"
+                "  \"thermal_step_per_wall\": %.0f,\n"
+                "  \"thermal_advance_per_wall\": %.0f\n}\n",
+                rate(off), rate(on), overhead, step_rate, advance_rate);
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json, out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -2,8 +2,9 @@
 # Doc drift guard for the trace-counter families.
 #
 # docs/search.md documents every bnb.* trace counter the branch-and-bound
-# solver emits, and docs/architecture.md documents every backend.* counter
-# the machine-model layer emits. Counter names are plain strings on both
+# solver emits, docs/architecture.md documents every backend.* counter the
+# machine-model layer emits, and docs/thermal.md documents every thermal.*
+# counter the engine emits. Counter names are plain strings on both
 # sides, so nothing stops them drifting apart silently — this check does.
 # It extracts the emitted names from the CORUN_TRACE_* / counter_add call
 # sites and the documented names from the docs and fails on any one-sided
@@ -46,5 +47,6 @@ check_family backend docs/architecture.md \
   src/corun/sim/backend.cpp \
   src/corun/sim/engine.cpp \
   src/corun/core/model/corun_predictor.cpp
+check_family thermal docs/thermal.md src/corun/sim/engine.cpp
 
 exit "$status"

@@ -172,6 +172,7 @@ class Executor {
     eo.sample_interval = options_.sample_interval;
     eo.record_samples = options_.record_power_trace;
     eo.cap_window = options_.cap_window;
+    eo.thermal = options_.thermal;
     return eo;
   }
 
@@ -724,6 +725,8 @@ class Executor {
     out.avg_power = telemetry.avg_power();
     out.cap_stats = telemetry.cap_stats();
     out.power_trace = telemetry.samples();
+    out.thermal_trace = telemetry.thermal_samples();
+    out.thermal = telemetry.thermal_stats();
     CORUN_TRACE_COUNTER("dynamic.replans",
                         static_cast<std::int64_t>(report_.replans));
     CORUN_TRACE_COUNTER("dynamic.arrivals",

@@ -51,6 +51,8 @@ struct DynamicOptions {
   Seconds sample_interval = 1.0;       ///< power-trace cadence
   bool record_power_trace = true;
   Seconds cap_window = 0.0;            ///< RAPL PL1 window (0 = instantaneous)
+  /// Engage the RC thermal model + throttle governor (docs/thermal.md).
+  bool thermal = sim::default_thermal();
 
   /// Machine backend the run executes on (event/analytic/replay).
   sim::BackendSpec backend = sim::default_backend_spec();

@@ -29,6 +29,11 @@ struct ExecutionReport {
   Watts avg_power = 0.0;
   sim::CapViolationStats cap_stats;
   std::vector<sim::PowerSample> power_trace;
+  /// Temperature trace + aggregate thermal stats; empty/zero unless the run
+  /// had the thermal model enabled (then thermal_trace zips with
+  /// power_trace by index — same sample points).
+  std::vector<sim::ThermalSample> thermal_trace;
+  sim::ThermalStats thermal;
   Seconds planning_seconds = 0.0;  ///< wall-clock cost of computing the plan
 
   /// Jobs completed per hour of makespan — the throughput the paper's

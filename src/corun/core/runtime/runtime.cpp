@@ -30,6 +30,7 @@ sim::EngineOptions CoRunRuntime::engine_options() const {
   eo.policy = options_.cap ? options_.policy : sim::GovernorPolicy::kNone;
   eo.sample_interval = options_.sample_interval;
   eo.record_samples = options_.record_power_trace;
+  eo.thermal = options_.thermal;
   return eo;
 }
 
@@ -209,6 +210,8 @@ ExecutionReport CoRunRuntime::execute(const workload::Batch& batch,
   report.avg_power = telemetry.avg_power();
   report.cap_stats = telemetry.cap_stats();
   report.power_trace = telemetry.samples();
+  report.thermal_trace = telemetry.thermal_samples();
+  report.thermal = telemetry.thermal_stats();
 
   if (recorder != nullptr) {
     const auto saved = sim::save_demand_trace(recorder->trace(),

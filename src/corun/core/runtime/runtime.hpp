@@ -31,6 +31,8 @@ struct RuntimeOptions {
   sim::EngineMode engine_mode = sim::default_engine_mode();
   Seconds sample_interval = 1.0;  ///< power-trace cadence
   bool record_power_trace = true;
+  /// Engage the RC thermal model + throttle governor (docs/thermal.md).
+  bool thermal = sim::default_thermal();
 
   /// Machine backend executing the schedule (event/analytic/replay).
   sim::BackendSpec backend = sim::default_backend_spec();

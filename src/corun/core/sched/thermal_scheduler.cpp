@@ -1,0 +1,70 @@
+#include "corun/core/sched/thermal_scheduler.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace corun::sched {
+
+namespace {
+
+/// Sorts a device queue by heat and deals it out hottest, coolest,
+/// 2nd-hottest, 2nd-coolest, ... (or the mirror image when `lead_hot` is
+/// false). The multiset of (job, level) entries is preserved, only the
+/// order changes.
+std::vector<ScheduledJob> heat_spaced(const SchedulerContext& ctx,
+                                      const std::vector<ScheduledJob>& queue,
+                                      sim::DeviceKind device, bool lead_hot) {
+  std::vector<ScheduledJob> sorted = queue;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](const ScheduledJob& a, const ScheduledJob& b) {
+                     const double ha = ThermalAwareScheduler::heat(
+                         ctx, a.job, device, a.level);
+                     const double hb = ThermalAwareScheduler::heat(
+                         ctx, b.job, device, b.level);
+                     if (ha != hb) return ha > hb;
+                     return a.job < b.job;
+                   });
+  std::vector<ScheduledJob> out;
+  out.reserve(sorted.size());
+  std::size_t hot = 0;
+  std::size_t cool = sorted.size();
+  bool take_hot = lead_hot;
+  while (hot < cool) {
+    if (take_hot) {
+      out.push_back(sorted[hot++]);
+    } else {
+      out.push_back(sorted[--cool]);
+    }
+    take_hot = !take_hot;
+  }
+  return out;
+}
+
+}  // namespace
+
+ThermalAwareScheduler::ThermalAwareScheduler(HcsOptions options)
+    : base_(options) {}
+
+double ThermalAwareScheduler::heat(const SchedulerContext& ctx,
+                                   std::size_t job, sim::DeviceKind device,
+                                   sim::FreqLevel level) {
+  return ctx.model().standalone_power(ctx.job_name(job), device, level);
+}
+
+Schedule ThermalAwareScheduler::plan(const SchedulerContext& ctx) {
+  Schedule schedule = base_.plan(ctx);
+  // HCS never emits the shared/batch-launch semantics, but stay defensive:
+  // those orders are load balancing, not per-device sequences — reordering
+  // them would change which device runs what.
+  if (schedule.shared_queue || schedule.cpu_batch_launch) return schedule;
+  // The CPU leads hot where the GPU leads cool: position k never pairs two
+  // hot jobs, and within each queue the alternation leaves package-cooling
+  // gaps between the heat pulses.
+  schedule.cpu =
+      heat_spaced(ctx, schedule.cpu, sim::DeviceKind::kCpu, /*lead_hot=*/true);
+  schedule.gpu =
+      heat_spaced(ctx, schedule.gpu, sim::DeviceKind::kGpu, /*lead_hot=*/false);
+  return schedule;
+}
+
+}  // namespace corun::sched

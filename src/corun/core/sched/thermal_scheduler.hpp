@@ -1,0 +1,48 @@
+// Thermal-aware scheduling variant (ROADMAP item 4; Dev et al.,
+// arXiv:1808.09651): on an integrated die the two domains share one heat
+// spreader, so co-locating the *hottest* CPU job with the hottest GPU job
+// concentrates dissipation and trips the throttle governor that the plain
+// schedulers never see (the predictor is power-only).
+//
+// The variant keeps HCS's placement and frequency decisions — device
+// assignment and per-job levels are untouched, so the schedule stays valid
+// and cap-feasible — and re-orders each device queue by predicted heat
+// (standalone power at the assigned level):
+//
+//  - across devices, the queues run anti-correlated: the CPU order leads
+//    with its hottest job where the GPU order leads with its coolest, so no
+//    queue position pairs two hot jobs;
+//  - within a device, hot and cool jobs alternate (hottest, coolest,
+//    2nd-hottest, ...), spacing the heat pulses across time so the slow
+//    package node can drain between them instead of ratcheting up.
+//
+// Purely deterministic: ties break on batch index, no RNG.
+#pragma once
+
+#include <vector>
+
+#include "corun/core/sched/hcs.hpp"
+#include "corun/core/sched/scheduler.hpp"
+
+namespace corun::sched {
+
+class ThermalAwareScheduler : public Scheduler {
+ public:
+  explicit ThermalAwareScheduler(HcsOptions options = {});
+
+  [[nodiscard]] Schedule plan(const SchedulerContext& ctx) override;
+
+  [[nodiscard]] std::string name() const override { return "HCS+thermal"; }
+
+  /// The heat proxy: predicted standalone power of the job on `device` at
+  /// `level` — what the job dumps into its RC node while it runs. Exposed
+  /// for the ordering tests.
+  [[nodiscard]] static double heat(const SchedulerContext& ctx,
+                                   std::size_t job, sim::DeviceKind device,
+                                   sim::FreqLevel level);
+
+ private:
+  HcsScheduler base_;
+};
+
+}  // namespace corun::sched

@@ -32,6 +32,19 @@ EngineMode initial_engine_mode() {
 
 std::atomic<EngineMode> g_default_engine_mode{initial_engine_mode()};
 
+/// Same startup seeding for the thermal model: CORUN_THERMAL=on|1 flips the
+/// whole process (every EngineOptions default) without touching flags. Bad
+/// values fall back to off; the tools' --thermal flag reports them properly.
+bool initial_thermal() {
+  if (const char* env = std::getenv("CORUN_THERMAL")) {
+    const std::string_view v(env);
+    return v == "on" || v == "1";
+  }
+  return false;
+}
+
+std::atomic<bool> g_default_thermal{initial_thermal()};
+
 }  // namespace
 
 const char* engine_mode_name(EngineMode m) noexcept {
@@ -58,6 +71,21 @@ void set_default_engine_mode(EngineMode mode) noexcept {
   g_default_engine_mode.store(mode, std::memory_order_relaxed);
 }
 
+bool default_thermal() noexcept {
+  return g_default_thermal.load(std::memory_order_relaxed);
+}
+
+void set_default_thermal(bool enabled) noexcept {
+  g_default_thermal.store(enabled, std::memory_order_relaxed);
+}
+
+Expected<bool> parse_thermal(const std::string& text) {
+  if (text == "on" || text == "1") return true;
+  if (text == "off" || text == "0") return false;
+  return fail("unknown thermal setting '" + text + "' (expected on|off)",
+              ErrorCategory::kInvalidArgument);
+}
+
 Engine::Engine(MachineConfig config, EngineOptions options)
     : config_(std::move(config)),
       options_(options),
@@ -77,6 +105,16 @@ Engine::Engine(MachineConfig config, EngineOptions options)
     // up — this is what keeps the first power samples under the cap.
     dvfs_.cpu_level = 0;
     dvfs_.gpu_level = 0;
+  }
+  if (options_.thermal) {
+    // Boot in thermal equilibrium with zero dissipation: every node at
+    // ambient, the full ladder available to both domains.
+    ThermalState ts{.net = ThermalNetwork(config_.thermal, options_.dt)};
+    const double amb = config_.thermal.ambient_c;
+    ts.temps = {amb, amb, amb};
+    ts.limit[0] = config_.cpu_ladder.max_level();
+    ts.limit[1] = config_.gpu_ladder.max_level();
+    thermal_.emplace(std::move(ts));
   }
 }
 
@@ -102,6 +140,16 @@ Engine::~Engine() {
     // how many ticks the closed-form fast path absorbed on this machine.
     trace::counter_add("backend.analytic_replayed_ticks",
                        static_cast<double>(counters_.analytic_ticks));
+  }
+  if (options_.thermal) {
+    // Thermal observability (see docs/thermal.md § "Counters").
+    const ThermalStats& th = telemetry_.thermal_stats();
+    trace::counter_add("thermal.trips", static_cast<double>(th.trips));
+    trace::counter_add("thermal.releases", static_cast<double>(th.releases));
+    trace::counter_add("thermal.throttled_seconds", th.throttled_time);
+    trace::counter_add("thermal.peak_cpu_c", th.peak_cpu_c);
+    trace::counter_add("thermal.peak_gpu_c", th.peak_gpu_c);
+    trace::counter_add("thermal.peak_package_c", th.peak_package_c);
   }
 }
 
@@ -348,10 +396,81 @@ bool Engine::governor_phase() {
          before.gpu_ceiling != dvfs_.gpu_ceiling;
 }
 
+bool Engine::thermal_phase() {
+  if (!thermal_) return false;
+  ThermalState& th = *thermal_;
+  const ThermalParams& p = config_.thermal;
+  bool moved = false;
+  for (std::size_t d = 0; d < kDeviceCount; ++d) {
+    const bool is_cpu = d == 0;
+    const double temp = th.temps[is_cpu ? kThermalCpu : kThermalGpu];
+    const double trip = is_cpu ? p.cpu_trip_c : p.gpu_trip_c;
+    const FrequencyLadder& ladder =
+        is_cpu ? config_.cpu_ladder : config_.gpu_ladder;
+    if (temp > trip) {
+      // Hot: shed one level per throttle_interval. A trip re-arms the
+      // release clock so the allowance never bounces straight back up.
+      if (th.limit[d] > 0 && now_ + 1e-12 >= th.next_down[d]) {
+        --th.limit[d];
+        th.next_down[d] = now_ + p.throttle_interval;
+        th.next_up[d] = now_ + p.release_interval;
+        telemetry_.note_thermal_trip();
+        moved = true;
+      }
+    } else if (temp < trip - p.hysteresis_c) {
+      // Cooled through the hysteresis band: hand one level back per
+      // release_interval. Between the thresholds the allowance holds —
+      // the dead band that keeps the throttle from chattering.
+      if (th.limit[d] < ladder.max_level() &&
+          now_ + 1e-12 >= th.next_up[d]) {
+        ++th.limit[d];
+        th.next_up[d] = now_ + p.release_interval;
+        telemetry_.note_thermal_release();
+        moved = true;
+      }
+    }
+  }
+  // Clamp the operating point to the allowance. The power governor may push
+  // a level above it at any cadence; the clamp re-applies every tick, so
+  // after a release the level only rises once the governor next confirms
+  // there is power headroom (the governor owns up-moves).
+  const FreqLevel cpu = std::min(dvfs_.cpu_level, th.limit[0]);
+  const FreqLevel gpu = std::min(dvfs_.gpu_level, th.limit[1]);
+  if (cpu != dvfs_.cpu_level || gpu != dvfs_.gpu_level) {
+    dvfs_.cpu_level = cpu;
+    dvfs_.gpu_level = gpu;
+    moved = true;
+  }
+  return moved;
+}
+
+void Engine::thermal_advance_tick(const ThermalVec& b) {
+  ThermalState& th = *thermal_;
+  th.temps = th.net.step(th.temps, b);
+  const bool throttled = th.limit[0] < dvfs_.cpu_ceiling ||
+                         th.limit[1] < dvfs_.gpu_ceiling;
+  telemetry_.note_thermal_tick(th.temps[kThermalCpu], th.temps[kThermalGpu],
+                               th.temps[kThermalPackage], throttled,
+                               options_.dt);
+}
+
+Watts Engine::package_power_split(const DeviceActivity& cpu,
+                                  const DeviceActivity& gpu, Watts* cpu_power,
+                                  Watts* gpu_power) const {
+  // Mirrors PowerModel::package_power term by term, summed left to right,
+  // so the total is the exact double the fused call returns.
+  *cpu_power =
+      power_model_.device_power(DeviceKind::kCpu, dvfs_.cpu_level, cpu);
+  *gpu_power =
+      power_model_.device_power(DeviceKind::kGpu, dvfs_.gpu_level, gpu);
+  return power_model_.uncore() + *cpu_power + *gpu_power;
+}
+
 void Engine::tick(std::vector<JobEvent>& events) {
   const Seconds dt = options_.dt;
 
   (void)governor_phase();
+  (void)thermal_phase();
 
   // Resolve memory contention from the uncontended offered loads, then a
   // second pass so the activity shares reflect the resolved slowdowns.
@@ -380,12 +499,23 @@ void Engine::tick(std::vector<JobEvent>& events) {
   const DeviceActivity gpu_act{.busy = gpu_tick.busy,
                                .compute_share = gpu_tick.compute_share,
                                .memory_share = gpu_tick.memory_share};
-  last_true_power_ = power_model_.package_power(dvfs_.cpu_level, dvfs_.gpu_level,
-                                                cpu_act, gpu_act);
+  Watts cpu_power = 0.0;
+  Watts gpu_power = 0.0;
+  if (thermal_) {
+    last_true_power_ =
+        package_power_split(cpu_act, gpu_act, &cpu_power, &gpu_power);
+  } else {
+    last_true_power_ = power_model_.package_power(
+        dvfs_.cpu_level, dvfs_.gpu_level, cpu_act, gpu_act);
+  }
   const bool cap_active = options_.power_cap.has_value();
   const Watts cap = options_.power_cap.value_or(0.0);
   telemetry_.record_tick(dt, last_true_power_, cpu_tick.busy, gpu_tick.busy,
                          cap, cap_active);
+  if (thermal_) {
+    thermal_advance_tick(
+        thermal_->net.injection(cpu_power, gpu_power, power_model_.uncore()));
+  }
 
   if (now_ + 1e-12 >= next_sample_) {
     if (options_.record_samples) {
@@ -398,6 +528,15 @@ void Engine::tick(std::vector<JobEvent>& events) {
                       .cpu_bw = contention.cpu_achieved,
                       .gpu_bw = contention.gpu_achieved},
           cap, cap_active);
+      if (thermal_) {
+        telemetry_.record_thermal_sample(
+            ThermalSample{.t = now_,
+                          .cpu_c = thermal_->temps[kThermalCpu],
+                          .gpu_c = thermal_->temps[kThermalGpu],
+                          .package_c = thermal_->temps[kThermalPackage],
+                          .cpu_limit = thermal_->limit[0],
+                          .gpu_limit = thermal_->limit[1]});
+      }
     }
     next_sample_ = now_ + options_.sample_interval;
   }
@@ -430,8 +569,20 @@ void Engine::rebuild_dynamics() {
   const DeviceActivity gpu_act{.busy = gpu_tick.busy,
                                .compute_share = gpu_tick.compute_share,
                                .memory_share = gpu_tick.memory_share};
-  cache_.true_power = power_model_.package_power(
-      dvfs_.cpu_level, dvfs_.gpu_level, cpu_act, gpu_act);
+  if (thermal_) {
+    Watts cpu_power = 0.0;
+    Watts gpu_power = 0.0;
+    cache_.true_power =
+        package_power_split(cpu_act, gpu_act, &cpu_power, &gpu_power);
+    // The thermal injection of this horizon: constant between events (it
+    // depends only on the cached domain powers), so the per-tick step
+    // T' = A·T + b replays the oracle's arithmetic exactly.
+    cache_.thermal_b =
+        thermal_->net.injection(cpu_power, gpu_power, power_model_.uncore());
+  } else {
+    cache_.true_power = power_model_.package_power(
+        dvfs_.cpu_level, dvfs_.gpu_level, cpu_act, gpu_act);
+  }
 
   // Per-job per-tick advance constants, derived with the same expressions
   // advance_jobs evaluates (identical operands => identical flops).
@@ -472,10 +623,12 @@ void Engine::flush_pending_telemetry() {
 
 void Engine::step_event_tick(std::vector<JobEvent>& events) {
   // 1. Control: runs per tick exactly as the oracle does, so the meter's
-  // RNG stream and every governor decision stay in lockstep. A level move
-  // is an event: the horizon ends and the dynamics recompute.
+  // RNG stream and every governor decision stay in lockstep. A level move —
+  // by the power governor or the thermal throttle — is an event: the
+  // horizon ends and the dynamics recompute.
   const bool dvfs_moved = governor_phase();
-  complete_event_tick(dvfs_moved, events);
+  const bool thermal_moved = thermal_phase();
+  complete_event_tick(dvfs_moved || thermal_moved, events);
 }
 
 void Engine::complete_event_tick(bool dvfs_moved,
@@ -517,6 +670,7 @@ void Engine::complete_event_tick(bool dvfs_moved,
   // flushed through Telemetry::record_interval at the horizon's end.
   last_true_power_ = cache_.true_power;
   ++pending_ticks_;
+  if (thermal_) thermal_advance_tick(cache_.thermal_b);
 
   if (now_ + 1e-12 >= next_sample_) {
     if (options_.record_samples) {
@@ -529,6 +683,15 @@ void Engine::complete_event_tick(bool dvfs_moved,
                       .cpu_bw = cache_.contention.cpu_achieved,
                       .gpu_bw = cache_.contention.gpu_achieved},
           options_.power_cap.value_or(0.0), options_.power_cap.has_value());
+      if (thermal_) {
+        telemetry_.record_thermal_sample(
+            ThermalSample{.t = now_,
+                          .cpu_c = thermal_->temps[kThermalCpu],
+                          .gpu_c = thermal_->temps[kThermalGpu],
+                          .package_c = thermal_->temps[kThermalPackage],
+                          .cpu_limit = thermal_->limit[0],
+                          .gpu_limit = thermal_->limit[1]});
+      }
     }
     next_sample_ = now_ + options_.sample_interval;
   }
@@ -595,7 +758,9 @@ void Engine::fast_replay(const std::optional<Seconds>& end,
             before.gpu_ceiling != dvfs_.gpu_ceiling) {
           // Level move: the horizon ends here. Bank the replayed ticks,
           // then finish this tick on the event path (flush + rebuild with
-          // the new levels happen inside) and hand back to the driver.
+          // the new levels happen inside) and hand back to the driver. The
+          // oracle's thermal check still runs on this tick, after the
+          // governor, exactly as in step_event_tick.
           if (ticks > 0) {
             last_true_power_ = cache_.true_power;
             pending_ticks_ += ticks;
@@ -603,24 +768,52 @@ void Engine::fast_replay(const std::optional<Seconds>& end,
             counters_.replayed_ticks += ticks;
             counters_.cache_hit_ticks += ticks;
           }
+          (void)thermal_phase();
           complete_event_tick(/*dvfs_moved=*/true, events);
           return;
         }
+      }
+      if (thermal_ && thermal_phase()) {
+        // Thermal trip/release/clamp: an event, same banking as a governor
+        // move. (The governor ran above and held its levels this tick.)
+        if (ticks > 0) {
+          last_true_power_ = cache_.true_power;
+          pending_ticks_ += ticks;
+          counters_.ticks += ticks;
+          counters_.replayed_ticks += ticks;
+          counters_.cache_hit_ticks += ticks;
+        }
+        complete_event_tick(/*dvfs_moved=*/true, events);
+        return;
       }
       for (const JobAdvance& j : cache_.jobs) {
         running_[j.run_idx].phase_ref_remaining -= j.ref_per_tick;
         j.stats->total_gb += j.gb_per_tick;
       }
+      if (thermal_) thermal_advance_tick(cache_.thermal_b);
       now_ += dt;
       --budget;
       ++ticks;
     }
   } else {
     while (budget > 0 && now_ + 1e-12 < stop) {
+      if (thermal_ && thermal_phase()) {
+        // No cap to manage, but the thermal throttle still acts per tick.
+        if (ticks > 0) {
+          last_true_power_ = cache_.true_power;
+          pending_ticks_ += ticks;
+          counters_.ticks += ticks;
+          counters_.replayed_ticks += ticks;
+          counters_.cache_hit_ticks += ticks;
+        }
+        complete_event_tick(/*dvfs_moved=*/true, events);
+        return;
+      }
       for (const JobAdvance& j : cache_.jobs) {
         running_[j.run_idx].phase_ref_remaining -= j.ref_per_tick;
         j.stats->total_gb += j.gb_per_tick;
       }
+      if (thermal_) thermal_advance_tick(cache_.thermal_b);
       now_ += dt;
       --budget;
       ++ticks;
@@ -699,6 +892,8 @@ void Engine::analytic_replay(const std::optional<Seconds>& end,
           // Level move: the horizon ends here. Materialize the bulk job
           // advance, bank the replayed ticks, then finish this tick on the
           // event path (flush + rebuild with the new levels happen inside).
+          // The oracle's thermal check still runs on this tick, after the
+          // governor, exactly as in step_event_tick.
           if (ticks > 0) {
             advance_jobs_bulk(ticks);
             last_true_power_ = cache_.true_power;
@@ -708,16 +903,33 @@ void Engine::analytic_replay(const std::optional<Seconds>& end,
             counters_.analytic_ticks += ticks;
             counters_.cache_hit_ticks += ticks;
           }
+          (void)thermal_phase();
           complete_event_tick(/*dvfs_moved=*/true, events);
           return;
         }
       }
+      if (thermal_ && thermal_phase()) {
+        // Thermal trip/release/clamp: an event, same banking as a governor
+        // move. (The governor ran above and held its levels this tick.)
+        if (ticks > 0) {
+          advance_jobs_bulk(ticks);
+          last_true_power_ = cache_.true_power;
+          pending_ticks_ += ticks;
+          counters_.ticks += ticks;
+          counters_.replayed_ticks += ticks;
+          counters_.analytic_ticks += ticks;
+          counters_.cache_hit_ticks += ticks;
+        }
+        complete_event_tick(/*dvfs_moved=*/true, events);
+        return;
+      }
+      if (thermal_) thermal_advance_tick(cache_.thermal_b);
       now_ += dt;
       --budget;
       ++ticks;
     }
   } else if (options_.policy == GovernorPolicy::kNone &&
-             !options_.record_samples) {
+             !options_.record_samples && !thermal_) {
     // Control-free machine (the profiler workload): under kNone the
     // governor unconditionally snaps the levels to the ceilings — which the
     // constructor and set_ceilings already did — so its cadence work and
@@ -737,12 +949,29 @@ void Engine::analytic_replay(const std::optional<Seconds>& end,
       ++ticks;
     }
   } else {
-    // Uncapped but observed (samples on, or a non-kNone governor idling
-    // without a cap): stop at the next governor/sample point and let the
+    // Uncapped but observed (samples on, a non-kNone governor idling
+    // without a cap, or the thermal throttle acting per tick — which also
+    // rules out the control-free skip above, because under kNone the
+    // governor's snap-to-ceiling must replay so the thermal clamp can keep
+    // re-applying): stop at the next governor/sample point and let the
     // event path execute it — those ticks read the meter.
     Seconds stop = std::min(next_governor_, next_sample_);
     if (end) stop = std::min(stop, *end);
     while (budget > 0 && now_ + 1e-12 < stop) {
+      if (thermal_ && thermal_phase()) {
+        if (ticks > 0) {
+          advance_jobs_bulk(ticks);
+          last_true_power_ = cache_.true_power;
+          pending_ticks_ += ticks;
+          counters_.ticks += ticks;
+          counters_.replayed_ticks += ticks;
+          counters_.analytic_ticks += ticks;
+          counters_.cache_hit_ticks += ticks;
+        }
+        complete_event_tick(/*dvfs_moved=*/true, events);
+        return;
+      }
+      if (thermal_) thermal_advance_tick(cache_.thermal_b);
       now_ += dt;
       --budget;
       ++ticks;

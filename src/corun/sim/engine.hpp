@@ -59,6 +59,7 @@
 #include "corun/sim/power_meter.hpp"
 #include "corun/sim/power_model.hpp"
 #include "corun/sim/telemetry.hpp"
+#include "corun/sim/thermal.hpp"
 
 namespace corun::sim {
 
@@ -180,13 +181,46 @@ class Engine : public MachineModel {
     DeviceTick gpu_tick;
     ContentionResult contention;
     Watts true_power = 0.0;
+    /// Per-tick thermal injection of this horizon (thermal runs only):
+    /// derived from the same cached domain powers as true_power, so the
+    /// per-tick temperature step replays identically in every mode.
+    ThermalVec thermal_b{};
     std::vector<JobAdvance> jobs;
+  };
+
+  /// Mutable thermal state (engaged only when EngineOptions::thermal): the
+  /// precomputed per-tick RC map, the node temperatures (persist across
+  /// event horizons exactly like job progress), and the throttle governor's
+  /// per-domain allowance and rate-limit clocks.
+  struct ThermalState {
+    ThermalNetwork net;
+    ThermalVec temps{};
+    FreqLevel limit[kDeviceCount] = {0, 0};   ///< max level the heat allows
+    Seconds next_down[kDeviceCount] = {0.0, 0.0};
+    Seconds next_up[kDeviceCount] = {0.0, 0.0};
   };
 
   void tick(std::vector<JobEvent>& events);
   /// The DVFS control block of one tick (shared verbatim by both modes).
   /// Returns true when a frequency level or ceiling moved.
   bool governor_phase();
+  /// The temperature control block of one tick, run right after the
+  /// governor by every mode: trips drop a domain's thermal allowance when
+  /// its node is above the trip point, releases raise it back once the node
+  /// cools through the hysteresis band, and the current DVFS levels are
+  /// clamped to the allowance. Returns true when anything moved (an event —
+  /// the horizon ends). A no-op returning false when thermal is off.
+  bool thermal_phase();
+  /// Advances the RC network by one tick from the horizon's cached
+  /// injection and folds the tick into the peak/throttled-time accounting.
+  void thermal_advance_tick(const ThermalVec& b);
+  /// package_power decomposed into its per-domain terms — same calls in the
+  /// same order, so the returned total is bit-identical to the fused
+  /// package_power() while exposing the split the thermal injection needs.
+  [[nodiscard]] Watts package_power_split(const DeviceActivity& cpu,
+                                          const DeviceActivity& gpu,
+                                          Watts* cpu_power,
+                                          Watts* gpu_power) const;
   /// Recomputes the contention/LLC fixed point, activity shares, package
   /// power, and per-job advance constants for the current machine state.
   void rebuild_dynamics();
@@ -254,6 +288,7 @@ class Engine : public MachineModel {
 
   EngineCounters counters_;
   DynamicsCache cache_;
+  std::optional<ThermalState> thermal_;
   /// Ticks whose record_tick arguments are all identical (the cached power
   /// and busy flags) and have not yet been pushed into telemetry_. Flushed
   /// through Telemetry::record_interval before anything can observe or

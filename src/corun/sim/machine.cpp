@@ -39,6 +39,19 @@ MachineConfig amd_kaveri() {
   config.llc_capacity_mb = 4.0;
   config.llc_pressure_saturation_bw = 9.0;
 
+  // Desktop package under a tower cooler: cooler intake air, a much larger
+  // heat spreader (slower package pole) and better package->ambient
+  // conductance, but hotter silicon limits. At full tilt (~68 W) the CPU
+  // module still clears its 95 C trip, so sustained uncapped co-runs
+  // throttle on this machine too.
+  config.thermal.ambient_c = 38.0;
+  config.thermal.c_pkg = 40.0;
+  config.thermal.g_pa = 1.6;
+  config.thermal.g_cp = 2.0;
+  config.thermal.g_gp = 2.5;
+  config.thermal.cpu_trip_c = 95.0;
+  config.thermal.gpu_trip_c = 90.0;
+
   config.cpu_cores = 4;
   return config;
 }

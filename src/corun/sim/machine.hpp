@@ -7,6 +7,7 @@
 #include "corun/sim/frequency.hpp"
 #include "corun/sim/memory_system.hpp"
 #include "corun/sim/power_model.hpp"
+#include "corun/sim/thermal.hpp"
 
 namespace corun::sim {
 
@@ -15,6 +16,9 @@ struct MachineConfig {
   FrequencyLadder gpu_ladder = ivy_bridge_gpu_ladder();
   PowerModelParams power{};
   MemorySystemParams memory{};
+  /// RC thermal network + throttle trip points (engaged only when
+  /// EngineOptions::thermal is set; see docs/thermal.md).
+  ThermalParams thermal{};
 
   int cpu_cores = 4;
 

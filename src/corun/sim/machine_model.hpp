@@ -104,6 +104,18 @@ enum class EngineMode {
 [[nodiscard]] EngineMode default_engine_mode() noexcept;
 void set_default_engine_mode(EngineMode mode) noexcept;
 
+/// Process-wide default for EngineOptions::thermal. Seeded at startup from
+/// CORUN_THERMAL (on|1 / off|0) when set; tools override it from
+/// `--thermal`; library callers can override per engine. Defaults to off —
+/// the thermal model is strictly opt-in and the disabled path is the
+/// pre-thermal engine bit for bit.
+[[nodiscard]] bool default_thermal() noexcept;
+void set_default_thermal(bool enabled) noexcept;
+
+/// Parses "on"/"1"/"off"/"0" (as accepted by the tools' --thermal flag and
+/// CORUN_THERMAL).
+[[nodiscard]] Expected<bool> parse_thermal(const std::string& text);
+
 struct EngineOptions {
   EngineMode mode = default_engine_mode();  ///< stepping policy
   Seconds dt = 0.01;                ///< simulation tick
@@ -121,6 +133,12 @@ struct EngineOptions {
   /// of the suite uses). A window tolerates short bursts above the cap as
   /// long as the average fits — the PL1 semantics of real RAPL.
   Seconds cap_window = 0.0;
+
+  /// Engage the RC thermal network and the temperature-triggered throttle
+  /// governor (MachineConfig::thermal holds the constants; docs/thermal.md
+  /// the semantics). Temperatures advance bit-identically across stepping
+  /// modes; off (the default) leaves every trajectory untouched.
+  bool thermal = default_thermal();
 };
 
 /// Abstract machine backend. See the file comment for the three

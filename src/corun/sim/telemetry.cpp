@@ -42,6 +42,8 @@ void Telemetry::record_interval(std::size_t ticks, Seconds dt,
 
 void Telemetry::clear() {
   samples_.clear();
+  thermal_samples_.clear();
+  thermal_stats_ = ThermalStats{};
   cap_stats_ = CapViolationStats{};
   energy_ = 0.0;
   cpu_busy_ = 0.0;

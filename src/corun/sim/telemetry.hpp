@@ -3,7 +3,9 @@
 // The Fig. 8/9 experiments read these records directly.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "corun/common/units.hpp"
@@ -36,6 +38,29 @@ struct CapViolationStats {
   }
 };
 
+/// One sampled observation of the thermal state. Recorded beside every
+/// PowerSample when the thermal model is enabled (same cadence, equal
+/// lengths — zip by index); empty when thermal is off.
+struct ThermalSample {
+  Seconds t = 0.0;
+  double cpu_c = 0.0;
+  double gpu_c = 0.0;
+  double package_c = 0.0;
+  FreqLevel cpu_limit = 0;  ///< throttle-governor allowance at sample time
+  FreqLevel gpu_limit = 0;
+};
+
+/// Aggregated thermal statistics over a run. All zero when thermal is off.
+struct ThermalStats {
+  double peak_cpu_c = 0.0;
+  double peak_gpu_c = 0.0;
+  double peak_package_c = 0.0;
+  /// Integrated time with a throttle allowance below a domain ceiling.
+  Seconds throttled_time = 0.0;
+  std::uint64_t trips = 0;     ///< throttle down-steps taken
+  std::uint64_t releases = 0;  ///< allowance up-steps taken
+};
+
 /// Accumulating recorder; owned by the engine, readable by callers.
 class Telemetry {
  public:
@@ -50,8 +75,32 @@ class Telemetry {
                        bool cpu_busy, bool gpu_busy, Watts cap,
                        bool cap_active);
 
+  void record_thermal_sample(const ThermalSample& sample) {
+    thermal_samples_.push_back(sample);
+  }
+  /// Per-tick thermal accounting: peak tracking and throttled-time
+  /// integration. Called once per tick by every stepping mode with the same
+  /// post-advance temperatures, so the aggregates are mode-identical.
+  void note_thermal_tick(double cpu_c, double gpu_c, double package_c,
+                         bool throttled, Seconds dt) noexcept {
+    thermal_stats_.peak_cpu_c = std::max(thermal_stats_.peak_cpu_c, cpu_c);
+    thermal_stats_.peak_gpu_c = std::max(thermal_stats_.peak_gpu_c, gpu_c);
+    thermal_stats_.peak_package_c =
+        std::max(thermal_stats_.peak_package_c, package_c);
+    if (throttled) thermal_stats_.throttled_time += dt;
+  }
+  void note_thermal_trip() noexcept { ++thermal_stats_.trips; }
+  void note_thermal_release() noexcept { ++thermal_stats_.releases; }
+
   [[nodiscard]] const std::vector<PowerSample>& samples() const noexcept {
     return samples_;
+  }
+  [[nodiscard]] const std::vector<ThermalSample>& thermal_samples()
+      const noexcept {
+    return thermal_samples_;
+  }
+  [[nodiscard]] const ThermalStats& thermal_stats() const noexcept {
+    return thermal_stats_;
   }
   [[nodiscard]] const CapViolationStats& cap_stats() const noexcept {
     return cap_stats_;
@@ -68,6 +117,8 @@ class Telemetry {
 
  private:
   std::vector<PowerSample> samples_;
+  std::vector<ThermalSample> thermal_samples_;
+  ThermalStats thermal_stats_;
   CapViolationStats cap_stats_;
   Joules energy_ = 0.0;
   Seconds cpu_busy_ = 0.0;

@@ -1,0 +1,198 @@
+#include "corun/sim/thermal.hpp"
+
+#include <cmath>
+
+#include "corun/common/check.hpp"
+
+namespace corun::sim {
+
+namespace {
+
+using Mat3 = std::array<std::array<double, kThermalNodes>, kThermalNodes>;
+
+Mat3 identity() {
+  Mat3 out{};
+  for (int i = 0; i < kThermalNodes; ++i) out[i][i] = 1.0;
+  return out;
+}
+
+Mat3 multiply(const Mat3& lhs, const Mat3& rhs) {
+  Mat3 out{};
+  for (int i = 0; i < kThermalNodes; ++i) {
+    for (int j = 0; j < kThermalNodes; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < kThermalNodes; ++k) sum += lhs[i][k] * rhs[k][j];
+      out[i][j] = sum;
+    }
+  }
+  return out;
+}
+
+ThermalVec apply(const Mat3& m, const ThermalVec& v) {
+  ThermalVec out{};
+  for (int i = 0; i < kThermalNodes; ++i) {
+    out[i] = m[i][0] * v[0] + m[i][1] * v[1] + m[i][2] * v[2];
+  }
+  return out;
+}
+
+}  // namespace
+
+ThermalNetwork::ThermalNetwork(const ThermalParams& params, Seconds dt)
+    : params_(params), dt_(dt) {
+  CORUN_CHECK(dt > 0.0);
+  CORUN_CHECK(params.c_cpu > 0.0 && params.c_gpu > 0.0 && params.c_pkg > 0.0);
+  CORUN_CHECK(params.g_cp > 0.0 && params.g_gp > 0.0 && params.g_pa > 0.0);
+  CORUN_CHECK(params.g_cg >= 0.0);
+
+  // Continuous dynamics: C·dT/dt = (conductance flows) + u, rewritten as
+  // dT/dt = M·T + C⁻¹·u + (g_pa·T_amb/c_pkg)·e_pkg.
+  const ThermalParams& p = params_;
+  m_[0][0] = -(p.g_cp + p.g_cg) / p.c_cpu;
+  m_[0][1] = p.g_cg / p.c_cpu;
+  m_[0][2] = p.g_cp / p.c_cpu;
+  m_[1][0] = p.g_cg / p.c_gpu;
+  m_[1][1] = -(p.g_gp + p.g_cg) / p.c_gpu;
+  m_[1][2] = p.g_gp / p.c_gpu;
+  m_[2][0] = p.g_cp / p.c_pkg;
+  m_[2][1] = p.g_gp / p.c_pkg;
+  m_[2][2] = -(p.g_cp + p.g_gp + p.g_pa) / p.c_pkg;
+
+  // Exact discrete map over one tick: T' = A·T + B·w with A = expm(M·dt)
+  // and B = ∫₀^dt expm(M·s) ds, w the constant forcing over the tick.
+  // Scaling and squaring: Taylor-sum both series at h = dt/2^k where
+  // ||M·h|| is small, then double k times with the affine composition
+  // A_{2h} = A_h², B_{2h} = A_h·B_h + B_h.
+  double norm = 0.0;
+  for (int i = 0; i < kThermalNodes; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < kThermalNodes; ++j) row += std::abs(m_[i][j]);
+    norm = std::max(norm, row);
+  }
+  int k = 0;
+  double scaled = norm * dt;
+  while (scaled > 0.0625 && k < 60) {
+    scaled *= 0.5;
+    ++k;
+  }
+  const double h = dt / static_cast<double>(std::uint64_t{1} << k);
+
+  Mat3 a = identity();
+  Mat3 b{};
+  Mat3 term = identity();  // (M·h)^j / j!
+  for (int i = 0; i < kThermalNodes; ++i) b[i][i] = h;  // j = 0 term of B
+  for (int j = 1; j <= 20; ++j) {
+    term = multiply(term, m_);
+    const double scale = h / static_cast<double>(j);
+    for (int r = 0; r < kThermalNodes; ++r) {
+      for (int c = 0; c < kThermalNodes; ++c) term[r][c] *= scale;
+    }
+    const double b_scale = h / static_cast<double>(j + 1);
+    for (int r = 0; r < kThermalNodes; ++r) {
+      for (int c = 0; c < kThermalNodes; ++c) {
+        a[r][c] += term[r][c];
+        b[r][c] += term[r][c] * b_scale;
+      }
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    b = [&] {
+      Mat3 ab = multiply(a, b);
+      for (int r = 0; r < kThermalNodes; ++r) {
+        for (int c = 0; c < kThermalNodes; ++c) ab[r][c] += b[r][c];
+      }
+      return ab;
+    }();
+    a = multiply(a, a);
+  }
+  a_ = a;
+
+  // Fold C⁻¹ (power -> temperature forcing) and the constant ambient term
+  // into the injection operator so the per-tick b is three multiply-adds
+  // per node from the cached domain powers.
+  const double inv_c[kThermalNodes] = {1.0 / p.c_cpu, 1.0 / p.c_gpu,
+                                       1.0 / p.c_pkg};
+  for (int i = 0; i < kThermalNodes; ++i) {
+    for (int j = 0; j < kThermalNodes; ++j) {
+      bcinv_[i][j] = b[i][j] * inv_c[j];
+    }
+    amb_b_[i] = b[i][kThermalPackage] * (p.g_pa * p.ambient_c / p.c_pkg);
+  }
+}
+
+ThermalVec ThermalNetwork::advance(const ThermalVec& temps, const ThermalVec& b,
+                                   std::uint64_t ticks) const {
+  // f(T) = A·T + b iterated `ticks` times by binary powering of the affine
+  // map: (P,q)∘(R,r) = (P·R, P·r + q). All factors are powers of the same
+  // map, so composition order is immaterial.
+  Mat3 pow_mat = a_;
+  ThermalVec pow_vec = b;
+  Mat3 acc_mat = identity();
+  ThermalVec acc_vec{};
+  std::uint64_t n = ticks;
+  while (n > 0) {
+    if (n & 1) {
+      ThermalVec v = apply(pow_mat, acc_vec);
+      for (int i = 0; i < kThermalNodes; ++i) acc_vec[i] = v[i] + pow_vec[i];
+      acc_mat = multiply(pow_mat, acc_mat);
+    }
+    n >>= 1;
+    if (n > 0) {
+      ThermalVec v = apply(pow_mat, pow_vec);
+      for (int i = 0; i < kThermalNodes; ++i) pow_vec[i] = v[i] + pow_vec[i];
+      pow_mat = multiply(pow_mat, pow_mat);
+    }
+  }
+  ThermalVec out = apply(acc_mat, temps);
+  for (int i = 0; i < kThermalNodes; ++i) out[i] += acc_vec[i];
+  return out;
+}
+
+ThermalVec ThermalNetwork::steady_state(const ThermalVec& b) const {
+  // Solve (I - A)·T = b by Gaussian elimination with partial pivoting. M is
+  // Hurwitz (every node leaks to ambient directly or transitively), so
+  // I - A is nonsingular.
+  double aug[kThermalNodes][kThermalNodes + 1];
+  for (int i = 0; i < kThermalNodes; ++i) {
+    for (int j = 0; j < kThermalNodes; ++j) {
+      aug[i][j] = (i == j ? 1.0 : 0.0) - a_[i][j];
+    }
+    aug[i][kThermalNodes] = b[i];
+  }
+  for (int col = 0; col < kThermalNodes; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < kThermalNodes; ++row) {
+      if (std::abs(aug[row][col]) > std::abs(aug[pivot][col])) pivot = row;
+    }
+    for (int j = col; j <= kThermalNodes; ++j) {
+      std::swap(aug[col][j], aug[pivot][j]);
+    }
+    CORUN_CHECK_MSG(std::abs(aug[col][col]) > 1e-300,
+                    "singular thermal steady-state system");
+    for (int row = col + 1; row < kThermalNodes; ++row) {
+      const double f = aug[row][col] / aug[col][col];
+      for (int j = col; j <= kThermalNodes; ++j) aug[row][j] -= f * aug[col][j];
+    }
+  }
+  ThermalVec out{};
+  for (int i = kThermalNodes - 1; i >= 0; --i) {
+    double sum = aug[i][kThermalNodes];
+    for (int j = i + 1; j < kThermalNodes; ++j) sum -= aug[i][j] * out[j];
+    out[i] = sum / aug[i][i];
+  }
+  return out;
+}
+
+ThermalVec ThermalNetwork::derivative(const ThermalVec& temps, Watts cpu_power,
+                                      Watts gpu_power,
+                                      Watts uncore_power) const noexcept {
+  const ThermalParams& p = params_;
+  ThermalVec d = apply(m_, temps);
+  d[kThermalCpu] += cpu_power / p.c_cpu;
+  d[kThermalGpu] += gpu_power / p.c_gpu;
+  d[kThermalPackage] +=
+      uncore_power / p.c_pkg + p.g_pa * p.ambient_c / p.c_pkg;
+  return d;
+}
+
+}  // namespace corun::sim

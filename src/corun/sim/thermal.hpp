@@ -1,0 +1,133 @@
+// Lumped RC thermal network for the integrated package (Dev et al.,
+// arXiv:1808.09651): three temperature nodes — the CPU module, the GPU
+// module, and the shared package/heat-spreader node — coupled to each other
+// and to an ambient sink through thermal conductances, each with its own
+// heat capacity. Domain power dissipates into its module node, uncore power
+// into the package node.
+//
+// The continuous dynamics are linear, dT/dt = M·T + C⁻¹·u + (ambient term),
+// so one simulation tick has an *exact* discrete map T' = A·T + b with
+// A = expm(M·dt) and b an affine function of the tick's per-domain powers.
+// ThermalNetwork precomputes A (and the power-to-b operator) once at
+// construction; stepping a tick is nine multiply-adds. Because the map is
+// deterministic and the injected powers are exactly the values the dynamics
+// cache already holds per event horizon, the temperature trajectory is
+// bit-identical across the tick, event, and analytic stepping modes — the
+// same contract DynamicsCache keeps for job progress. See docs/thermal.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "corun/common/units.hpp"
+
+namespace corun::sim {
+
+/// Node indices of the RC network (and of ThermalVec).
+inline constexpr int kThermalCpu = 0;
+inline constexpr int kThermalGpu = 1;
+inline constexpr int kThermalPackage = 2;
+inline constexpr int kThermalNodes = 3;
+
+/// Temperatures (or any per-node vector) in network-node order.
+using ThermalVec = std::array<double, kThermalNodes>;
+
+/// Physical constants of the network plus the throttle governor's policy
+/// knobs. Defaults are the calibrated Ivy Bridge mobile package: a small
+/// fast CPU/GPU pole (~1.4 s) over a slow package/heat-spreader pole
+/// (c_pkg/g_pa = 25 s), trip points placed so the machine throttles under
+/// sustained uncapped full load but never at the paper's 15 W cap.
+struct ThermalParams {
+  double c_cpu = 2.5;   ///< CPU module heat capacity (J/K)
+  double c_gpu = 2.5;   ///< GPU module heat capacity (J/K)
+  double c_pkg = 20.0;  ///< package/heat-spreader heat capacity (J/K)
+  double g_cp = 1.5;    ///< CPU<->package conductance (W/K)
+  double g_gp = 1.5;    ///< GPU<->package conductance (W/K)
+  double g_cg = 0.25;   ///< direct CPU<->GPU die coupling (W/K)
+  double g_pa = 0.8;    ///< package->ambient conductance (W/K)
+  double ambient_c = 40.0;  ///< ambient sink temperature (deg C)
+
+  double cpu_trip_c = 90.0;  ///< CPU throttle trip point (deg C)
+  double gpu_trip_c = 85.0;  ///< GPU throttle trip point (deg C)
+  /// Release threshold is trip - hysteresis; between the two thresholds the
+  /// throttle holds its level (the dead band that prevents chatter).
+  double hysteresis_c = 5.0;
+  Seconds throttle_interval = 0.2;  ///< min spacing between down-steps
+  Seconds release_interval = 2.0;   ///< min spacing between up-steps
+
+  /// Slowest pole of the network — the scale on which cap-drop transients
+  /// decay (the Fig-9-style overshoot validation asserts against it).
+  [[nodiscard]] Seconds package_time_constant() const noexcept {
+    return c_pkg / g_pa;
+  }
+};
+
+/// The precomputed exact per-tick map of the RC network. Immutable after
+/// construction; the engine owns the temperature state.
+class ThermalNetwork {
+ public:
+  /// Builds A = expm(M·dt) and the injection operator for tick length `dt`
+  /// by scaling-and-squaring (Taylor series at dt/2^k, then k affine
+  /// doublings) — accurate to machine epsilon, computed once.
+  ThermalNetwork(const ThermalParams& params, Seconds dt);
+
+  /// The affine constant of one tick given the tick's dissipated powers:
+  /// step() advances T' = A·T + injection(...). Deterministic, so cached
+  /// per event horizon exactly like the per-job advance constants.
+  [[nodiscard]] ThermalVec injection(Watts cpu_power, Watts gpu_power,
+                                     Watts uncore_power) const noexcept {
+    ThermalVec b;
+    for (int i = 0; i < kThermalNodes; ++i) {
+      b[i] = ((amb_b_[i] + bcinv_[i][0] * cpu_power) +
+              bcinv_[i][1] * gpu_power) +
+             bcinv_[i][2] * uncore_power;
+    }
+    return b;
+  }
+
+  /// One exact tick: T' = A·T + b. Fixed evaluation order so every stepping
+  /// mode performs the identical flops (the bit-identity contract).
+  [[nodiscard]] ThermalVec step(const ThermalVec& temps,
+                                const ThermalVec& b) const noexcept {
+    ThermalVec out;
+    for (int i = 0; i < kThermalNodes; ++i) {
+      out[i] = ((a_[i][0] * temps[0] + a_[i][1] * temps[1]) +
+                a_[i][2] * temps[2]) +
+               b[i];
+    }
+    return out;
+  }
+
+  /// `ticks` steps under a constant injection, closed-formed by binary
+  /// powering of the affine map — O(log ticks). Matches the stepped chain
+  /// to ~1e-12 relative (it rounds differently); used by tests and the
+  /// horizon-advance benchmark, not by the engine's bit-identical path.
+  [[nodiscard]] ThermalVec advance(const ThermalVec& temps, const ThermalVec& b,
+                                   std::uint64_t ticks) const;
+
+  /// Fixed point of the per-tick map: the temperatures a constant injection
+  /// converges to (solves (I - A)·T = b).
+  [[nodiscard]] ThermalVec steady_state(const ThermalVec& b) const;
+
+  /// Continuous-time dT/dt at `temps` under the given powers — the ground
+  /// truth the closed-form map is validated against by fine RK4 integration
+  /// in tests/sim/test_thermal.cpp.
+  [[nodiscard]] ThermalVec derivative(const ThermalVec& temps, Watts cpu_power,
+                                      Watts gpu_power,
+                                      Watts uncore_power) const noexcept;
+
+  [[nodiscard]] const ThermalParams& params() const noexcept { return params_; }
+  [[nodiscard]] Seconds dt() const noexcept { return dt_; }
+
+ private:
+  using Mat3 = std::array<std::array<double, kThermalNodes>, kThermalNodes>;
+
+  ThermalParams params_;
+  Seconds dt_ = 0.0;
+  Mat3 m_{};      ///< continuous system matrix (dT/dt = M·T + ...)
+  Mat3 a_{};      ///< expm(M·dt)
+  Mat3 bcinv_{};  ///< (∫₀^dt expm(M·s) ds)·C⁻¹ — power-to-b operator
+  ThermalVec amb_b_{};  ///< constant ambient part of b
+};
+
+}  // namespace corun::sim

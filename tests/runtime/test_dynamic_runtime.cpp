@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "../support/fixtures.hpp"
 #include "corun/common/task_pool.hpp"
@@ -270,6 +272,67 @@ TEST(DynamicRuntimeRepair, RepairOnAndOffAreByteIdentical) {
   EXPECT_EQ(r_off.plan_repairs, 0u);
   EXPECT_EQ(r_off.repair_fallbacks, 0u);
   EXPECT_LE(r_on.repair_fallbacks, r_on.plan_repairs);
+}
+
+/// digest() plus the thermal trace: temperatures and throttle allowances
+/// join the byte-identity contract when the thermal model is on.
+std::string thermal_digest(const DynamicReport& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << digest(r);
+  os << r.report.thermal.trips << ',' << r.report.thermal.releases << ','
+     << r.report.thermal.peak_cpu_c << ',' << r.report.thermal.peak_gpu_c
+     << ',' << r.report.thermal.peak_package_c << ','
+     << r.report.thermal.throttled_time << '\n';
+  for (const sim::ThermalSample& s : r.report.thermal_trace) {
+    os << s.t << ',' << s.cpu_c << ',' << s.gpu_c << ',' << s.package_c << ','
+       << s.cpu_limit << ',' << s.gpu_limit << '\n';
+  }
+  return os.str();
+}
+
+TEST(DynamicRuntimeThermal, ByteIdenticalAcrossModesWorkersAndCacheState) {
+  // The thermal model must not loosen the dynamic layer's determinism
+  // property: with it enabled, the full report — now including the
+  // temperature trace — stays byte-identical across engine modes, task-pool
+  // widths, and plan-cache state.
+  const auto plan = sim::generate_fault_plan_from_spec(
+      "random:arrivals=1,caps=2,horizon=60,seed=29,programs=hotspot+lud");
+  ASSERT_TRUE(plan.has_value());
+  DynamicOptions o = base_options();
+  o.thermal = true;
+  o.engine_mode = sim::EngineMode::kEvent;
+  const std::string baseline = thermal_digest(run(o, plan.value()));
+
+  DynamicOptions tick = o;
+  tick.engine_mode = sim::EngineMode::kTick;
+  EXPECT_EQ(baseline, thermal_digest(run(tick, plan.value())));
+
+  common::set_default_jobs(1);
+  const std::string one = thermal_digest(run(o, plan.value()));
+  common::set_default_jobs(4);
+  const std::string four = thermal_digest(run(o, plan.value()));
+  common::set_default_jobs(0);
+  EXPECT_EQ(baseline, one);
+  EXPECT_EQ(one, four);
+
+  DynamicOptions cached = o;
+  cached.plan_cache = std::make_shared<sched::PlanCache>(sched::PlanCacheConfig{});
+  // Twice through the same cache: the second run replans from exact hits.
+  EXPECT_EQ(baseline, thermal_digest(run(cached, plan.value())));
+  EXPECT_EQ(baseline, thermal_digest(run(cached, plan.value())));
+}
+
+TEST(DynamicRuntimeThermal, OffLeavesReportUntouched) {
+  const auto plan = sim::generate_fault_plan_from_spec(
+      "random:caps=1,horizon=40,seed=7,programs=hotspot");
+  ASSERT_TRUE(plan.has_value());
+  DynamicOptions off = base_options();
+  off.thermal = false;
+  const DynamicReport r = run(off, plan.value());
+  EXPECT_TRUE(r.report.thermal_trace.empty());
+  EXPECT_EQ(r.report.thermal.trips, 0u);
+  EXPECT_EQ(r.report.thermal.throttled_time, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,106 @@
+#include "corun/core/sched/thermal_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../support/fixtures.hpp"
+#include "corun/core/sched/hcs.hpp"
+#include "corun/core/sched/registry.hpp"
+
+namespace corun::sched {
+namespace {
+
+using corun::testing::eight_program_fixture;
+
+TEST(ThermalScheduler, RegistryResolvesIt) {
+  const auto scheduler = make_scheduler("thermal", 42);
+  ASSERT_NE(scheduler, nullptr);
+  EXPECT_EQ(scheduler->name(), "HCS+thermal");
+  bool listed = false;
+  for (const std::string& n : scheduler_names()) listed |= n == "thermal";
+  EXPECT_TRUE(listed);
+}
+
+TEST(ThermalScheduler, PlanIsValidAndDeterministic) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  ThermalAwareScheduler scheduler;
+  const Schedule a = scheduler.plan(ctx);
+  EXPECT_NO_THROW(a.validate(8));
+  EXPECT_EQ(a.job_count(), 8u);
+  const Schedule b = scheduler.plan(ctx);
+  EXPECT_EQ(a.to_string(ctx.job_names()), b.to_string(ctx.job_names()));
+}
+
+TEST(ThermalScheduler, KeepsHcsPlacementAndLevels) {
+  // Only queue order may change: the same (job, level) multiset must land
+  // on the same device as plain HCS, so cap feasibility is inherited.
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  HcsScheduler hcs;
+  ThermalAwareScheduler thermal;
+  const Schedule base = hcs.plan(ctx);
+  const Schedule reordered = thermal.plan(ctx);
+  const auto as_multiset = [](std::vector<ScheduledJob> q) {
+    std::sort(q.begin(), q.end(), [](const auto& a, const auto& b) {
+      return a.job != b.job ? a.job < b.job : a.level < b.level;
+    });
+    return q;
+  };
+  const auto eq = [&](const std::vector<ScheduledJob>& a,
+                      const std::vector<ScheduledJob>& b) {
+    const auto sa = as_multiset(a);
+    const auto sb = as_multiset(b);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].job, sb[i].job);
+      EXPECT_EQ(sa[i].level, sb[i].level);
+    }
+  };
+  eq(base.cpu, reordered.cpu);
+  eq(base.gpu, reordered.gpu);
+  ASSERT_EQ(base.solo.size(), reordered.solo.size());
+}
+
+TEST(ThermalScheduler, QueuesAreHeatSpacedAndAntiCorrelated) {
+  const auto& f = eight_program_fixture();
+  const auto ctx = f.context(15.0);
+  ThermalAwareScheduler scheduler;
+  const Schedule s = scheduler.plan(ctx);
+
+  const auto heats = [&](const std::vector<ScheduledJob>& q,
+                         sim::DeviceKind device) {
+    std::vector<double> h;
+    h.reserve(q.size());
+    for (const ScheduledJob& j : q) {
+      h.push_back(ThermalAwareScheduler::heat(ctx, j.job, device, j.level));
+    }
+    return h;
+  };
+  const std::vector<double> cpu = heats(s.cpu, sim::DeviceKind::kCpu);
+  const std::vector<double> gpu = heats(s.gpu, sim::DeviceKind::kGpu);
+
+  // CPU leads with its hottest job, GPU with its coolest.
+  if (cpu.size() >= 2) {
+    for (const double h : cpu) EXPECT_GE(cpu.front(), h);
+  }
+  if (gpu.size() >= 2) {
+    for (const double h : gpu) EXPECT_LE(gpu.front(), h);
+  }
+  // Hot/cool alternation: position 1 holds the queue's coolest entry when
+  // the queue leads hot (and the mirror for the GPU).
+  if (cpu.size() >= 2) {
+    for (const double h : cpu) EXPECT_LE(cpu[1], h);
+  }
+  if (gpu.size() >= 2) {
+    for (const double h : gpu) EXPECT_GE(gpu[1], h);
+  }
+}
+
+}  // namespace
+}  // namespace corun::sched

@@ -1,0 +1,316 @@
+// The RC thermal network and its engine integration.
+//
+//  - The closed-form per-tick map (A = expm(M·dt)) is validated against
+//    fine RK4 integration of the continuous ODE to 1e-9.
+//  - advance() (binary powering) must match the stepped chain, and
+//    steady_state() must be a fixed point of the map.
+//  - With thermal enabled, tick and event stepping stay bit-identical and
+//    the analytic backend stays within the usual 1e-9 envelope — the same
+//    contract the engine keeps for job progress (expect_equivalent.hpp).
+//  - The throttle governor engages under sustained load, releases on
+//    cooldown, and never chatters inside the hysteresis dead band.
+//  - A cap drop from a hot steady state decays the package transient on the
+//    RC time constant (the Fig-9-style overshoot check).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "corun/sim/engine.hpp"
+#include "corun/sim/machine.hpp"
+#include "corun/sim/scenario_corpus.hpp"
+#include "corun/sim/thermal.hpp"
+#include "expect_equivalent.hpp"
+
+namespace corun::sim {
+namespace {
+
+// --- closed-form map vs the continuous ODE ---
+
+TEST(ThermalNetwork, ClosedFormMatchesFineRk4Integration) {
+  const ThermalParams p;
+  const Seconds dt = 0.01;
+  const ThermalNetwork net(p, dt);
+  const Watts cpu = 6.0, gpu = 4.0, uncore = 2.0;
+  const ThermalVec b = net.injection(cpu, gpu, uncore);
+
+  ThermalVec exact = {p.ambient_c, p.ambient_c, p.ambient_c};
+  ThermalVec rk4 = exact;
+  const int substeps = 200;
+  const double h = dt / substeps;
+  for (int tick = 0; tick < 500; ++tick) {
+    exact = net.step(exact, b);
+    for (int s = 0; s < substeps; ++s) {
+      const ThermalVec k1 = net.derivative(rk4, cpu, gpu, uncore);
+      ThermalVec mid;
+      for (int i = 0; i < kThermalNodes; ++i) mid[i] = rk4[i] + 0.5 * h * k1[i];
+      const ThermalVec k2 = net.derivative(mid, cpu, gpu, uncore);
+      for (int i = 0; i < kThermalNodes; ++i) mid[i] = rk4[i] + 0.5 * h * k2[i];
+      const ThermalVec k3 = net.derivative(mid, cpu, gpu, uncore);
+      for (int i = 0; i < kThermalNodes; ++i) mid[i] = rk4[i] + h * k3[i];
+      const ThermalVec k4 = net.derivative(mid, cpu, gpu, uncore);
+      for (int i = 0; i < kThermalNodes; ++i) {
+        rk4[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+      }
+    }
+  }
+  for (int i = 0; i < kThermalNodes; ++i) {
+    EXPECT_NEAR(exact[i], rk4[i], 1e-9) << "node " << i;
+  }
+}
+
+TEST(ThermalNetwork, AdvanceMatchesSteppedChain) {
+  const ThermalNetwork net(ThermalParams{}, 0.01);
+  const ThermalVec b = net.injection(5.0, 3.0, 2.0);
+  ThermalVec stepped = {45.0, 50.0, 42.0};
+  const ThermalVec start = stepped;
+  const std::uint64_t ticks = 4097;  // not a power of two
+  for (std::uint64_t t = 0; t < ticks; ++t) stepped = net.step(stepped, b);
+  const ThermalVec bulk = net.advance(start, b, ticks);
+  for (int i = 0; i < kThermalNodes; ++i) {
+    EXPECT_NEAR(bulk[i], stepped[i], 1e-9) << "node " << i;
+  }
+  // Zero ticks is the identity.
+  const ThermalVec none = net.advance(start, b, 0);
+  for (int i = 0; i < kThermalNodes; ++i) EXPECT_EQ(none[i], start[i]);
+}
+
+TEST(ThermalNetwork, SteadyStateIsFixedPointAndAmbientWhenUnpowered) {
+  const ThermalParams p;
+  const ThermalNetwork net(p, 0.01);
+  const ThermalVec b = net.injection(8.0, 5.0, 2.0);
+  const ThermalVec fixed = net.steady_state(b);
+  const ThermalVec stepped = net.step(fixed, b);
+  for (int i = 0; i < kThermalNodes; ++i) {
+    EXPECT_NEAR(stepped[i], fixed[i], 1e-9) << "node " << i;
+    EXPECT_GT(fixed[i], p.ambient_c);  // powered nodes sit above ambient
+  }
+  const ThermalVec idle = net.steady_state(net.injection(0.0, 0.0, 0.0));
+  for (int i = 0; i < kThermalNodes; ++i) {
+    EXPECT_NEAR(idle[i], p.ambient_c, 1e-9) << "node " << i;
+  }
+}
+
+TEST(ThermalNetwork, RelaxesToAmbientUnpowered) {
+  const ThermalParams p;
+  const ThermalNetwork net(p, 0.01);
+  const ThermalVec b = net.injection(0.0, 0.0, 0.0);
+  // 40 package time constants: any initial condition is long forgotten.
+  const auto ticks = static_cast<std::uint64_t>(
+      40.0 * p.package_time_constant() / 0.01);
+  const ThermalVec cooled = net.advance({95.0, 90.0, 80.0}, b, ticks);
+  for (int i = 0; i < kThermalNodes; ++i) {
+    EXPECT_NEAR(cooled[i], p.ambient_c, 1e-6) << "node " << i;
+  }
+}
+
+// --- engine integration ---
+
+/// Ivy Bridge with the thermals turned hostile: low trip points, small
+/// capacities, and fast throttle clocks, so a few simulated seconds of load
+/// exercise trip, clamp, and release.
+MachineConfig hot_machine() {
+  MachineConfig config = ivy_bridge();
+  config.thermal.c_cpu = 1.0;
+  config.thermal.c_gpu = 1.0;
+  config.thermal.c_pkg = 5.0;
+  config.thermal.cpu_trip_c = 55.0;
+  config.thermal.gpu_trip_c = 52.0;
+  config.thermal.throttle_interval = 0.05;
+  config.thermal.release_interval = 0.5;
+  return config;
+}
+
+Engine execute_thermal(const Scenario& s, EngineMode mode) {
+  EngineOptions options = s.options;
+  options.mode = mode;
+  options.thermal = true;
+  Engine engine(hot_machine(), options);
+  run_scenario(s, engine);
+  return engine;
+}
+
+/// Thermal-side counterpart of expect_equivalent: every temperature sample,
+/// every throttle-limit decision, and the aggregate stats must agree.
+void expect_thermal_equivalent(const Engine& oracle, const Engine& candidate) {
+  const Telemetry& tt = oracle.telemetry();
+  const Telemetry& et = candidate.telemetry();
+  EXPECT_EQ(tt.thermal_stats().trips, et.thermal_stats().trips);
+  EXPECT_EQ(tt.thermal_stats().releases, et.thermal_stats().releases);
+  EXPECT_NEAR(tt.thermal_stats().peak_cpu_c, et.thermal_stats().peak_cpu_c,
+              kEquivTol);
+  EXPECT_NEAR(tt.thermal_stats().peak_gpu_c, et.thermal_stats().peak_gpu_c,
+              kEquivTol);
+  EXPECT_NEAR(tt.thermal_stats().peak_package_c,
+              et.thermal_stats().peak_package_c, kEquivTol);
+  EXPECT_NEAR(tt.thermal_stats().throttled_time,
+              et.thermal_stats().throttled_time, kEquivTol);
+  ASSERT_EQ(tt.thermal_samples().size(), et.thermal_samples().size());
+  for (std::size_t i = 0; i < tt.thermal_samples().size(); ++i) {
+    const ThermalSample& a = tt.thermal_samples()[i];
+    const ThermalSample& b = et.thermal_samples()[i];
+    EXPECT_NEAR(a.t, b.t, kEquivTol) << "sample " << i;
+    EXPECT_NEAR(a.cpu_c, b.cpu_c, kEquivTol) << "sample " << i;
+    EXPECT_NEAR(a.gpu_c, b.gpu_c, kEquivTol) << "sample " << i;
+    EXPECT_NEAR(a.package_c, b.package_c, kEquivTol) << "sample " << i;
+    EXPECT_EQ(a.cpu_limit, b.cpu_limit) << "sample " << i;
+    EXPECT_EQ(a.gpu_limit, b.gpu_limit) << "sample " << i;
+  }
+}
+
+class ThermalEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThermalEquivalence, SteppingModesAgreeWithThermalEnabled) {
+  const Scenario s = random_scenario(static_cast<std::uint64_t>(GetParam()));
+  const Engine tick = execute_thermal(s, EngineMode::kTick);
+  const Engine event = execute_thermal(s, EngineMode::kEvent);
+  const Engine analytic = execute_thermal(s, EngineMode::kAnalytic);
+  expect_equivalent(tick, event);
+  expect_thermal_equivalent(tick, event);
+  expect_equivalent(tick, analytic);
+  expect_thermal_equivalent(tick, analytic);
+}
+
+// The same randomized corpus the plain equivalence suites use, now run hot:
+// the aggressive trip points make most seeds throttle mid-scenario, so the
+// thermal-move horizon breaks are exercised, not just the quiet path.
+INSTANTIATE_TEST_SUITE_P(SeededScenarios, ThermalEquivalence,
+                         ::testing::Range(0, 20));
+
+JobSpec heavy_job(const std::string& name, Seconds dur) {
+  JobSpec spec;
+  spec.name = name;
+  spec.cpu = DeviceProfile({Phase{.dur_ref = dur, .compute_frac = 0.9,
+                                  .mem_bw = 6.0}});
+  spec.gpu = DeviceProfile({Phase{.dur_ref = dur, .compute_frac = 0.9,
+                                  .mem_bw = 6.0}});
+  return spec;
+}
+
+TEST(ThermalThrottle, EngagesUnderLoadAndRecovers) {
+  EngineOptions options;
+  options.seed = 3;
+  options.meter_noise_stddev = 0.0;
+  options.thermal = true;
+  Engine engine(hot_machine(), options);
+  engine.set_ceilings(15, 9);
+  engine.launch(heavy_job("burn_cpu", 20.0), DeviceKind::kCpu);
+  engine.launch(heavy_job("burn_gpu", 20.0), DeviceKind::kGpu);
+  engine.run_until_idle();
+  (void)engine.run_for(30.0);  // idle cooldown: limits hand back
+  const ThermalStats& st = engine.telemetry().thermal_stats();
+  EXPECT_GT(st.trips, 0u);
+  EXPECT_GT(st.releases, 0u);
+  EXPECT_GT(st.throttled_time, 0.0);
+  EXPECT_GT(st.peak_cpu_c, hot_machine().thermal.cpu_trip_c);
+}
+
+TEST(ThermalThrottle, HysteresisPreventsChatter) {
+  EngineOptions options;
+  options.seed = 5;
+  options.meter_noise_stddev = 0.0;
+  options.thermal = true;
+  options.sample_interval = options.dt;  // per-tick thermal samples
+  Engine engine(hot_machine(), options);
+  engine.set_ceilings(15, 9);
+  engine.launch(heavy_job("burn_cpu", 10.0), DeviceKind::kCpu);
+  engine.launch(heavy_job("burn_gpu", 10.0), DeviceKind::kGpu);
+  engine.run_until_idle();
+  (void)engine.run_for(30.0);
+
+  const ThermalParams& p = hot_machine().thermal;
+  const std::vector<ThermalSample>& trace = engine.telemetry().thermal_samples();
+  ASSERT_GT(trace.size(), 1u);
+  // A limit transition at sample i was decided from the temperatures of
+  // sample i-1 (the throttle check runs before the tick's thermal advance).
+  // Every down-step must see its domain above trip, every up-step below
+  // trip - hysteresis — nothing moves inside the dead band.
+  std::size_t downs = 0, ups = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const ThermalSample& prev = trace[i - 1];
+    const ThermalSample& cur = trace[i];
+    if (cur.cpu_limit < prev.cpu_limit) {
+      ++downs;
+      EXPECT_GT(prev.cpu_c, p.cpu_trip_c) << "sample " << i;
+    } else if (cur.cpu_limit > prev.cpu_limit) {
+      ++ups;
+      EXPECT_LT(prev.cpu_c, p.cpu_trip_c - p.hysteresis_c) << "sample " << i;
+    }
+    if (cur.gpu_limit < prev.gpu_limit) {
+      EXPECT_GT(prev.gpu_c, p.gpu_trip_c) << "sample " << i;
+    } else if (cur.gpu_limit > prev.gpu_limit) {
+      EXPECT_LT(prev.gpu_c, p.gpu_trip_c - p.hysteresis_c) << "sample " << i;
+    }
+  }
+  EXPECT_GT(downs, 0u);
+  EXPECT_GT(ups, 0u);
+}
+
+/// Fig-9-style transient: run a hot uncapped steady state, slam a low cap
+/// on, and watch the package temperature overshoot decay. The excess over
+/// the new steady state must fall by at least 1/e within one package time
+/// constant — the RC pole the network is built around.
+TEST(ThermalTransient, CapDropOvershootDecaysWithinTimeConstant) {
+  MachineConfig config = hot_machine();
+  config.thermal.cpu_trip_c = 200.0;  // disable throttling: pure RC response
+  config.thermal.gpu_trip_c = 200.0;
+  EngineOptions options;
+  options.seed = 9;
+  options.meter_noise_stddev = 0.0;
+  options.thermal = true;
+  options.policy = GovernorPolicy::kGpuBiased;
+  options.sample_interval = 0.1;
+  Engine engine(config, options);
+  engine.set_ceilings(15, 9);
+  engine.launch(heavy_job("burn_cpu", 500.0), DeviceKind::kCpu);
+  engine.launch(heavy_job("burn_gpu", 500.0), DeviceKind::kGpu);
+  // The transient's governing scale: seen from ambient the whole package is
+  // one lump once the fast module poles settle, so the slowest pole is the
+  // TOTAL heat capacity over the ambient conductance (slower than
+  // package_time_constant(), which ignores the module heat the package
+  // drains). The governor's ramp-down adds a little lag on top; the margin
+  // absorbs it.
+  const ThermalParams& p = config.thermal;
+  const Seconds tau = (p.c_cpu + p.c_gpu + p.c_pkg) / p.g_pa;
+  (void)engine.run_for(8.0 * tau);  // reach the hot steady state
+  const double hot = engine.telemetry().thermal_samples().back().package_c;
+
+  engine.set_power_cap(8.0);
+  const Seconds drop_at = engine.now();
+  (void)engine.run_for(8.0 * tau);  // settle at the capped steady state
+  const std::vector<ThermalSample>& trace = engine.telemetry().thermal_samples();
+  const double settled = trace.back().package_c;
+  ASSERT_LT(settled, hot);  // the cap sheds real power
+
+  // Temperature one time constant after the drop, and well after.
+  double after_tau = hot;
+  double after_5tau = hot;
+  for (const ThermalSample& s : trace) {
+    if (s.t >= drop_at + tau && after_tau == hot) after_tau = s.package_c;
+    if (s.t >= drop_at + 5.0 * tau) {
+      after_5tau = s.package_c;
+      break;
+    }
+  }
+  const double initial_excess = hot - settled;
+  const double remaining_excess = after_tau - settled;
+  EXPECT_LT(remaining_excess, initial_excess * (1.0 / std::exp(1.0) + 0.10));
+  EXPECT_GT(remaining_excess, 0.0);
+  EXPECT_LT(after_5tau - settled, initial_excess * 0.08);
+}
+
+TEST(ThermalOff, LeavesNoTrace) {
+  const Scenario s = random_scenario(13);
+  const Engine engine = execute_scenario(s, EngineMode::kEvent);
+  EXPECT_TRUE(engine.telemetry().thermal_samples().empty());
+  const ThermalStats& st = engine.telemetry().thermal_stats();
+  EXPECT_EQ(st.trips, 0u);
+  EXPECT_EQ(st.releases, 0u);
+  EXPECT_EQ(st.throttled_time, 0.0);
+  EXPECT_EQ(st.peak_cpu_c, 0.0);
+}
+
+}  // namespace
+}  // namespace corun::sim

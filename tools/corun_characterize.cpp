@@ -15,14 +15,15 @@ namespace {
 const char kUsage[] =
     "corun-characterize --out grid.csv [--axis-points 11] [--max-bw 11.0] "
     "[--seed 42] [--jobs N] [--engine event|tick] "
-    "[--backend event|analytic|replay:PATH] [--trace trace.json]";
+    "[--backend event|analytic|replay:PATH] [--thermal on|off] "
+    "[--trace trace.json]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags =
       Flags::parse(argc, argv, {"out", "axis-points", "max-bw", "seed", "jobs",
-                                "engine", "backend", "trace"});
+                                "engine", "backend", "thermal", "trace"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
   }
@@ -50,6 +51,10 @@ int main(int argc, char** argv) {
   const auto backend = tools::configure_backend(f);
   if (!backend.has_value()) {
     return tools::usage_error(backend.error().message, kUsage);
+  }
+  const auto thermal = tools::configure_thermal(f);
+  if (!thermal.has_value()) {
+    return tools::usage_error(thermal.error().message, kUsage);
   }
   const std::string trace_path = tools::configure_trace(f);
 

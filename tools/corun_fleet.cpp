@@ -24,9 +24,10 @@ const char kUsage[] =
     "marginal] [--events fleet.csv|random:dropouts=1,caps=1,waves=1,"
     "horizon=60,wave_jobs=4,seed=7] [--jobs-per-machine K] [--jobs-spread S] "
     "[--floor W] [--ceiling W] [--quantum W] [--seed 42] "
-    "[--scheduler hcs+|hcs|default|random|bnb] [--allocations] "
+    "[--scheduler hcs+|hcs|thermal|default|random|bnb] [--allocations] "
     "[--report-machines] [--jobs N] [--engine event|tick] "
-    "[--backend event|analytic|replay:PATH] [--trace trace.json] "
+    "[--backend event|analytic|replay:PATH] [--thermal on|off] "
+    "[--trace trace.json] "
     "[--plan-cache off|mem|mem:N|dir:PATH]\n"
     "CORUN_FLEET_STRATEGY sets the default --strategy.";
 }  // namespace
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"machines", "global-cap", "strategy", "events", "jobs-per-machine",
        "jobs-spread", "floor", "ceiling", "quantum", "seed", "scheduler",
-       "jobs", "engine", "backend", "trace", "plan-cache"},
+       "jobs", "engine", "backend", "thermal", "trace", "plan-cache"},
       {"allocations", "report-machines"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -51,6 +52,10 @@ int main(int argc, char** argv) {
   const auto backend = tools::configure_backend(f);
   if (!backend.has_value()) {
     return tools::usage_error(backend.error().message, kUsage);
+  }
+  const auto thermal = tools::configure_thermal(f);
+  if (!thermal.has_value()) {
+    return tools::usage_error(thermal.error().message, kUsage);
   }
   const std::string trace_path = tools::configure_trace(f);
   const auto plan_cache = tools::configure_plan_cache(f);

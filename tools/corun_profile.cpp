@@ -18,7 +18,7 @@ const char kUsage[] =
     "corun-profile --batch batch.csv --out profiles.csv [--online] "
     "[--sample-seconds 3.0] [--seed 42] [--cpu-levels 0,8] [--gpu-levels 0,5] "
     "[--jobs N] [--engine event|tick] [--backend event|analytic|replay:PATH] "
-    "[--trace trace.json]";
+    "[--thermal on|off] [--trace trace.json]";
 
 std::vector<corun::sim::FreqLevel> parse_levels(const std::string& csv) {
   std::vector<corun::sim::FreqLevel> levels;
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   const auto flags = Flags::parse(
       argc, argv,
       {"batch", "out", "sample-seconds", "seed", "cpu-levels", "gpu-levels",
-       "jobs", "engine", "backend", "trace"},
+       "jobs", "engine", "backend", "thermal", "trace"},
       {"online"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -66,6 +66,10 @@ int main(int argc, char** argv) {
   const auto backend = tools::configure_backend(f);
   if (!backend.has_value()) {
     return tools::usage_error(backend.error().message, kUsage);
+  }
+  const auto thermal = tools::configure_thermal(f);
+  if (!thermal.has_value()) {
+    return tools::usage_error(thermal.error().message, kUsage);
   }
   const std::string trace_path = tools::configure_trace(f);
 

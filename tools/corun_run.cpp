@@ -5,9 +5,12 @@
 //   corun-run --batch batch.csv --profiles profiles.csv --grid grid.csv
 //             [--cap 15] [--scheduler hcs+|hcs|default|random|bnb]
 //             [--policy gpu|cpu] [--seed 42] [--power-trace power.csv]
+#include <cstddef>
 #include <cstdio>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "corun/common/csv.hpp"
 #include "corun/common/flags.hpp"
@@ -23,12 +26,71 @@
 namespace {
 const char kUsage[] =
     "corun-run --batch batch.csv --profiles profiles.csv --grid grid.csv "
-    "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
+    "[--cap 15] [--scheduler hcs+|hcs|thermal|default|random|bnb|exhaustive] "
     "[--plan plan.csv] [--policy gpu|cpu] [--seed 42] "
     "[--events faults.csv|random:arrivals=2,caps=1,...] [--reschedule on|off] "
     "[--power-trace power.csv] [--gantt] [--jobs N] [--engine event|tick] "
-    "[--backend event|analytic|replay:PATH] [--record-trace demand.csv] "
+    "[--backend event|analytic|replay:PATH] [--thermal on|off] "
+    "[--record-trace demand.csv] "
     "[--trace trace.json] [--plan-cache off|mem|mem:N|dir:PATH]";
+
+/// Writes the --power-trace CSV shared by the static and dynamic paths.
+/// With thermal simulation on, per-domain temperature and throttle-limit
+/// columns are appended (the engine records both traces at the same sample
+/// cadence, so they zip by index); with it off the bytes are identical to
+/// what the tool emitted before the thermal model existed.
+int write_power_trace(const corun::Flags& f, bool thermal,
+                      const std::vector<corun::sim::PowerSample>& power,
+                      const std::vector<corun::sim::ThermalSample>& temps) {
+  using namespace corun;
+  std::ostringstream oss;
+  CsvWriter writer(oss);
+  std::vector<std::string> header = {"t_s",       "measured_w", "true_w",
+                                     "cpu_level", "gpu_level",  "cpu_bw",
+                                     "gpu_bw"};
+  if (thermal) {
+    header.insert(header.end(),
+                  {"cpu_c", "gpu_c", "package_c", "cpu_limit", "gpu_limit"});
+  }
+  writer.write_row(header);
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    const sim::PowerSample& s = power[i];
+    std::vector<std::string> row = {
+        std::to_string(s.t),          std::to_string(s.measured),
+        std::to_string(s.true_power), std::to_string(s.cpu_level),
+        std::to_string(s.gpu_level),  std::to_string(s.cpu_bw),
+        std::to_string(s.gpu_bw)};
+    if (thermal && i < temps.size()) {
+      const sim::ThermalSample& t = temps[i];
+      row.push_back(std::to_string(t.cpu_c));
+      row.push_back(std::to_string(t.gpu_c));
+      row.push_back(std::to_string(t.package_c));
+      row.push_back(std::to_string(t.cpu_limit));
+      row.push_back(std::to_string(t.gpu_limit));
+    }
+    writer.write_row(row);
+  }
+  if (!tools::write_file(f.get("power-trace", ""), oss.str())) {
+    std::fprintf(stderr, "error: cannot write '%s'\n",
+                 f.get("power-trace", "").c_str());
+    return 1;
+  }
+  std::printf("wrote power trace to %s (%zu samples)\n",
+              f.get("power-trace", "").c_str(), power.size());
+  return 0;
+}
+
+/// One-line thermal summary, printed only when the model is engaged so the
+/// default stdout stays byte-identical.
+void print_thermal_summary(bool thermal, const corun::sim::ThermalStats& st) {
+  if (!thermal) return;
+  std::printf(
+      "thermal:   peak cpu %.1fC gpu %.1fC pkg %.1fC | trips %llu releases"
+      " %llu throttled %.2fs\n",
+      st.peak_cpu_c, st.peak_gpu_c, st.peak_package_c,
+      static_cast<unsigned long long>(st.trips),
+      static_cast<unsigned long long>(st.releases), st.throttled_time);
+}
 
 /// Dynamic-mode execution: drives the batch through the fault stream with
 /// the online rescheduler instead of the one-shot static runtime.
@@ -39,7 +101,7 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
                      const corun::sim::GovernorPolicy policy,
                      const std::string& scheduler, std::uint64_t seed,
                      const std::string& trace_path,
-                     const corun::sim::BackendSpec& backend,
+                     const corun::sim::BackendSpec& backend, bool thermal,
                      std::shared_ptr<corun::sched::PlanCache> plan_cache) {
   using namespace corun;
   const std::string events = f.get("events", "");
@@ -67,6 +129,7 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
   opts.reschedule = resched == "on";
   opts.plan_cache = plan_cache;
   opts.backend = backend;
+  opts.thermal = thermal;
   opts.record_trace_path = f.get("record-trace", "");
   const runtime::DynamicRuntime runner(config, opts);
   const runtime::DynamicReport report = runner.execute(batch, db, grid, plan.value());
@@ -79,6 +142,7 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
               resched.c_str());
   std::printf("events:    %zu planned\n", plan.value().size());
   std::printf("result:    %s", report.summary().c_str());
+  print_thermal_summary(thermal, report.report.thermal);
   for (const runtime::AppliedFault& a : report.log) {
     std::printf("  [%8.2fs] %-8s %s\n", a.applied_at,
                 sim::fault_kind_name(a.event.kind), a.detail.c_str());
@@ -90,25 +154,9 @@ int run_dynamic_mode(const corun::Flags& f, const corun::workload::Batch& batch,
                 sim::device_name(j.device), j.start, j.finish, j.runtime());
   }
   if (f.has("power-trace")) {
-    std::ostringstream oss;
-    CsvWriter writer(oss);
-    writer.write_row({"t_s", "measured_w", "true_w", "cpu_level", "gpu_level",
-                      "cpu_bw", "gpu_bw"});
-    for (const sim::PowerSample& s : report.report.power_trace) {
-      writer.write_row({std::to_string(s.t), std::to_string(s.measured),
-                        std::to_string(s.true_power),
-                        std::to_string(s.cpu_level),
-                        std::to_string(s.gpu_level), std::to_string(s.cpu_bw),
-                        std::to_string(s.gpu_bw)});
-    }
-    if (!tools::write_file(f.get("power-trace", ""), oss.str())) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   f.get("power-trace", "").c_str());
-      return 1;
-    }
-    std::printf("wrote power trace to %s (%zu samples)\n",
-                f.get("power-trace", "").c_str(),
-                report.report.power_trace.size());
+    const int rc = write_power_trace(f, thermal, report.report.power_trace,
+                                     report.report.thermal_trace);
+    if (rc != 0) return rc;
   }
   // Search-side statistics go to stderr (like the plan-cache report) so
   // stdout stays byte-identical whether repair or the cache is active.
@@ -139,8 +187,9 @@ int main(int argc, char** argv) {
                                   {"batch", "profiles", "grid", "cap",
                                    "scheduler", "policy", "seed",
                                    "power-trace", "plan", "jobs", "engine",
-                                   "backend", "record-trace", "trace",
-                                   "events", "reschedule", "plan-cache"},
+                                   "backend", "thermal", "record-trace",
+                                   "trace", "events", "reschedule",
+                                   "plan-cache"},
                                   {"gantt"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -154,6 +203,10 @@ int main(int argc, char** argv) {
   const auto backend = tools::configure_backend(f);
   if (!backend.has_value()) {
     return tools::usage_error(backend.error().message, kUsage);
+  }
+  const auto thermal = tools::configure_thermal(f);
+  if (!thermal.has_value()) {
+    return tools::usage_error(thermal.error().message, kUsage);
   }
   const std::string trace_path = tools::configure_trace(f);
   const auto plan_cache = tools::configure_plan_cache(f);
@@ -206,7 +259,8 @@ int main(int argc, char** argv) {
     }
     return run_dynamic_mode(f, batch.value(), db.value(), grid.value(),
                             config, policy, which, seed, trace_path,
-                            backend.value(), plan_cache.value());
+                            backend.value(), thermal.value(),
+                            plan_cache.value());
   }
 
   sched::Schedule schedule;
@@ -237,6 +291,7 @@ int main(int argc, char** argv) {
   rt.seed = seed;
   rt.predictor = &predictor;
   rt.backend = backend.value();
+  rt.thermal = thermal.value();
   rt.record_trace_path = f.get("record-trace", "");
   const runtime::CoRunRuntime runner(config, rt);
   const runtime::ExecutionReport report =
@@ -249,6 +304,7 @@ int main(int argc, char** argv) {
   std::printf("scheduler: %s\n", plan_source.c_str());
   std::printf("plan:      %s\n", schedule.to_string(ctx.job_names()).c_str());
   std::printf("result:    %s\n", report.summary().c_str());
+  print_thermal_summary(thermal.value(), report.thermal);
   std::printf("%-18s %-4s %10s %10s %10s\n", "job", "dev", "start", "finish",
               "runtime");
   for (const runtime::JobOutcome& j : report.jobs) {
@@ -265,24 +321,9 @@ int main(int argc, char** argv) {
   }
 
   if (f.has("power-trace")) {
-    std::ostringstream oss;
-    CsvWriter writer(oss);
-    writer.write_row({"t_s", "measured_w", "true_w", "cpu_level", "gpu_level",
-                      "cpu_bw", "gpu_bw"});
-    for (const sim::PowerSample& s : report.power_trace) {
-      writer.write_row({std::to_string(s.t), std::to_string(s.measured),
-                        std::to_string(s.true_power),
-                        std::to_string(s.cpu_level),
-                        std::to_string(s.gpu_level), std::to_string(s.cpu_bw),
-                        std::to_string(s.gpu_bw)});
-    }
-    if (!tools::write_file(f.get("power-trace", ""), oss.str())) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   f.get("power-trace", "").c_str());
-      return 1;
-    }
-    std::printf("wrote power trace to %s (%zu samples)\n",
-                f.get("power-trace", "").c_str(), report.power_trace.size());
+    const int rc = write_power_trace(f, thermal.value(), report.power_trace,
+                                     report.thermal_trace);
+    if (rc != 0) return rc;
   }
   tools::report_plan_cache(plan_cache.value().get());
   if (!tools::finish_trace(trace_path)) return 1;

@@ -21,18 +21,19 @@
 namespace {
 const char kUsage[] =
     "corun-schedule --batch batch.csv --profiles profiles.csv --grid grid.csv "
-    "[--cap 15] [--scheduler hcs+|hcs|default|random|bnb|exhaustive] "
+    "[--cap 15] [--scheduler hcs+|hcs|thermal|default|random|bnb|exhaustive] "
     "[--policy gpu|cpu] [--seed 42] [--save-plan plan.csv] [--explain] "
     "[--jobs N] [--engine event|tick] [--backend event|analytic|replay:PATH] "
-    "[--trace trace.json] [--plan-cache off|mem|mem:N|dir:PATH]";
+    "[--thermal on|off] [--trace trace.json] "
+    "[--plan-cache off|mem|mem:N|dir:PATH]";
 }
 
 int main(int argc, char** argv) {
   using namespace corun;
   const auto flags = Flags::parse(
       argc, argv, {"batch", "profiles", "grid", "cap", "scheduler", "policy",
-                   "seed", "save-plan", "jobs", "engine", "backend", "trace",
-                   "plan-cache"},
+                   "seed", "save-plan", "jobs", "engine", "backend", "thermal",
+                   "trace", "plan-cache"},
       {"explain"});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -69,6 +70,10 @@ int main(int argc, char** argv) {
   const auto backend = tools::configure_backend(f);
   if (!backend.has_value()) {
     return tools::usage_error(backend.error().message, kUsage);
+  }
+  const auto thermal = tools::configure_thermal(f);
+  if (!thermal.has_value()) {
+    return tools::usage_error(thermal.error().message, kUsage);
   }
   const std::string trace_path = tools::configure_trace(f);
   const auto plan_cache = tools::configure_plan_cache(f);

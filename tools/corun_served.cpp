@@ -50,7 +50,8 @@ const char kUsage[] =
     "corun-served --batch batch.csv --profiles profiles.csv --grid grid.csv "
     "[--socket PATH] [--queue-capacity 256] [--deadline-ms 0] [--jobs N] "
     "[--engine event|tick] [--backend event|analytic|replay:PATH] "
-    "[--trace trace.json] [--plan-cache off|mem|mem:N[:S]|dir:PATH]";
+    "[--thermal on|off] [--trace trace.json] "
+    "[--plan-cache off|mem|mem:N[:S]|dir:PATH]";
 
 volatile sig_atomic_t g_stop = 0;
 
@@ -178,7 +179,7 @@ int main(int argc, char** argv) {
   const auto flags = Flags::parse(
       argc, argv,
       {"batch", "profiles", "grid", "socket", "queue-capacity", "deadline-ms",
-       "jobs", "engine", "backend", "trace", "plan-cache"},
+       "jobs", "engine", "backend", "thermal", "trace", "plan-cache"},
       {});
   if (!flags.has_value()) {
     return tools::usage_error(flags.error().message, kUsage);
@@ -216,6 +217,10 @@ int main(int argc, char** argv) {
   const auto backend = tools::configure_backend(f);
   if (!backend.has_value()) {
     return tools::usage_error(backend.error().message, kUsage);
+  }
+  const auto thermal = tools::configure_thermal(f);
+  if (!thermal.has_value()) {
+    return tools::usage_error(thermal.error().message, kUsage);
   }
   const std::string trace_path = tools::configure_trace(f);
   const auto plan_cache = tools::configure_plan_cache(f, "mem");

@@ -84,6 +84,16 @@ Expected<sim::BackendSpec> configure_backend(const Flags& flags) {
   return spec;
 }
 
+Expected<bool> configure_thermal(const Flags& flags) {
+  std::string spec = flags.get("thermal", "");
+  if (spec.empty()) spec = trimmed_env("CORUN_THERMAL");
+  if (spec.empty()) return sim::default_thermal();
+  auto enabled = sim::parse_thermal(spec);
+  if (!enabled.has_value()) return enabled.error();
+  sim::set_default_thermal(enabled.value());
+  return enabled;
+}
+
 std::string configure_trace(const Flags& flags) {
   std::string path = flags.get("trace", "");
   if (path.empty()) path = trimmed_env("CORUN_TRACE");

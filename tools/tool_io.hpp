@@ -44,6 +44,14 @@ std::size_t configure_jobs(const Flags& flags);
 /// rather than a mid-run contract violation.
 [[nodiscard]] Expected<sim::BackendSpec> configure_backend(const Flags& flags);
 
+/// Applies the shared `--thermal on|off` flag (falling back to the
+/// CORUN_THERMAL environment variable; default off) process-wide via
+/// sim::set_default_thermal. Thermal simulation is strictly additive: with
+/// it off every tool's output is byte-identical to a build without the
+/// thermal model at all. Returns the resolved enable state, or a parse
+/// error for anything other than on/1/off/0.
+[[nodiscard]] Expected<bool> configure_thermal(const Flags& flags);
+
 /// Applies the shared `--trace <file.json>` flag (falling back to the
 /// CORUN_TRACE environment variable, mirroring --engine/CORUN_ENGINE): when
 /// a path is given, starts a fresh trace session and arms recording.
